@@ -1,0 +1,153 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation.
+// Wall-clock numbers measure the simulator itself; the reproduced results
+// are reported as custom "sim-us" / "sim-MB/s" metrics (simulated
+// microseconds per half round trip, megabytes per second). Reduced sweeps
+// keep bench iterations fast; cmd/elan4bench and cmd/ompibench print the
+// full figures.
+package qsmpi_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"qsmpi/internal/cluster"
+	"qsmpi/internal/experiments"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptlelan4"
+)
+
+// benchIters is the per-point timing iteration count used inside benches.
+const benchIters = 20
+
+func reportSeries(b *testing.B, r *experiments.Result, unit string) {
+	b.Helper()
+	for _, s := range r.Series {
+		last := s.Points[len(s.Points)-1]
+		name := strings.ReplaceAll(s.Name, " ", "-")
+		b.ReportMetric(last.Value, fmt.Sprintf("%s:%s@%dB", unit, name, last.Size))
+	}
+}
+
+func BenchmarkFig7BasicRDMA(b *testing.B) {
+	old := experiments.Iters
+	experiments.Iters = benchIters
+	defer func() { experiments.Iters = old }()
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig7([]int{4, 2048, 4096}, "bench")
+	}
+	reportSeries(b, r, "sim-us")
+}
+
+func BenchmarkFig8ChainedDMAAndCQ(b *testing.B) {
+	old := experiments.Iters
+	experiments.Iters = benchIters
+	defer func() { experiments.Iters = old }()
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig8()
+	}
+	reportSeries(b, r, "sim-us")
+}
+
+func BenchmarkFig9LayerCosts(b *testing.B) {
+	old := experiments.Iters
+	experiments.Iters = benchIters
+	defer func() { experiments.Iters = old }()
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig9()
+	}
+	reportSeries(b, r, "sim-us")
+}
+
+func BenchmarkTable1AsyncProgress(b *testing.B) {
+	old := experiments.Iters
+	experiments.Iters = benchIters
+	defer func() { experiments.Iters = old }()
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table1()
+	}
+	reportSeries(b, r, "sim-us")
+}
+
+func BenchmarkFig10Latency(b *testing.B) {
+	old := experiments.Iters
+	experiments.Iters = benchIters
+	defer func() { experiments.Iters = old }()
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig10([]int{0, 4, 1024}, "bench", false)
+	}
+	reportSeries(b, r, "sim-us")
+}
+
+func BenchmarkFig10Bandwidth(b *testing.B) {
+	old := experiments.Iters
+	experiments.Iters = benchIters
+	defer func() { experiments.Iters = old }()
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig10([]int{16384, 262144, 1048576}, "bench", true)
+	}
+	reportSeries(b, r, "sim-MB/s")
+}
+
+func BenchmarkAblationMultirail(b *testing.B) {
+	old := experiments.Iters
+	experiments.Iters = benchIters
+	defer func() { experiments.Iters = old }()
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationMultirail()
+	}
+	reportSeries(b, r, "sim-MB/s")
+}
+
+func BenchmarkAblationHWBcast(b *testing.B) {
+	old := experiments.Iters
+	experiments.Iters = benchIters
+	defer func() { experiments.Iters = old }()
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationHWBcast()
+	}
+	reportSeries(b, r, "sim-us")
+}
+
+func BenchmarkAblationEagerThreshold(b *testing.B) {
+	old := experiments.Iters
+	experiments.Iters = benchIters
+	defer func() { experiments.Iters = old }()
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationEagerThreshold()
+	}
+	reportSeries(b, r, "sim-us")
+}
+
+func BenchmarkAblationFatTreeScale(b *testing.B) {
+	old := experiments.Iters
+	experiments.Iters = benchIters
+	defer func() { experiments.Iters = old }()
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationFatTreeScale()
+	}
+	reportSeries(b, r, "sim-us")
+}
+
+// BenchmarkSimulatorThroughput measures the raw simulator: events executed
+// per wall second while running back-to-back 4-byte ping-pongs.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec := cluster.Spec{Elan: func() *ptlelan4.Options {
+		o := ptlelan4.BestOptions(ptlelan4.RDMARead)
+		return &o
+	}(), Progress: pml.Polling}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.OpenMPIPingPong(spec, 4, 100)
+	}
+}

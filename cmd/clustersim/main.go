@@ -1,0 +1,137 @@
+// Command clustersim runs a traffic pattern over the simulated cluster
+// and reports what the hardware did: per-NIC QDMA/RDMA counts, retries and
+// interrupts, fabric totals, PML statistics and host CPU busy time. It is
+// the inspection tool for the testbed underneath the benchmarks.
+//
+// Usage:
+//
+//	clustersim -procs 8 -pattern alltoall -size 65536
+//	clustersim -procs 4 -pattern ring -size 4096 -iters 100
+//	clustersim -procs 2 -pattern pingpong -scheme write -threads 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"qsmpi/internal/cluster"
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/model"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptlelan4"
+)
+
+func main() {
+	procs := flag.Int("procs", 4, "number of MPI processes")
+	pattern := flag.String("pattern", "alltoall", "pingpong | ring | alltoall")
+	size := flag.Int("size", 4096, "message payload bytes")
+	iters := flag.Int("iters", 10, "pattern repetitions")
+	scheme := flag.String("scheme", "read", "rendezvous scheme: read | write")
+	threads := flag.Int("threads", 0, "asynchronous progress threads (0, 1 or 2)")
+	rails := flag.Int("rails", 1, "Quadrics rails")
+	lossRate := flag.Float64("lossrate", 0, "per-packet CRC loss probability")
+	flag.Parse()
+
+	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	if *scheme == "write" {
+		opts = ptlelan4.BestOptions(ptlelan4.RDMAWrite)
+	}
+	progress := pml.Polling
+	switch *threads {
+	case 1:
+		opts.CQ = ptlelan4.OneQueue
+		opts.Threads = 1
+		progress = pml.Threaded
+	case 2:
+		opts.CQ = ptlelan4.TwoQueue
+		opts.Threads = 2
+		progress = pml.Threaded
+	}
+
+	m := model.Default()
+	m.LinkLossRate = *lossRate
+	c := cluster.New(cluster.Spec{Elan: &opts, Progress: progress, ElanRails: *rails, Model: &m}, *procs)
+	var mods []*ptlelan4.Module
+	c.Launch(func(p *cluster.Proc) {
+		mods = append(mods, p.Elan)
+		runPattern(p, *procs, *pattern, *size, *iters)
+	})
+	if err := c.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pattern=%s procs=%d size=%dB iters=%d scheme=%s threads=%d\n",
+		*pattern, *procs, *size, *iters, *scheme, *threads)
+	fmt.Printf("virtual time elapsed: %.1f us\n\n", c.Now().Micros())
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "node\tQDMAs\tRDMA-wr\tRDMA-rd\tbytes\tretries\tirqs\tCPU-busy-us")
+	for i, nic := range c.NICs {
+		s := nic.Stats()
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f\n",
+			i, s.QDMAs, s.RDMAWrites, s.RDMAReads, s.BytesSent, s.Retries,
+			s.Interrupts, c.Hosts[i].BusyTime().Micros())
+	}
+	w.Flush()
+
+	sent, delivered := c.Net.Stats()
+	fmt.Printf("\nfabric: %d packets sent, %d delivered, %d CRC retransmits\n",
+		sent, delivered, c.Net.Retransmits())
+	for i, m := range mods {
+		s := m.Stats()
+		fmt.Printf("rank %d PTL: eager=%d rndv=%d ack=%d fin=%d fin_ack=%d puts=%d gets=%d cq=%d\n",
+			i, s.EagerTx, s.RndvTx, s.AckTx, s.FinTx, s.FinAckTx, s.PutOps, s.GetOps, s.CQRecords)
+	}
+}
+
+func runPattern(p *cluster.Proc, procs int, pattern string, size, iters int) {
+	dt := datatype.Contiguous(size)
+	buf := make([]byte, size)
+	scratch := make([]byte, size)
+	switch pattern {
+	case "pingpong":
+		if p.Rank > 1 {
+			return
+		}
+		for i := 0; i < iters; i++ {
+			if p.Rank == 0 {
+				p.Stack.Send(p.Th, 1, 1, 0, buf, dt).Wait(p.Th)
+				p.Stack.Recv(p.Th, 1, 2, 0, scratch, dt).Wait(p.Th)
+			} else {
+				p.Stack.Recv(p.Th, 0, 1, 0, scratch, dt).Wait(p.Th)
+				p.Stack.Send(p.Th, 0, 2, 0, buf, dt).Wait(p.Th)
+			}
+		}
+	case "ring":
+		next := (p.Rank + 1) % procs
+		prev := (p.Rank - 1 + procs) % procs
+		for i := 0; i < iters; i++ {
+			r := p.Stack.Recv(p.Th, prev, i, 0, scratch, dt)
+			p.Stack.Send(p.Th, next, i, 0, buf, dt).Wait(p.Th)
+			r.Wait(p.Th)
+		}
+	case "alltoall":
+		for i := 0; i < iters; i++ {
+			var sends []*pml.SendReq
+			var recvs []*pml.RecvReq
+			for peer := 0; peer < procs; peer++ {
+				if peer == p.Rank {
+					continue
+				}
+				recvs = append(recvs, p.Stack.Recv(p.Th, peer, i, 0, make([]byte, size), dt))
+				sends = append(sends, p.Stack.Send(p.Th, peer, i, 0, buf, dt))
+			}
+			for _, r := range recvs {
+				r.Wait(p.Th)
+			}
+			for _, s := range sends {
+				s.Wait(p.Th)
+			}
+		}
+	default:
+		log.Fatalf("clustersim: unknown pattern %q", pattern)
+	}
+}

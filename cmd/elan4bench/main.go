@@ -1,0 +1,72 @@
+// Command elan4bench regenerates the PTL/Elan4 design-analysis experiments
+// of the paper: Fig. 7 (basic RDMA read/write, inline and datatype
+// variants), Fig. 8 (chained DMA and shared completion queue), Fig. 9
+// (per-layer communication cost) and Table 1 (thread-based asynchronous
+// progress).
+//
+// Usage:
+//
+//	elan4bench            # everything
+//	elan4bench -fig 7     # one figure (7, 8 or 9)
+//	elan4bench -table 1   # table 1
+//	elan4bench -iters 200 # more timing iterations per point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qsmpi/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (7, 8 or 9; 0 = all)")
+	table := flag.Int("table", 0, "table to regenerate (1; 0 = per -fig)")
+	ablate := flag.Bool("ablate", false, "run the ablation sweeps instead of the paper figures")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	iters := flag.Int("iters", 100, "timing iterations per point")
+	flag.Parse()
+	experiments.Iters = *iters
+	emit := func(r *experiments.Result) {
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", r.ID, r.Title, r.CSV())
+			return
+		}
+		fmt.Println(r.Render())
+	}
+
+	if *ablate {
+		for _, r := range experiments.Ablations() {
+			emit(r)
+		}
+		return
+	}
+
+	var results []*experiments.Result
+	switch {
+	case *table == 1:
+		results = append(results, experiments.Table1())
+	case *fig == 7:
+		results = append(results,
+			experiments.Fig7(experiments.Fig7SmallSizes, "a"),
+			experiments.Fig7(experiments.Fig7LargeSizes, "b"))
+	case *fig == 8:
+		results = append(results, experiments.Fig8())
+	case *fig == 9:
+		results = append(results, experiments.Fig9())
+	case *fig == 0 && *table == 0:
+		results = append(results,
+			experiments.Fig7(experiments.Fig7SmallSizes, "a"),
+			experiments.Fig7(experiments.Fig7LargeSizes, "b"),
+			experiments.Fig8(),
+			experiments.Fig9(),
+			experiments.Table1())
+	default:
+		fmt.Fprintf(os.Stderr, "elan4bench: unknown figure %d / table %d\n", *fig, *table)
+		os.Exit(2)
+	}
+	for _, r := range results {
+		emit(r)
+	}
+}

@@ -1,0 +1,57 @@
+// Command ompibench regenerates Fig. 10 of the paper: the overall latency
+// and bandwidth of Open MPI over Quadrics/Elan4 (both rendezvous schemes,
+// best options) against the MPICH-QsNetII baseline.
+//
+// Usage:
+//
+//	ompibench             # all four panels
+//	ompibench -panel a    # one of a (small latency), b (large latency),
+//	                      # c (small bandwidth), d (large bandwidth)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qsmpi/internal/experiments"
+)
+
+func main() {
+	panel := flag.String("panel", "", "panel to regenerate (a, b, c, d; empty = all)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	iters := flag.Int("iters", 100, "timing iterations per point")
+	flag.Parse()
+	experiments.Iters = *iters
+
+	type p struct {
+		name  string
+		sizes []int
+		bw    bool
+	}
+	panels := []p{
+		{"a-latency", experiments.Fig10SmallSizes, false},
+		{"b-latency", experiments.Fig10LargeSizes, false},
+		{"c-bandwidth", experiments.Fig10SmallSizes, true},
+		{"d-bandwidth", experiments.Fig10LargeSizes, true},
+	}
+	for _, pp := range panels {
+		if *panel != "" && pp.name[0] != (*panel)[0] {
+			continue
+		}
+		r := experiments.Fig10(pp.sizes, pp.name, pp.bw)
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", r.ID, r.Title, r.CSV())
+		} else {
+			fmt.Println(r.Render())
+		}
+	}
+	if *panel != "" && len(*panel) > 0 {
+		switch (*panel)[0] {
+		case 'a', 'b', 'c', 'd':
+		default:
+			fmt.Fprintf(os.Stderr, "ompibench: unknown panel %q\n", *panel)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Command report measures every qualitative claim of the paper's
+// evaluation against the simulated testbed and emits a markdown
+// replication report with PASS/FAIL verdicts — the machine-checked
+// counterpart of EXPERIMENTS.md.
+//
+//	go run ./cmd/report
+//	go run ./cmd/report -iters 200   # tighter sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qsmpi/internal/experiments"
+)
+
+func main() {
+	iters := flag.Int("iters", 60, "timing iterations per measured point")
+	flag.Parse()
+	experiments.Iters = *iters
+
+	claims := experiments.Claims()
+	fmt.Println("# Replication report: Open MPI over Quadrics/Elan4")
+	fmt.Println()
+	fmt.Println("| claim | paper | measured | verdict |")
+	fmt.Println("|---|---|---|---|")
+	failed := 0
+	for _, c := range claims {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("| %s | %s | %s | %s |\n", c.ID, c.Paper, c.Measured, verdict)
+	}
+	fmt.Printf("\n%d/%d claims reproduced.\n", len(claims)-failed, len(claims))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+package qsmpi_test
+
+import (
+	"fmt"
+
+	"qsmpi"
+)
+
+// The simulation is deterministic, so examples have stable output.
+
+func Example() {
+	err := qsmpi.Run(qsmpi.Config{Procs: 2}, func(w *qsmpi.World) {
+		c := w.Comm()
+		if c.Rank() == 0 {
+			c.SendBytes(1, 0, []byte("hello elan4"))
+		} else {
+			buf := make([]byte, 11)
+			st := c.RecvBytes(0, 0, buf)
+			fmt.Printf("rank 1 got %q from rank %d\n", buf, st.Source)
+		}
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// rank 1 got "hello elan4" from rank 0
+}
+
+func ExampleComm_Allreduce() {
+	err := qsmpi.Run(qsmpi.Config{Procs: 4}, func(w *qsmpi.World) {
+		in := make([]byte, 8)
+		in[0] = byte(w.Rank() + 1) // little-endian int64 contribution
+		out := make([]byte, 8)
+		w.Comm().Allreduce(in, out, qsmpi.OpSumI64)
+		if w.Rank() == 0 {
+			fmt.Printf("sum of ranks+1 = %d\n", out[0])
+		}
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// sum of ranks+1 = 10
+}
+
+func ExampleWin() {
+	err := qsmpi.Run(qsmpi.Config{Procs: 2}, func(w *qsmpi.World) {
+		window := make([]byte, 16)
+		win := w.Comm().WinCreate(window)
+		if w.Rank() == 0 {
+			win.Put(1, 0, []byte("one-sided"))
+		}
+		win.Fence()
+		if w.Rank() == 1 {
+			fmt.Printf("window holds %q\n", window[:9])
+		}
+		win.Free()
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// window holds "one-sided"
+}
+
+func ExampleWorld_Spawn() {
+	err := qsmpi.Run(qsmpi.Config{Procs: 1, Nodes: 2}, func(w *qsmpi.World) {
+		w.Spawn(1, func(cw *qsmpi.World) {
+			cw.Comm().SendBytes(0, 0, []byte("joined"))
+		})
+		buf := make([]byte, 6)
+		w.Comm().RecvBytes(1, 0, buf)
+		fmt.Printf("world grew to %d: %q\n", w.Size(), buf)
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// world grew to 2: "joined"
+}

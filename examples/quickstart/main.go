@@ -1,0 +1,45 @@
+// Quickstart: a two-process ping-pong over the simulated Quadrics/Elan4
+// cluster, showing the basic Run/World/Comm workflow and the virtual-time
+// clock. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"qsmpi"
+)
+
+func main() {
+	cfg := qsmpi.Config{Procs: 2}
+	err := qsmpi.Run(cfg, func(w *qsmpi.World) {
+		c := w.Comm()
+		const n = 4096
+		msg := bytes.Repeat([]byte("ping"), n/4)
+		switch c.Rank() {
+		case 0:
+			start := w.NowMicros()
+			c.SendBytes(1, 0, msg)
+			reply := make([]byte, n)
+			c.RecvBytes(1, 1, reply)
+			w.Logf("round trip of %d bytes took %.2f virtual us", n, w.NowMicros()-start)
+			if !bytes.Equal(reply, bytes.Repeat([]byte("pong"), n/4)) {
+				log.Fatal("quickstart: bad reply")
+			}
+		case 1:
+			buf := make([]byte, n)
+			st := c.RecvBytes(0, 0, buf)
+			w.Logf("received %d bytes from rank %d (tag %d)", st.Len, st.Source, st.Tag)
+			c.SendBytes(0, 1, bytes.Repeat([]byte("pong"), n/4))
+		}
+		c.Barrier()
+		w.Finalize()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("quickstart: ok")
+}

@@ -1,0 +1,3 @@
+module qsmpi
+
+go 1.22

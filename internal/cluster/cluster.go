@@ -1,0 +1,250 @@
+// Package cluster assembles the full simulated testbed: the discrete-event
+// kernel, the QsNetII fabric, one host + Elan4 NIC per node, the RTE
+// registry, and per-process communication stacks (PML + PTL modules). It
+// is the harness under the public qsmpi API, the examples, and the
+// benchmark drivers.
+package cluster
+
+import (
+	"fmt"
+
+	"qsmpi/internal/elan4"
+	"qsmpi/internal/fabric"
+	"qsmpi/internal/libelan"
+	"qsmpi/internal/model"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptl"
+	"qsmpi/internal/ptlelan4"
+	"qsmpi/internal/ptltcp"
+	"qsmpi/internal/rte"
+	"qsmpi/internal/simtime"
+)
+
+// Spec configures a cluster and the communication stack of each process.
+type Spec struct {
+	// Model is the hardware cost model; zero means model.Default().
+	Model *model.Config
+	// Nodes is the node count (defaults to the number of launched procs;
+	// procs are placed round-robin on nodes).
+	Nodes int
+
+	// Elan enables the PTL/Elan4 module with the given options.
+	Elan *ptlelan4.Options
+	// ElanRails is the number of Quadrics rails (fabrics + NICs per node);
+	// 0 or 1 means a single rail. The PML stripes large messages across
+	// all rails — the paper's "multi-rail communication over Quadrics"
+	// future work.
+	ElanRails int
+	// TCP enables the TCP PTL module (secondary rail or sole transport).
+	TCP *ptltcp.Options
+	// DTP enables the datatype copy engine (vs generic memcpy).
+	DTP bool
+	// Progress selects the PML progress mode.
+	Progress pml.ProgressMode
+}
+
+// Proc is one launched MPI process with its full stack.
+type Proc struct {
+	Rank  int
+	Th    *simtime.Thread
+	Stack *pml.Stack
+	State *libelan.State
+	Elan  *ptlelan4.Module
+	// Elans holds every rail's module (Elans[0] == Elan).
+	Elans []*ptlelan4.Module
+	TCP   *ptltcp.Module
+	RTE   *rte.Handle
+}
+
+// Cluster is the simulated testbed.
+type Cluster struct {
+	K   *simtime.Kernel
+	Cfg model.Config
+	Net *fabric.Network
+	// RailNets holds every Quadrics rail's fabric (RailNets[0] == Net).
+	RailNets []*fabric.Network
+	EthNet   *fabric.Network
+	Registry *rte.Registry
+	Hosts    []*simtime.Host
+	NICs     []*elan4.NIC
+	// RailNICs is indexed [rail][node] (RailNICs[0] == NICs).
+	RailNICs [][]*elan4.NIC
+
+	spec   Spec
+	nprocs int
+	procs  []*Proc
+}
+
+// New builds the physical cluster for a given spec and process count.
+func New(spec Spec, nprocs int) *Cluster {
+	cfg := model.Default()
+	if spec.Model != nil {
+		cfg = *spec.Model
+	}
+	nodes := spec.Nodes
+	if nodes == 0 {
+		nodes = nprocs
+	}
+	k := simtime.NewKernel()
+	c := &Cluster{
+		K: k, Cfg: cfg, spec: spec, nprocs: nprocs,
+		Registry: rte.NewRegistry(k, cfg.OOBLatency),
+	}
+	rails := spec.ElanRails
+	if rails < 1 {
+		rails = 1
+	}
+	for r := 0; r < rails; r++ {
+		c.RailNets = append(c.RailNets, fabric.New(k, fabric.Params{
+			LinkBandwidth:  cfg.LinkBandwidth,
+			WireLatency:    cfg.WireLatency,
+			SwitchLatency:  cfg.SwitchLatency,
+			MTU:            cfg.MTU,
+			PacketOverhead: cfg.PacketOverhead,
+			Arity:          cfg.FatTreeRadix,
+			LossRate:       cfg.LinkLossRate,
+			RetryDelay:     cfg.LinkRetryDelay,
+		}, nodes))
+	}
+	c.Net = c.RailNets[0]
+	if spec.TCP != nil {
+		c.EthNet = fabric.New(k, fabric.Params{
+			LinkBandwidth:  cfg.TCPLinkBandwidth,
+			WireLatency:    cfg.TCPWireLatency,
+			SwitchLatency:  0,
+			MTU:            cfg.TCPMTU,
+			PacketOverhead: 58, // Ethernet + IP + TCP headers
+			Arity:          48, // a big top-of-rack switch
+		}, nodes)
+	}
+	if spec.Elan != nil {
+		c.RailNICs = make([][]*elan4.NIC, rails)
+	}
+	for i := 0; i < nodes; i++ {
+		h := simtime.NewHost(k, fmt.Sprintf("node%d", i), cfg.HostCPUs)
+		c.Hosts = append(c.Hosts, h)
+		if spec.Elan != nil {
+			for r := 0; r < rails; r++ {
+				c.RailNICs[r] = append(c.RailNICs[r], elan4.NewNIC(k, h, c.RailNets[r], i, cfg, c.Registry))
+			}
+		}
+	}
+	if spec.Elan != nil {
+		c.NICs = c.RailNICs[0]
+	}
+	return c
+}
+
+// ProcName is the RTE registry name for a rank of the job; dynamically
+// spawned ranks follow the same scheme so connection setup is uniform.
+func ProcName(rank int) string { return fmt.Sprintf("job0.rank%d", rank) }
+
+// Launch spawns the initial job: nprocs processes whose main threads run
+// bringup (RTE join, PTL open/init, connection setup to every peer, a
+// job-wide rendezvous) and then the user main.
+func (c *Cluster) Launch(main func(p *Proc)) {
+	for r := 0; r < c.nprocs; r++ {
+		r := r
+		node := r % len(c.Hosts)
+		c.Hosts[node].Spawn(fmt.Sprintf("rank%d", r), func(th *simtime.Thread) {
+			p := c.bringup(th, r, node, ProcName(r))
+			// Everybody reachable from everybody: MPI_COMM_WORLD wiring.
+			for peer := 0; peer < c.nprocs; peer++ {
+				if peer == r {
+					continue
+				}
+				c.ConnectPeer(p, peer, ProcName(peer))
+			}
+			c.Registry.Rendezvous(th, "mpi-init", c.nprocs)
+			main(p)
+		})
+	}
+}
+
+// bringup builds one process's stack on a node: claim a NIC context from
+// the capability, attach libelan, create the PML and modules, and
+// initialize (lifecycle stages one and two).
+func (c *Cluster) bringup(th *simtime.Thread, rank, node int, name string) *Proc {
+	p := &Proc{Rank: rank, Th: th}
+	p.Stack = pml.NewStack(c.K, c.Hosts[node], c.Cfg, rank, c.spec.DTP, c.spec.Progress)
+
+	if c.spec.Elan != nil {
+		ctxID := c.Registry.AllocContext(node)
+		mmu := elan4.NewMMU() // shared across rails: register once, RDMA anywhere
+		p.RTE = c.Registry.Join(th, name, node, ctxID)
+		for r := range c.RailNICs {
+			ctx := c.RailNICs[r][node].OpenContextMMU(ctxID, mmu)
+			ctx.SetVPID(p.RTE.VPID())
+			st := libelan.Attach(ctx, c.Cfg)
+			mod := ptlelan4.New(c.K, c.Hosts[node], st, p.RTE, p.Stack, p.Stack.Activity(), c.Cfg, *c.spec.Elan)
+			mod.Init(th)
+			p.Stack.AddModule(mod)
+			p.Elans = append(p.Elans, mod)
+			if r == 0 {
+				p.State = st
+				p.Elan = mod
+				p.Stack.SetBlocker(mod)
+			}
+		}
+	} else {
+		p.RTE = c.Registry.Join(th, name, node, 0)
+	}
+	if c.spec.TCP != nil {
+		p.TCP = ptltcp.New(c.K, c.Hosts[node], c.EthNet, node, p.RTE, p.Stack, p.Stack.Activity(), c.Cfg, *c.spec.TCP)
+		p.TCP.Init(th)
+		p.Stack.AddModule(p.TCP)
+	}
+	c.procs = append(c.procs, p)
+	return p
+}
+
+// ConnectPeer wires one peer (by rank and registry name) into a process's
+// stack through every enabled module — the dynamic-join entry point.
+func (c *Cluster) ConnectPeer(p *Proc, rank int, name string) {
+	var mods []ptl.Module
+	for _, m := range p.Elans {
+		mods = append(mods, m)
+	}
+	if p.TCP != nil {
+		mods = append(mods, p.TCP)
+	}
+	peer := &ptl.Peer{Rank: rank, Name: name}
+	if err := p.Stack.AddPeer(p.Th, peer, mods); err != nil {
+		panic(err)
+	}
+}
+
+// SpawnExtra launches an additional process after the initial job is
+// running (MPI-2 dynamic process management). The caller coordinates
+// rendezvous/connection with the existing job via RTE primitives.
+func (c *Cluster) SpawnExtra(rank, node int, name string, main func(p *Proc)) {
+	c.Hosts[node].Spawn(fmt.Sprintf("dyn-rank%d", rank), func(th *simtime.Thread) {
+		p := c.bringup(th, rank, node, name)
+		main(p)
+	})
+}
+
+// Finalize drains and finalizes one process's stack (lifecycle stages
+// four and five).
+func (p *Proc) Finalize() {
+	p.Stack.Finalize(p.Th)
+	for _, m := range p.Elans {
+		m.Close()
+	}
+	if p.TCP != nil {
+		p.TCP.Close()
+	}
+	p.RTE.Leave(p.Th)
+}
+
+// Run executes the simulation to quiescence and reports deadlocks.
+func (c *Cluster) Run() error {
+	c.K.Run()
+	if st := c.K.Stalled(); len(st) != 0 {
+		return fmt.Errorf("cluster: deadlock, stalled procs: %v", st)
+	}
+	return nil
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() simtime.Time { return c.K.Now() }

@@ -1,0 +1,358 @@
+package cluster_test
+
+import (
+	"bytes"
+	"testing"
+
+	"qsmpi/internal/cluster"
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/model"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptl"
+	"qsmpi/internal/ptlelan4"
+	"qsmpi/internal/ptltcp"
+)
+
+func elanSpec() cluster.Spec {
+	o := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	return cluster.Spec{Elan: &o, Progress: pml.Polling}
+}
+
+func TestMoreProcsThanNodes(t *testing.T) {
+	// Six processes on three nodes: two NIC contexts per node, loopback
+	// traffic between co-located ranks crosses only the switch.
+	spec := elanSpec()
+	spec.Nodes = 3
+	c := cluster.New(spec, 6)
+	verified := 0
+	c.Launch(func(p *cluster.Proc) {
+		dt := datatype.Contiguous(2048)
+		// Ring: rank r sends to r+1.
+		next := (p.Rank + 1) % 6
+		prev := (p.Rank + 5) % 6
+		buf := make([]byte, 2048)
+		for i := range buf {
+			buf[i] = byte(p.Rank)
+		}
+		got := make([]byte, 2048)
+		r := p.Stack.Recv(p.Th, prev, 0, 0, got, dt)
+		p.Stack.Send(p.Th, next, 0, 0, buf, dt).Wait(p.Th)
+		r.Wait(p.Th)
+		if got[0] == byte(prev) && got[2047] == byte(prev) {
+			verified++
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if verified != 6 {
+		t.Fatalf("%d ranks verified", verified)
+	}
+}
+
+func TestColocatedRanksShareNIC(t *testing.T) {
+	spec := elanSpec()
+	spec.Nodes = 1
+	c := cluster.New(spec, 2)
+	ok := false
+	c.Launch(func(p *cluster.Proc) {
+		dt := datatype.Contiguous(512)
+		if p.Rank == 0 {
+			p.Stack.Send(p.Th, 1, 0, 0, bytes.Repeat([]byte{7}, 512), dt).Wait(p.Th)
+		} else {
+			buf := make([]byte, 512)
+			p.Stack.Recv(p.Th, 0, 0, 0, buf, dt).Wait(p.Th)
+			ok = buf[0] == 7 && buf[511] == 7
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("same-node message corrupted")
+	}
+	if len(c.NICs) != 1 {
+		t.Fatalf("expected a single NIC, got %d", len(c.NICs))
+	}
+}
+
+func TestLifecycleStagesThroughFinalize(t *testing.T) {
+	c := cluster.New(elanSpec(), 2)
+	var during, after [2]ptl.Stage
+	c.Launch(func(p *cluster.Proc) {
+		during[p.Rank] = p.Elan.Lifecycle().Stage()
+		p.Finalize()
+		after[p.Rank] = p.Elan.Lifecycle().Stage()
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		if during[r] != ptl.StageActive {
+			t.Fatalf("rank %d stage during run = %v", r, during[r])
+		}
+		if after[r] != ptl.StageClosed {
+			t.Fatalf("rank %d stage after finalize = %v", r, after[r])
+		}
+	}
+}
+
+func TestRegistryReflectsLeave(t *testing.T) {
+	c := cluster.New(elanSpec(), 3)
+	c.Launch(func(p *cluster.Proc) {
+		if p.Rank == 2 {
+			p.Finalize()
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	alive := c.Registry.Alive()
+	if len(alive) != 2 {
+		t.Fatalf("alive = %v, want two survivors", alive)
+	}
+}
+
+func TestDualRailSetup(t *testing.T) {
+	o := ptlelan4.BestOptions(ptlelan4.RDMAWrite)
+	spec := cluster.Spec{
+		Elan:     &o,
+		TCP:      &ptltcp.Options{Weight: 0.5},
+		Progress: pml.Polling,
+	}
+	c := cluster.New(spec, 2)
+	c.Launch(func(p *cluster.Proc) {
+		if p.Elan == nil || p.TCP == nil {
+			t.Error("dual-rail proc missing a module")
+		}
+		if len(p.Stack.Modules()) != 2 {
+			t.Errorf("stack has %d modules", len(p.Stack.Modules()))
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.EthNet == nil {
+		t.Fatal("ethernet fabric not built")
+	}
+}
+
+func TestMultirailQuadricsStripes(t *testing.T) {
+	// Two Quadrics rails, write scheme: a large message must be striped
+	// across both rails' RDMA engines and arrive intact.
+	o := ptlelan4.BestOptions(ptlelan4.RDMAWrite)
+	spec := cluster.Spec{Elan: &o, ElanRails: 2, Progress: pml.Polling}
+	c := cluster.New(spec, 2)
+	const n = 1 << 20
+	ok := false
+	var rail0, rail1 int64
+	c.Launch(func(p *cluster.Proc) {
+		dt := datatype.Contiguous(n)
+		if p.Rank == 0 {
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = byte(i * 7)
+			}
+			p.Stack.Send(p.Th, 1, 0, 0, buf, dt).Wait(p.Th)
+			rail0 = p.Elans[0].Stats().PutOps
+			rail1 = p.Elans[1].Stats().PutOps
+		} else {
+			buf := make([]byte, n)
+			p.Stack.Recv(p.Th, 0, 0, 0, buf, dt).Wait(p.Th)
+			ok = true
+			for i := 0; i < n; i += 997 {
+				if buf[i] != byte(i*7) {
+					ok = false
+					break
+				}
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("striped message corrupted")
+	}
+	if rail0 == 0 || rail1 == 0 {
+		t.Fatalf("rails not both used: %d/%d puts", rail0, rail1)
+	}
+}
+
+func TestMultirailFasterForLargeMessages(t *testing.T) {
+	run := func(rails int) float64 {
+		o := ptlelan4.BestOptions(ptlelan4.RDMAWrite)
+		spec := cluster.Spec{Elan: &o, ElanRails: rails, Progress: pml.Polling}
+		c := cluster.New(spec, 2)
+		const n = 1 << 20
+		var done float64
+		c.Launch(func(p *cluster.Proc) {
+			dt := datatype.Contiguous(n)
+			if p.Rank == 0 {
+				p.Stack.Send(p.Th, 1, 0, 0, make([]byte, n), dt).Wait(p.Th)
+			} else {
+				buf := make([]byte, n)
+				p.Stack.Recv(p.Th, 0, 0, 0, buf, dt).Wait(p.Th)
+				done = p.Th.Now().Micros()
+			}
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	one := run(1)
+	two := run(2)
+	speedup := one / two
+	// The rendezvous handshake is not parallelized, so the ideal 2x is
+	// shaved by the fixed per-message costs.
+	if speedup < 1.4 {
+		t.Fatalf("dual-rail speedup %.2fx for 1MB, want ≥1.4x", speedup)
+	}
+	t.Logf("1MB transfer: 1 rail %.1fus, 2 rails %.1fus (%.2fx)", one, two, speedup)
+}
+
+func TestProcessRestart(t *testing.T) {
+	// Fault-tolerance flow of §3/§4.1: a process disjoins (finalize +
+	// leave) and a replacement joins under a fresh name and VPID; the
+	// survivor reconnects and traffic resumes.
+	o := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	c := cluster.New(cluster.Spec{Elan: &o, Progress: pml.Polling, Nodes: 3}, 2)
+	var got []byte
+	c.Launch(func(p *cluster.Proc) {
+		dt := datatype.Contiguous(1024)
+		switch p.Rank {
+		case 0:
+			// Phase 1: talk to the original rank 1.
+			buf := make([]byte, 1024)
+			p.Stack.Recv(p.Th, 1, 1, 0, buf, dt).Wait(p.Th)
+			// Rank 1 announces departure out-of-band, then leaves.
+			msg := p.RTE.RecvOOB(p.Th)
+			if msg.Tag != "leaving" {
+				t.Errorf("unexpected OOB %q", msg.Tag)
+			}
+			p.Stack.DelPeer(p.Th, 1)
+			// Phase 2: the replacement announces itself; reconnect.
+			msg = p.RTE.RecvOOB(p.Th)
+			if msg.Tag != "restarted" {
+				t.Errorf("unexpected OOB %q", msg.Tag)
+			}
+			c.ConnectPeer(p, 1, "job0.rank1-gen2")
+			got = make([]byte, 1024)
+			p.Stack.Recv(p.Th, 1, 2, 0, got, dt).Wait(p.Th)
+		case 1:
+			buf := make([]byte, 1024)
+			for i := range buf {
+				buf[i] = 1
+			}
+			p.Stack.Send(p.Th, 0, 1, 0, buf, dt).Wait(p.Th)
+			vpid0 := p.RTE.LookupVPID(p.Th, "job0.rank0")
+			if err := p.RTE.SendOOB(p.Th, vpid0, "leaving", nil); err != nil {
+				t.Error(err)
+			}
+			p.Finalize()
+			// The replacement process (simulating restart on node 2).
+			c.SpawnExtra(1, 2, "job0.rank1-gen2", func(np *cluster.Proc) {
+				c.ConnectPeer(np, 0, "job0.rank0")
+				v0 := np.RTE.LookupVPID(np.Th, "job0.rank0")
+				if err := np.RTE.SendOOB(np.Th, v0, "restarted", nil); err != nil {
+					t.Error(err)
+				}
+				nbuf := make([]byte, 1024)
+				for i := range nbuf {
+					nbuf[i] = 2
+				}
+				np.Stack.Send(np.Th, 0, 2, 0, nbuf, dt).Wait(np.Th)
+			})
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1024 || got[0] != 2 || got[1023] != 2 {
+		t.Fatal("post-restart message wrong")
+	}
+}
+
+func TestLossyLinksStayCorrect(t *testing.T) {
+	// Failure injection: 5% CRC loss on every QsNet link. The link layer
+	// retransmits in order, so the full protocol stack must still deliver
+	// every byte intact — only slower.
+	lossy := func(rate float64) (float64, int64) {
+		o := ptlelan4.BestOptions(ptlelan4.RDMARead)
+		m := model.Default()
+		m.LinkLossRate = rate
+		spec := cluster.Spec{Elan: &o, Model: &m, Progress: pml.Polling}
+		c := cluster.New(spec, 2)
+		const n = 1 << 20
+		var done float64
+		ok := false
+		c.Launch(func(p *cluster.Proc) {
+			dt := datatype.Contiguous(n)
+			if p.Rank == 0 {
+				buf := make([]byte, n)
+				for i := range buf {
+					buf[i] = byte(i * 13)
+				}
+				p.Stack.Send(p.Th, 1, 0, 0, buf, dt).Wait(p.Th)
+			} else {
+				buf := make([]byte, n)
+				p.Stack.Recv(p.Th, 0, 0, 0, buf, dt).Wait(p.Th)
+				done = p.Th.Now().Micros()
+				ok = true
+				for i := 0; i < n; i += 1009 {
+					if buf[i] != byte(i*13) {
+						ok = false
+						break
+					}
+				}
+			}
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("lossy transfer corrupted data")
+		}
+		return done, c.Net.Retransmits()
+	}
+	clean, r0 := lossy(0)
+	dirty, r5 := lossy(0.05)
+	if r0 != 0 {
+		t.Fatalf("clean run retransmitted %d packets", r0)
+	}
+	if r5 == 0 {
+		t.Fatal("5%% loss produced no retransmissions")
+	}
+	if dirty <= clean {
+		t.Fatalf("loss made the transfer faster (%.1f vs %.1f us)", dirty, clean)
+	}
+	t.Logf("1MB transfer: clean %.1fus, 5%% loss %.1fus (%d retransmits)", clean, dirty, r5)
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int64, float64) {
+		c := cluster.New(elanSpec(), 4)
+		c.Launch(func(p *cluster.Proc) {
+			dt := datatype.Contiguous(10000)
+			buf := make([]byte, 10000)
+			for peer := 0; peer < 4; peer++ {
+				if peer == p.Rank {
+					continue
+				}
+				r := p.Stack.Recv(p.Th, peer, p.Rank, 0, make([]byte, 10000), dt)
+				p.Stack.Send(p.Th, peer, peer, 0, buf, dt)
+				r.Wait(p.Th)
+			}
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.K.Steps(), c.Now().Micros()
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 || t1 != t2 {
+		t.Fatalf("nondeterministic cluster: (%d, %.3f) vs (%d, %.3f)", s1, t1, s2, t2)
+	}
+}

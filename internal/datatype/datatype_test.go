@@ -1,0 +1,190 @@
+package datatype
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fill(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*37 + 11)
+	}
+	return b
+}
+
+func TestContiguous(t *testing.T) {
+	d := Contiguous(100)
+	if d.Size() != 100 || d.Extent() != 100 || !d.Contig() {
+		t.Fatalf("bad contiguous: %v", d)
+	}
+	src := fill(100)
+	dst := make([]byte, 100)
+	if n := d.Pack(dst, src); n != 100 {
+		t.Fatalf("packed %d", n)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("contiguous pack altered data")
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	d := Contiguous(0)
+	if d.Size() != 0 || !d.Contig() {
+		t.Fatalf("bad zero type: %v", d)
+	}
+	if n := d.Pack(nil, nil); n != 0 {
+		t.Fatal("packed bytes from zero type")
+	}
+}
+
+func TestVectorLayout(t *testing.T) {
+	// 3 blocks of 2 bytes every 4 bytes: offsets 0,1, 4,5, 8,9.
+	d := Vector(3, 2, 4, Contiguous(1))
+	if d.Size() != 6 {
+		t.Fatalf("size = %d, want 6", d.Size())
+	}
+	if d.Extent() != 10 {
+		t.Fatalf("extent = %d, want 10", d.Extent())
+	}
+	src := fill(10)
+	dst := make([]byte, 6)
+	d.Pack(dst, src)
+	want := []byte{src[0], src[1], src[4], src[5], src[8], src[9]}
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("pack = %v, want %v", dst, want)
+	}
+}
+
+func TestVectorCoalescesWhenDense(t *testing.T) {
+	// stride == blocklen → one contiguous run.
+	d := Vector(4, 2, 2, Contiguous(1))
+	if !d.Contig() || len(d.Blocks()) != 1 {
+		t.Fatalf("dense vector not coalesced: %v", d)
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	d := Indexed([]int{2, 1}, []int{5, 0}, Contiguous(1))
+	// Packing order follows the index list: bytes 5,6 then 0.
+	src := fill(8)
+	dst := make([]byte, 3)
+	d.Pack(dst, src)
+	want := []byte{src[5], src[6], src[0]}
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("pack = %v, want %v", dst, want)
+	}
+}
+
+func TestStructComposition(t *testing.T) {
+	inner := Vector(2, 1, 3, Contiguous(1)) // offsets 0,3 ; extent 4
+	d := Struct(Field{0, Contiguous(2)}, Field{8, inner})
+	if d.Size() != 4 {
+		t.Fatalf("size = %d, want 4", d.Size())
+	}
+	src := fill(12)
+	dst := make([]byte, 4)
+	d.Pack(dst, src)
+	want := []byte{src[0], src[1], src[8], src[11]}
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("pack = %v, want %v", dst, want)
+	}
+}
+
+func TestPackUnpackRoundTripProperty(t *testing.T) {
+	f := func(count, blocklen, strideExtra uint8) bool {
+		c, bl, se := int(count%16)+1, int(blocklen%8)+1, int(strideExtra%8)
+		d := Vector(c, bl, bl+se, Contiguous(1))
+		src := fill(d.Extent())
+		packed := make([]byte, d.Size())
+		d.Pack(packed, src)
+		out := make([]byte, d.Extent())
+		d.Unpack(out, packed)
+		// Every described byte must round-trip; gaps stay zero.
+		for _, b := range d.Blocks() {
+			if !bytes.Equal(out[b.Off:b.Off+b.Len], src[b.Off:b.Off+b.Len]) {
+				return false
+			}
+		}
+		repacked := make([]byte, d.Size())
+		d.Pack(repacked, out)
+		return bytes.Equal(repacked, packed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: packing fragment-by-fragment through PackSlice equals one-shot
+// Pack, for any fragmentation of the packed stream.
+func TestPackSliceFragmentationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		c, bl, st := rng.Intn(10)+1, rng.Intn(6)+1, 0
+		st = bl + rng.Intn(5)
+		d := Vector(c, bl, st, Contiguous(1))
+		src := fill(d.Extent())
+		want := make([]byte, d.Size())
+		d.Pack(want, src)
+
+		got := make([]byte, d.Size())
+		off := 0
+		for off < d.Size() {
+			ln := rng.Intn(d.Size()-off) + 1
+			frag := make([]byte, ln)
+			if n := d.PackSlice(frag, src, off, ln); n != ln {
+				t.Fatalf("PackSlice returned %d, want %d", n, ln)
+			}
+			copy(got[off:], frag)
+			off += ln
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: fragmented pack differs", trial)
+		}
+
+		// And unpacking the fragments scatters correctly.
+		out := make([]byte, d.Extent())
+		off = 0
+		for off < d.Size() {
+			ln := rng.Intn(d.Size()-off) + 1
+			d.UnpackSlice(out, want[off:off+ln], off, ln)
+			off += ln
+		}
+		for _, b := range d.Blocks() {
+			if !bytes.Equal(out[b.Off:b.Off+b.Len], src[b.Off:b.Off+b.Len]) {
+				t.Fatalf("trial %d: fragmented unpack differs", trial)
+			}
+		}
+	}
+}
+
+func TestWalkSliceBounds(t *testing.T) {
+	d := Contiguous(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range slice")
+		}
+	}()
+	d.PackSlice(make([]byte, 4), make([]byte, 10), 8, 4)
+}
+
+func TestNegativeShapesPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"contig": func() { Contiguous(-1) },
+		"vector": func() { Vector(-1, 1, 1, Contiguous(1)) },
+		"mismatch": func() {
+			Indexed([]int{1}, []int{0, 4}, Contiguous(1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,644 @@
+package elan4
+
+import (
+	"fmt"
+
+	"qsmpi/internal/fabric"
+	"qsmpi/internal/model"
+	"qsmpi/internal/simtime"
+)
+
+// Resolver maps a Quadrics virtual process id (VPID) to its current
+// network location. The run-time environment owns this mapping; keeping it
+// indirect is what allows processes to join, disjoin and migrate while the
+// NIC model stays ignorant of MPI ranks — the decoupling of rank and VPID
+// that §4.1 of the paper introduces.
+type Resolver interface {
+	Resolve(vpid int) (port, ctx int, ok bool)
+}
+
+// Stats counts NIC activity for tests and reports.
+type Stats struct {
+	QDMAs      int64
+	RDMAWrites int64
+	RDMAReads  int64
+	BytesSent  int64
+	Retries    int64
+	Interrupts int64
+	Errors     int64
+}
+
+// NIC is one Elan4 adapter attached to a fabric port. Multiple process
+// contexts can be open on one NIC (ranks sharing a node each claim a
+// context from the system-wide capability).
+type NIC struct {
+	k    *simtime.Kernel
+	host *simtime.Host
+	net  *fabric.Network
+	port int
+	cfg  model.Config
+	res  Resolver
+
+	contexts map[int]*Context
+	engineQ  *simtime.Chan[*dmaOp]
+	firmware Firmware
+
+	// rxPCIFree serializes inbound host-memory placement: the receive side
+	// of the PCI bus is one resource, so a small trailing chunk cannot be
+	// placed before the large chunks ahead of it.
+	rxPCIFree simtime.Time
+
+	stats Stats
+}
+
+// afterRxPCI schedules fn once nbytes have been written to host memory
+// through the (FIFO) inbound PCI path, plus a fixed extra delay.
+func (n *NIC) afterRxPCI(nbytes int, extra simtime.Duration, name string, fn func()) {
+	start := n.k.Now()
+	if n.rxPCIFree > start {
+		start = n.rxPCIFree
+	}
+	done := start.Add(simtime.BytesAt(nbytes, n.cfg.PCIBandwidth)).Add(extra)
+	n.rxPCIFree = done
+	n.k.At(done, name, fn)
+}
+
+// Context is a process's attachment to a NIC: its MMU and receive queues.
+type Context struct {
+	nic    *NIC
+	id     int
+	vpid   int
+	mmu    *MMU
+	queues map[int]*RecvQueue
+	closed bool
+}
+
+type opKind int
+
+const (
+	opQDMA opKind = iota
+	opQDMABcast
+	opRDMAWrite
+	opRDMARead
+	opReadReply
+)
+
+// dmaOp is one descriptor processed by a NIC's DMA engine.
+type dmaOp struct {
+	kind    opKind
+	srcCtx  *Context
+	dstVPID int
+
+	// QDMA
+	queue int
+	data  []byte
+
+	// RDMA
+	localAddr  E4Addr
+	remoteAddr E4Addr
+	n          int
+
+	// Read reply (runs on the target NIC)
+	replyPort int
+	replyOp   *dmaOp // the requester's opRDMARead descriptor
+
+	done    *Event
+	onError func(error)
+	attempt int
+
+	// bcast fan-out: remaining acks before the op completes (1 for
+	// unicast).
+	pending int
+	dsts    []int // broadcast destination VPIDs
+}
+
+func (op *dmaOp) fail(n *NIC, err error) {
+	n.stats.Errors++
+	if op.onError != nil {
+		op.onError(err)
+	}
+}
+
+func (op *dmaOp) complete() {
+	if op.done != nil {
+		op.done.trigger()
+	}
+}
+
+// Wire payload types.
+type qdmaPkt struct {
+	srcVPID, dstVPID int
+	dstCtx           int
+	queue            int
+	data             []byte
+	op               *dmaOp
+	srcPort          int
+}
+
+type rdmaWritePkt struct {
+	dstCtx  int
+	addr    E4Addr
+	data    []byte
+	last    bool
+	op      *dmaOp
+	srcPort int
+}
+
+type rdmaReadReqPkt struct {
+	requesterPort int
+	targetCtx     int
+	srcAddr       E4Addr
+	n             int
+	op            *dmaOp // requester's descriptor
+}
+
+type rdmaReadDataPkt struct {
+	addr E4Addr
+	data []byte
+	last bool
+	op   *dmaOp // requester's descriptor
+	err  error
+}
+
+type ackPkt struct {
+	op  *dmaOp
+	err error
+}
+
+type nackPkt struct {
+	orig *qdmaPkt
+}
+
+// qdmaMaxRetries bounds NACK retries before a QDMA is failed; combined
+// with the backoff this is minutes of virtual time, far beyond any
+// well-formed protocol's queue pressure.
+const qdmaMaxRetries = 10000
+
+// NewNIC creates an Elan4 adapter on fabric port `port` of net, with its
+// DMA engine running. The host is the node the NIC is plugged into; host
+// threads pay issue costs, the NIC's own processing happens off-CPU.
+func NewNIC(k *simtime.Kernel, host *simtime.Host, net *fabric.Network, port int, cfg model.Config, res Resolver) *NIC {
+	n := &NIC{
+		k: k, host: host, net: net, port: port, cfg: cfg, res: res,
+		contexts: make(map[int]*Context),
+		engineQ:  simtime.NewChan[*dmaOp](),
+	}
+	net.Attach(port, n.handlePacket)
+	k.Spawn(fmt.Sprintf("elan4:engine:%d", port), n.engineLoop)
+	return n
+}
+
+// Port returns the fabric port this NIC occupies.
+func (n *NIC) Port() int { return n.port }
+
+// Host returns the node this NIC is installed in.
+func (n *NIC) Host() *simtime.Host { return n.host }
+
+// Stats returns a copy of the activity counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// OpenContext claims context id on this NIC. Claiming a context that is
+// already open panics: the capability allocator (RTE) must hand out
+// distinct contexts.
+func (n *NIC) OpenContext(id int) *Context {
+	return n.OpenContextMMU(id, NewMMU())
+}
+
+// OpenContextMMU claims context id backed by an existing translation
+// table. Multirail configurations open one context per rail NIC sharing a
+// single MMU, so a registration made once is valid on every rail — the
+// same-virtual-address replication real multirail libelan relies on.
+func (n *NIC) OpenContextMMU(id int, mmu *MMU) *Context {
+	if _, dup := n.contexts[id]; dup {
+		panic(fmt.Sprintf("elan4: context %d already open on port %d", id, n.port))
+	}
+	c := &Context{nic: n, id: id, mmu: mmu, queues: make(map[int]*RecvQueue)}
+	n.contexts[id] = c
+	return c
+}
+
+// Close detaches the context. In-flight operations targeting it will NACK
+// or fault, which is exactly why the paper's finalization protocol drains
+// pending messages synchronously before closing.
+func (c *Context) Close() {
+	c.closed = true
+	delete(c.nic.contexts, c.id)
+}
+
+// NIC returns the owning adapter.
+func (c *Context) NIC() *NIC { return c.nic }
+
+// SetVPID records the virtual process id this context is currently known
+// by. The RTE calls it at attach time and again if the process migrates.
+func (c *Context) SetVPID(v int) { c.vpid = v }
+
+// VPID returns the context's current virtual process id.
+func (c *Context) VPID() int { return c.vpid }
+
+// ID returns the context number.
+func (c *Context) ID() int { return c.id }
+
+// Register maps a host buffer for RDMA and returns its E4 address.
+func (c *Context) Register(buf []byte) E4Addr { return c.mmu.Register(buf) }
+
+// Unregister removes a mapping.
+func (c *Context) Unregister(a E4Addr) { c.mmu.Unregister(a) }
+
+// MMU exposes the context's translation table (used by tests).
+func (c *Context) MMU() *MMU { return c.mmu }
+
+// ---- Host-side issue paths ----
+
+// IssueQDMA sends data (≤ QDMAMaxPayload) to queue `queue` of the process
+// currently known as dstVPID. The calling thread pays the command-issue
+// and PIO cost; done (optional) is triggered once the message has been
+// deposited remotely. onError (optional) receives delivery failures.
+func (c *Context) IssueQDMA(th *simtime.Thread, dstVPID, queue int, data []byte, done *Event, onError func(error)) {
+	if len(data) > c.nic.cfg.QDMAMaxPayload {
+		panic(fmt.Sprintf("elan4: QDMA payload %d exceeds %d", len(data), c.nic.cfg.QDMAMaxPayload))
+	}
+	th.Compute(c.nic.cfg.CmdIssue + simtime.BytesAt(len(data), c.nic.cfg.PIOBandwidth))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.enqueueOp(&dmaOp{
+		kind: opQDMA, srcCtx: c, dstVPID: dstVPID, queue: queue,
+		data: cp, done: done, onError: onError, pending: 1,
+	})
+}
+
+// IssueQDMABcast sends one QDMA to queue `queue` of every process in
+// dstVPIDs using the fabric's hardware multicast: the switches replicate
+// the packet, so shared links carry it once. This is QsNet's hardware
+// broadcast; as §4.1 of the paper notes, it requires a synchronized
+// (static) group — dynamic joiners cannot be multicast targets until a
+// new global address space is established, which callers must enforce.
+// done fires after every destination has acknowledged its deposit.
+func (c *Context) IssueQDMABcast(th *simtime.Thread, dstVPIDs []int, queue int, data []byte, done *Event, onError func(error)) {
+	if len(data) > c.nic.cfg.QDMAMaxPayload {
+		panic(fmt.Sprintf("elan4: QDMA payload %d exceeds %d", len(data), c.nic.cfg.QDMAMaxPayload))
+	}
+	if len(dstVPIDs) == 0 {
+		panic("elan4: empty broadcast destination set")
+	}
+	th.Compute(c.nic.cfg.CmdIssue + simtime.BytesAt(len(data), c.nic.cfg.PIOBandwidth))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.enqueueOp(&dmaOp{
+		kind: opQDMABcast, srcCtx: c, queue: queue,
+		data: cp, done: done, onError: onError,
+		pending: len(dstVPIDs), dsts: append([]int(nil), dstVPIDs...),
+	})
+}
+
+// IssueRDMAWrite writes n bytes from the local E4 address src to the
+// remote E4 address dst in dstVPID's address space. done is triggered on
+// network-level completion (data placed and acknowledged).
+func (c *Context) IssueRDMAWrite(th *simtime.Thread, dstVPID int, src, dst E4Addr, n int, done *Event, onError func(error)) {
+	th.Compute(c.nic.cfg.CmdIssue)
+	c.enqueueOp(&dmaOp{
+		kind: opRDMAWrite, srcCtx: c, dstVPID: dstVPID,
+		localAddr: src, remoteAddr: dst, n: n, done: done, onError: onError,
+		pending: 1,
+	})
+}
+
+// IssueRDMARead reads n bytes from the remote E4 address src in dstVPID's
+// address space into the local E4 address dst. done is triggered when all
+// data has arrived locally.
+func (c *Context) IssueRDMARead(th *simtime.Thread, dstVPID int, src, dst E4Addr, n int, done *Event, onError func(error)) {
+	th.Compute(c.nic.cfg.CmdIssue)
+	c.enqueueOp(&dmaOp{
+		kind: opRDMARead, srcCtx: c, dstVPID: dstVPID,
+		remoteAddr: src, localAddr: dst, n: n, done: done, onError: onError,
+		pending: 1,
+	})
+}
+
+// QDMAFromNIC enqueues a QDMA directly on the NIC's DMA engine with no
+// host involvement or cost. It is the building block of chained events:
+// call it from an Event chain closure to fire a QDMA when the event
+// completes. The payload is captured now.
+func (c *Context) QDMAFromNIC(dstVPID, queue int, data []byte, done *Event, onError func(error)) {
+	if len(data) > c.nic.cfg.QDMAMaxPayload {
+		panic(fmt.Sprintf("elan4: QDMA payload %d exceeds %d", len(data), c.nic.cfg.QDMAMaxPayload))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.nic.engineQ.Send(&dmaOp{
+		kind: opQDMA, srcCtx: c, dstVPID: dstVPID, queue: queue,
+		data: cp, done: done, onError: onError,
+	})
+}
+
+// IssueRDMAWriteFromNIC enqueues an RDMA write directly on the DMA engine
+// with no host cost — the chained-event building block for back-to-back
+// RDMA operations (call from an Event chain closure).
+func (c *Context) IssueRDMAWriteFromNIC(dstVPID int, src, dst E4Addr, n int, done *Event, onError func(error)) {
+	c.nic.engineQ.Send(&dmaOp{
+		kind: opRDMAWrite, srcCtx: c, dstVPID: dstVPID,
+		localAddr: src, remoteAddr: dst, n: n, done: done, onError: onError,
+		pending: 1,
+	})
+}
+
+// ChainQDMA arranges for a QDMA to be issued by the NIC itself when ev
+// fires — the chained-event mechanism. No host cost is charged at fire
+// time; the descriptor is prepared now. Chaining replaces an existing
+// chain; to fire several commands, pass a composite closure to ev.Chain
+// using QDMAFromNIC.
+func (c *Context) ChainQDMA(ev *Event, dstVPID, queue int, data []byte, done *Event, onError func(error)) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	ev.Chain(func() { c.QDMAFromNIC(dstVPID, queue, cp, done, onError) })
+}
+
+// ResetEventCountRacy performs the host-side "reset the count and rearm"
+// that Fig. 5(c,d) of the paper shows to be unsound: it overwrites the
+// event count with newCount without synchronizing against in-flight
+// decrements, so completions that arrived since the last fire are lost.
+// It exists so the race is demonstrable; real designs use the shared
+// completion queue instead.
+func (c *Context) ResetEventCountRacy(th *simtime.Thread, ev *Event, newCount int) {
+	th.Compute(c.nic.cfg.CmdIssue)
+	c.nic.k.After(c.nic.cfg.NICDispatch, "elan4:event-reset", func() {
+		ev.setCount(int64(newCount))
+	})
+}
+
+func (c *Context) enqueueOp(op *dmaOp) {
+	n := c.nic
+	n.k.After(n.cfg.NICDispatch, "elan4:dispatch", func() {
+		n.engineQ.Send(op)
+	})
+}
+
+// ---- NIC DMA engine ----
+
+func (n *NIC) engineLoop(p *simtime.Proc) {
+	p.MarkDaemon()
+	for {
+		op := n.engineQ.Recv(p)
+		p.Sleep(n.cfg.DMAStartup)
+		switch op.kind {
+		case opQDMA:
+			n.stats.QDMAs++
+			n.stats.BytesSent += int64(len(op.data))
+			port, ctx, ok := n.res.Resolve(op.dstVPID)
+			if !ok {
+				op.fail(n, fmt.Errorf("elan4: QDMA to unknown VPID %d", op.dstVPID))
+				continue
+			}
+			n.send(port, len(op.data), &qdmaPkt{
+				srcVPID: n.vpidOf(op.srcCtx), dstVPID: op.dstVPID, dstCtx: ctx,
+				queue: op.queue, data: op.data, op: op, srcPort: n.port,
+			})
+
+		case opQDMABcast:
+			n.stats.QDMAs++
+			n.stats.BytesSent += int64(len(op.data))
+			// Resolve every destination up front; the multicast tree is
+			// then built from the ports.
+			ports := make([]int, 0, len(op.dsts))
+			ctxOf := make(map[int]int, len(op.dsts))
+			vpidOf := make(map[int]int, len(op.dsts))
+			failed := 0
+			for _, v := range op.dsts {
+				port, ctx, ok := n.res.Resolve(v)
+				if !ok {
+					failed++
+					continue
+				}
+				ports = append(ports, port)
+				ctxOf[port] = ctx
+				vpidOf[port] = v
+			}
+			if failed > 0 {
+				op.fail(n, fmt.Errorf("elan4: broadcast to %d unknown VPIDs", failed))
+				op.pending -= failed
+			}
+			if len(ports) == 0 {
+				continue
+			}
+			src := n.vpidOf(op.srcCtx)
+			n.net.SendMulti(n.port, len(op.data), ports, func(dst int) any {
+				return &qdmaPkt{
+					srcVPID: src, dstVPID: vpidOf[dst], dstCtx: ctxOf[dst],
+					queue: op.queue, data: op.data, op: op, srcPort: n.port,
+				}
+			}, nil)
+
+		case opRDMAWrite:
+			n.stats.RDMAWrites++
+			port, ctx, ok := n.res.Resolve(op.dstVPID)
+			if !ok {
+				op.fail(n, fmt.Errorf("elan4: RDMA write to unknown VPID %d", op.dstVPID))
+				continue
+			}
+			src, err := op.srcCtx.mmu.Slice(op.localAddr, op.n)
+			if err != nil {
+				op.fail(n, err)
+				continue
+			}
+			n.streamChunks(p, src, op.n, func(off, ln int, last bool) {
+				chunk := make([]byte, ln)
+				copy(chunk, src[off:off+ln])
+				n.stats.BytesSent += int64(ln)
+				n.send(port, ln, &rdmaWritePkt{
+					dstCtx: ctx, addr: op.remoteAddr.Add(off), data: chunk,
+					last: last, op: op, srcPort: n.port,
+				})
+			})
+
+		case opRDMARead:
+			n.stats.RDMAReads++
+			port, ctx, ok := n.res.Resolve(op.dstVPID)
+			if !ok {
+				op.fail(n, fmt.Errorf("elan4: RDMA read from unknown VPID %d", op.dstVPID))
+				continue
+			}
+			// STEN get request: a small packet carrying the descriptor.
+			p.Sleep(n.cfg.RDMAReadRequest)
+			n.send(port, 0, &rdmaReadReqPkt{
+				requesterPort: n.port, targetCtx: ctx,
+				srcAddr: op.remoteAddr, n: op.n, op: op,
+			})
+
+		case opReadReply:
+			// Running on the target NIC: stream the requested data back.
+			tctx := n.contexts[op.srcCtx.id]
+			if tctx == nil || tctx.closed {
+				n.send(op.replyPort, 0, &rdmaReadDataPkt{
+					op: op.replyOp, last: true,
+					err: fmt.Errorf("elan4: read from closed context %d", op.srcCtx.id),
+				})
+				continue
+			}
+			src, err := tctx.mmu.Slice(op.remoteAddr, op.n)
+			if err != nil {
+				n.send(op.replyPort, 0, &rdmaReadDataPkt{op: op.replyOp, last: true, err: err})
+				continue
+			}
+			dst := op.replyOp.localAddr
+			n.streamChunks(p, src, op.n, func(off, ln int, last bool) {
+				chunk := make([]byte, ln)
+				copy(chunk, src[off:off+ln])
+				n.stats.BytesSent += int64(ln)
+				n.send(op.replyPort, ln, &rdmaReadDataPkt{
+					addr: dst.Add(off), data: chunk, last: last, op: op.replyOp,
+				})
+			})
+		}
+	}
+}
+
+// streamChunks walks a transfer in MTU-size chunks, charging the engine's
+// PCI read time per chunk (pipelined against the wire, which queues in the
+// fabric's link model). Zero-length transfers emit one empty final chunk
+// so completion still flows.
+func (n *NIC) streamChunks(p *simtime.Proc, src []byte, total int, emit func(off, ln int, last bool)) {
+	if total == 0 {
+		emit(0, 0, true)
+		return
+	}
+	mtu := n.cfg.MTU
+	for off := 0; off < total; off += mtu {
+		ln := total - off
+		if ln > mtu {
+			ln = mtu
+		}
+		p.Sleep(simtime.BytesAt(ln, n.cfg.PCIBandwidth))
+		emit(off, ln, off+ln == total)
+	}
+}
+
+func (n *NIC) send(port, size int, payload any) {
+	n.net.Send(&fabric.Packet{Src: n.port, Dst: port, Size: size, Payload: payload}, nil)
+}
+
+// vpidOf reports the VPID a local context is currently known by, for
+// stamping message sources. Linear scan via the resolver would invert the
+// mapping; instead contexts learn their VPID at RTE attach time.
+func (n *NIC) vpidOf(c *Context) int {
+	return c.vpid
+}
+
+// ---- NIC receive path ----
+
+func (n *NIC) handlePacket(pkt *fabric.Packet) {
+	if n.firmware != nil && n.firmware.HandlePacket(pkt.Payload) {
+		return
+	}
+	switch m := pkt.Payload.(type) {
+	case *qdmaPkt:
+		n.afterRxPCI(len(m.data), n.cfg.QDMADeliver, "elan4:qdma-deposit", func() {
+			ctx := n.contexts[m.dstCtx]
+			if ctx == nil || ctx.closed {
+				n.reply(m.srcPort, &ackPkt{op: m.op, err: fmt.Errorf("elan4: QDMA to closed context %d", m.dstCtx)})
+				return
+			}
+			q := ctx.queues[m.queue]
+			if q == nil {
+				n.reply(m.srcPort, &ackPkt{op: m.op, err: fmt.Errorf("elan4: QDMA to missing queue %d", m.queue)})
+				return
+			}
+			if !q.deposit(m.srcVPID, m.data) {
+				n.reply(m.srcPort, &nackPkt{orig: m})
+				return
+			}
+			n.reply(m.srcPort, &ackPkt{op: m.op})
+		})
+
+	case *rdmaWritePkt:
+		n.afterRxPCI(len(m.data), 0, "elan4:rdma-write", func() {
+			ctx := n.contexts[m.dstCtx]
+			if ctx == nil || ctx.closed {
+				n.reply(m.srcPort, &ackPkt{op: m.op, err: fmt.Errorf("elan4: RDMA write to closed context %d", m.dstCtx)})
+				return
+			}
+			dst, err := ctx.mmu.Slice(m.addr, len(m.data))
+			if err != nil {
+				n.reply(m.srcPort, &ackPkt{op: m.op, err: err})
+				return
+			}
+			copy(dst, m.data)
+			if m.last {
+				n.reply(m.srcPort, &ackPkt{op: m.op})
+			}
+		})
+
+	case *rdmaReadReqPkt:
+		ctx := n.contexts[m.targetCtx]
+		if ctx == nil {
+			// Fabricate a closed context handle so the engine replies with
+			// an error in its own time.
+			ctx = &Context{nic: n, id: m.targetCtx, closed: true, mmu: NewMMU()}
+		}
+		n.engineQ.Send(&dmaOp{
+			kind: opReadReply, srcCtx: ctx, remoteAddr: m.srcAddr, n: m.n,
+			replyPort: m.requesterPort, replyOp: m.op,
+		})
+
+	case *rdmaReadDataPkt:
+		if m.err != nil {
+			m.op.fail(n, m.err)
+			return
+		}
+		n.afterRxPCI(len(m.data), 0, "elan4:read-data", func() {
+			dst, err := m.op.srcCtx.mmu.Slice(m.addr, len(m.data))
+			if err != nil {
+				m.op.fail(n, err)
+				return
+			}
+			copy(dst, m.data)
+			if m.last {
+				m.op.complete()
+			}
+		})
+
+	case *ackPkt:
+		if m.err != nil {
+			m.op.fail(n, m.err)
+			return
+		}
+		m.op.pending--
+		if m.op.pending <= 0 {
+			m.op.complete()
+		}
+
+	case *nackPkt:
+		m.orig.op.attempt++
+		if m.orig.op.attempt > qdmaMaxRetries {
+			m.orig.op.fail(n, fmt.Errorf("elan4: QDMA retries exhausted to VPID %d", m.orig.dstVPID))
+			return
+		}
+		n.stats.Retries++
+		backoff := 10 * n.cfg.WireLatency
+		if backoff < simtime.Microsecond {
+			backoff = simtime.Microsecond
+		}
+		n.k.After(backoff, "elan4:qdma-retry", func() {
+			// Re-resolve: the destination may have moved or reappeared.
+			port, ctx, ok := n.res.Resolve(m.orig.dstVPID)
+			if !ok {
+				m.orig.op.fail(n, fmt.Errorf("elan4: QDMA retry to unknown VPID %d", m.orig.dstVPID))
+				return
+			}
+			m.orig.dstCtx = ctx
+			n.send(port, len(m.orig.data), m.orig)
+		})
+
+	default:
+		panic(fmt.Sprintf("elan4: unknown packet payload %T", pkt.Payload))
+	}
+}
+
+// reply sends a small control packet back to a source NIC. Acks ride the
+// reverse path as zero-size packets.
+func (n *NIC) reply(port int, payload any) {
+	n.net.Send(&fabric.Packet{Src: n.port, Dst: port, Size: 0, Payload: payload}, nil)
+}
+
+func (n *NIC) raiseInterrupt(sig *simtime.Signal) {
+	n.stats.Interrupts++
+	n.k.After(n.cfg.InterruptLatency, "elan4:irq", sig.Fire)
+}

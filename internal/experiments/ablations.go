@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qsmpi/internal/cluster"
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/elan4"
+	"qsmpi/internal/fabric"
+	"qsmpi/internal/libelan"
+	"qsmpi/internal/model"
+	"qsmpi/internal/mpi"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptlelan4"
+	"qsmpi/internal/simtime"
+)
+
+// Ablations beyond the paper's figures: sweeps over the design parameters
+// DESIGN.md calls out (eager threshold, rail count, queue depth, fabric
+// scale, hardware vs software broadcast). Each returns a Result in the
+// same format as the figures.
+
+// AblationEagerThreshold sweeps the eager/rendezvous switch point. The
+// paper fixes it at 1984 (one QDMA slot minus the header); the sweep shows
+// the latency cliff a too-small threshold creates.
+func AblationEagerThreshold() *Result {
+	thresholds := []int{256, 512, 1024, 1984}
+	sizes := []int{512, 1024, 1984}
+	r := &Result{
+		ID:     "ablate-eager",
+		Title:  "Eager threshold vs latency",
+		XLabel: "bytes",
+		YLabel: "latency us",
+	}
+	for _, th := range thresholds {
+		th := th
+		opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
+		opts.EagerLimit = th
+		r.Series = append(r.Series, sweep(fmt.Sprintf("eager=%d", th), sizes, func(n int) float64 {
+			return OpenMPIPingPong(elanSpec(opts, false, pml.Polling), n, Iters)
+		}))
+	}
+	return r
+}
+
+// AblationMultirail compares one and two Quadrics rails (the paper's
+// future-work item) on large-message bandwidth under the write scheme.
+func AblationMultirail() *Result {
+	sizes := []int{16384, 65536, 262144, 1048576}
+	r := &Result{
+		ID:     "ablate-multirail",
+		Title:  "Multirail Quadrics bandwidth (RDMA write)",
+		XLabel: "bytes",
+		YLabel: "MB/s",
+	}
+	for _, rails := range []int{1, 2} {
+		rails := rails
+		r.Series = append(r.Series, sweep(fmt.Sprintf("%d-rail", rails), sizes, func(n int) float64 {
+			opts := ptlelan4.BestOptions(ptlelan4.RDMAWrite)
+			spec := cluster.Spec{Elan: &opts, ElanRails: rails, Progress: pml.Polling}
+			lat := OpenMPIPingPong(spec, n, fig10Iters(n))
+			return toBW(n, lat)
+		}))
+	}
+	return r
+}
+
+// AblationFatTreeScale measures zero-byte and 4 KB latency between the
+// most distant nodes as the fat tree grows (1, 2 and 3 switch levels with
+// the radix-8 Elite-4 building block).
+func AblationFatTreeScale() *Result {
+	nodesList := []int{2, 8, 64}
+	r := &Result{
+		ID:     "ablate-fattree",
+		Title:  "Fat-tree scale vs far-corner latency",
+		XLabel: "nodes",
+		YLabel: "latency us",
+	}
+	for _, size := range []int{0, 4096} {
+		size := size
+		s := Series{Name: fmt.Sprintf("%dB", size)}
+		for _, nodes := range nodesList {
+			s.Points = append(s.Points, Point{Size: nodes, Value: farCornerLatency(nodes, size)})
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r
+}
+
+// farCornerLatency runs a ping-pong between node 0 and node n-1 of an
+// n-node cluster.
+func farCornerLatency(nodes, size int) float64 {
+	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	spec := cluster.Spec{Elan: &opts, Nodes: nodes, Progress: pml.Polling}
+	c := cluster.New(spec, nodes)
+	var total simtime.Duration
+	iters := Iters / 2
+	if iters < 10 {
+		iters = 10
+	}
+	c.Launch(func(p *cluster.Proc) {
+		far := nodes - 1
+		if p.Rank != 0 && p.Rank != far {
+			return
+		}
+		dt := datatype.Contiguous(size)
+		buf := make([]byte, size)
+		if p.Rank == 0 {
+			for i := 0; i < Warmup+iters; i++ {
+				start := p.Th.Now()
+				p.Stack.Send(p.Th, far, 1, 0, buf, dt).Wait(p.Th)
+				p.Stack.Recv(p.Th, far, 2, 0, buf, dt).Wait(p.Th)
+				if i >= Warmup {
+					total += p.Th.Now().Sub(start)
+				}
+			}
+		} else {
+			for i := 0; i < Warmup+iters; i++ {
+				p.Stack.Recv(p.Th, 0, 1, 0, buf, dt).Wait(p.Th)
+				p.Stack.Send(p.Th, 0, 2, 0, buf, dt).Wait(p.Th)
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+	return total.Micros() / float64(iters) / 2
+}
+
+// AblationQueueSlots measures QDMA retries as the receive-queue depth
+// (QSLOTS) shrinks under an incast burst: 7 senders, one slow receiver.
+func AblationQueueSlots() *Result {
+	r := &Result{
+		ID:     "ablate-qslots",
+		Title:  "Receive-queue depth vs NACK retries (7-to-1 incast)",
+		XLabel: "slots",
+		YLabel: "retries",
+	}
+	s := Series{Name: "retries"}
+	d := Series{Name: "drain-time-us"}
+	for _, slots := range []int{2, 4, 16, 64} {
+		retries, drain := incastRetries(slots)
+		s.Points = append(s.Points, Point{Size: slots, Value: float64(retries)})
+		d.Points = append(d.Points, Point{Size: slots, Value: drain})
+	}
+	r.Series = append(r.Series, s, d)
+	return r
+}
+
+func incastRetries(slots int) (int64, float64) {
+	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	opts.QueueSlots = slots
+	const nodes = 8
+	const perSender = 16
+	spec := cluster.Spec{Elan: &opts, Progress: pml.Polling}
+	c := cluster.New(spec, nodes)
+	var drainAt simtime.Time
+	c.Launch(func(p *cluster.Proc) {
+		dt := datatype.Contiguous(512)
+		if p.Rank == 0 {
+			// Slow receiver: post receives late so the queue backs up.
+			p.Th.Proc().Sleep(200 * simtime.Microsecond)
+			for src := 1; src < nodes; src++ {
+				for i := 0; i < perSender; i++ {
+					buf := make([]byte, 512)
+					p.Stack.Recv(p.Th, src, i, 0, buf, dt).Wait(p.Th)
+				}
+			}
+			drainAt = p.Th.Now()
+			return
+		}
+		for i := 0; i < perSender; i++ {
+			p.Stack.Send(p.Th, 0, i, 0, make([]byte, 512), dt)
+		}
+		for p.Stack.PendingSends() > 0 {
+			p.Stack.Progress(p.Th)
+			v := p.Stack.Activity().Value()
+			if p.Stack.PendingSends() == 0 {
+				break
+			}
+			p.Stack.Activity().WaitFor(p.Th.Proc(), v+1)
+		}
+	})
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+	var retries int64
+	for _, nic := range c.NICs {
+		retries += nic.Stats().Retries
+	}
+	return retries, drainAt.Micros()
+}
+
+// AblationHWBcast compares QsNet hardware broadcast (switch-replicated
+// QDMA multicast) against the software binomial-tree broadcast for 1 KB
+// payloads across group sizes — the benefit §4.1 says dynamically joined
+// processes must forgo.
+func AblationHWBcast() *Result {
+	r := &Result{
+		ID:     "ablate-hwbcast",
+		Title:  "Hardware vs software broadcast (1KB)",
+		XLabel: "nodes",
+		YLabel: "latency us",
+	}
+	hw := Series{Name: "hardware"}
+	sw := Series{Name: "software-binomial"}
+	for _, nodes := range []int{2, 4, 8, 16} {
+		hw.Points = append(hw.Points, Point{Size: nodes, Value: hwBcastLatency(nodes, 1024)})
+		sw.Points = append(sw.Points, Point{Size: nodes, Value: swBcastLatency(nodes, 1024)})
+	}
+	r.Series = append(r.Series, hw, sw)
+	return r
+}
+
+// hwBcastLatency measures a root's hardware broadcast until every leaf
+// has consumed its copy, using libelan directly (a static, synchronized
+// group — the precondition the paper states).
+func hwBcastLatency(nodes, size int) float64 {
+	cfg := model.Default()
+	k := simtime.NewKernel()
+	net := fabric.New(k, fabric.Params{
+		LinkBandwidth: cfg.LinkBandwidth, WireLatency: cfg.WireLatency,
+		SwitchLatency: cfg.SwitchLatency, MTU: cfg.MTU,
+		PacketOverhead: cfg.PacketOverhead, Arity: cfg.FatTreeRadix,
+	}, nodes)
+	res := staticResolver{}
+	var states []*libelan.State
+	var hosts []*simtime.Host
+	for i := 0; i < nodes; i++ {
+		h := simtime.NewHost(k, fmt.Sprintf("n%d", i), cfg.HostCPUs)
+		nic := elan4.NewNIC(k, h, net, i, cfg, res)
+		ctx := nic.OpenContext(0)
+		ctx.SetVPID(i)
+		res[i] = [2]int{i, 0}
+		hosts = append(hosts, h)
+		states = append(states, libelan.Attach(ctx, cfg))
+	}
+	queues := make([]*libelan.Queue, nodes)
+	for i := 1; i < nodes; i++ {
+		queues[i] = states[i].NewQueue(1, 8)
+	}
+	dsts := make([]int, 0, nodes-1)
+	for i := 1; i < nodes; i++ {
+		dsts = append(dsts, i)
+	}
+	payload := make([]byte, size)
+	var last simtime.Time
+	hosts[0].Spawn("root", func(th *simtime.Thread) {
+		states[0].BcastQDMA(th, dsts, 1, payload, nil, nil)
+	})
+	for i := 1; i < nodes; i++ {
+		i := i
+		hosts[i].Spawn("leaf", func(th *simtime.Thread) {
+			queues[i].Recv(th, libelan.Poll)
+			if th.Now() > last {
+				last = th.Now()
+			}
+		})
+	}
+	k.Run()
+	return last.Micros()
+}
+
+// swBcastLatency measures the binomial-tree mpi.Bcast over the full stack.
+func swBcastLatency(nodes, size int) float64 {
+	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	c := cluster.New(cluster.Spec{Elan: &opts, Progress: pml.Polling}, nodes)
+	uni := mpi.NewUniverse()
+	var last simtime.Time
+	var startAt simtime.Time
+	c.Launch(func(p *cluster.Proc) {
+		w := mpi.NewWorld(p.Th, p.Stack, uni, p.Rank, nodes)
+		w.Comm().Barrier()
+		if p.Rank == 0 {
+			startAt = p.Th.Now()
+		}
+		buf := make([]byte, size)
+		w.Comm().Bcast(0, buf, datatype.Contiguous(size))
+		if p.Th.Now() > last {
+			last = p.Th.Now()
+		}
+	})
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+	return (last - startAt).Micros()
+}
+
+// Ablations runs every ablation.
+func Ablations() []*Result {
+	return []*Result{
+		AblationEagerThreshold(),
+		AblationMultirail(),
+		AblationFatTreeScale(),
+		AblationQueueSlots(),
+		AblationHWBcast(),
+	}
+}

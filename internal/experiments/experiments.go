@@ -1,0 +1,258 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6): the series names, workloads and parameter sweeps match
+// the paper, and the cmd/elan4bench and cmd/ompibench tools print the same
+// rows the figures plot. Absolute microseconds come from the calibrated
+// model; the claims reproduced are the relationships between
+// configurations (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"qsmpi/internal/cluster"
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/elan4"
+	"qsmpi/internal/fabric"
+	"qsmpi/internal/libelan"
+	"qsmpi/internal/model"
+	"qsmpi/internal/mpichq"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptlelan4"
+	"qsmpi/internal/simtime"
+)
+
+// Warmup iterations before timing starts (the paper uses 100 on real
+// hardware; the simulator is deterministic, so a handful suffices to
+// populate registration and queue state).
+const Warmup = 10
+
+// Point is one (message size, value) sample.
+type Point struct {
+	Size  int
+	Value float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Result is one reproduced figure or table panel.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// CSV formats the result as comma-separated values for plotting tools:
+// a header row of series names, then one row per size.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, ",%s", s.Name)
+	}
+	b.WriteByte('\n')
+	if len(r.Series) == 0 {
+		return b.String()
+	}
+	for i, p := range r.Series[0].Points {
+		fmt.Fprintf(&b, "%d", p.Size)
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, ",%.4f", s.Points[i].Value)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render formats the result as an aligned text table, sizes down the rows
+// and series across the columns.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "%-10s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " %21s", s.Name)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", r.YLabel)
+	if len(r.Series) == 0 {
+		return b.String()
+	}
+	for i, p := range r.Series[0].Points {
+		fmt.Fprintf(&b, "%-10d", p.Size)
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, " %21.2f", s.Points[i].Value)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---- measurement harnesses ----
+
+// OpenMPIPingPong measures mean half-round-trip latency (µs) of the Open
+// MPI stack for one size under a spec.
+func OpenMPIPingPong(spec cluster.Spec, size, iters int) float64 {
+	lat, _ := openMPITraced(spec, size, iters, false)
+	return lat
+}
+
+// OpenMPILayered measures both the half-round-trip latency and the mean
+// PML-layer cost (§6.3) for one size.
+func OpenMPILayered(spec cluster.Spec, size, iters int) (total, pmlCost float64) {
+	return openMPITraced(spec, size, iters, true)
+}
+
+func openMPITraced(spec cluster.Spec, size, iters int, trace bool) (float64, float64) {
+	c := cluster.New(spec, 2)
+	var total simtime.Duration
+	var traces []*pml.LayerTrace
+	c.Launch(func(p *cluster.Proc) {
+		if trace {
+			p.Stack.Trace = &pml.LayerTrace{}
+			traces = append(traces, p.Stack.Trace)
+		}
+		dt := datatype.Contiguous(size)
+		buf := make([]byte, size)
+		scratch := make([]byte, size)
+		if p.Rank == 0 {
+			for i := 0; i < Warmup+iters; i++ {
+				start := p.Th.Now()
+				p.Stack.Send(p.Th, 1, 1, 0, buf, dt).Wait(p.Th)
+				p.Stack.Recv(p.Th, 1, 2, 0, scratch, dt).Wait(p.Th)
+				if i >= Warmup {
+					total += p.Th.Now().Sub(start)
+				}
+			}
+		} else {
+			for i := 0; i < Warmup+iters; i++ {
+				p.Stack.Recv(p.Th, 0, 1, 0, scratch, dt).Wait(p.Th)
+				p.Stack.Send(p.Th, 0, 2, 0, buf, dt).Wait(p.Th)
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	lat := total.Micros() / float64(iters) / 2
+	if !trace {
+		return lat, 0
+	}
+	var pmlSum float64
+	var n int
+	for _, tr := range traces {
+		if tr.Count > 0 {
+			pmlSum += tr.Mean()
+			n++
+		}
+	}
+	if n > 0 {
+		pmlSum /= float64(n)
+	}
+	return lat, pmlSum
+}
+
+// TportPingPong measures mean half-round-trip latency (µs) of the
+// MPICH-QsNetII baseline.
+func TportPingPong(size, iters int) float64 {
+	j := mpichq.NewJob(2, nil)
+	var total simtime.Duration
+	j.Launch(func(rank int, th *simtime.Thread, c *mpichq.Comm) {
+		buf := make([]byte, size)
+		scratch := make([]byte, size)
+		if rank == 0 {
+			for i := 0; i < Warmup+iters; i++ {
+				start := th.Now()
+				c.Send(th, 1, 1, buf)
+				c.Recv(th, 1, 2, scratch)
+				if i >= Warmup {
+					total += th.Now().Sub(start)
+				}
+			}
+		} else {
+			for i := 0; i < Warmup+iters; i++ {
+				c.Recv(th, 0, 1, scratch)
+				c.Send(th, 0, 2, buf)
+			}
+		}
+	})
+	if err := j.Run(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return total.Micros() / float64(iters) / 2
+}
+
+// QDMAPingPong measures native Quadrics QDMA half-round-trip latency (µs):
+// the Fig. 9 baseline the PTL is compared against.
+func QDMAPingPong(size, iters int) float64 {
+	cfg := model.Default()
+	if size > cfg.QDMAMaxPayload {
+		panic("experiments: QDMA size above hardware limit")
+	}
+	k := simtime.NewKernel()
+	net := fabric.New(k, fabric.Params{
+		LinkBandwidth: cfg.LinkBandwidth, WireLatency: cfg.WireLatency,
+		SwitchLatency: cfg.SwitchLatency, MTU: cfg.MTU,
+		PacketOverhead: cfg.PacketOverhead, Arity: cfg.FatTreeRadix,
+	}, 2)
+	res := map[int][2]int{0: {0, 0}, 1: {1, 0}}
+	resolver := staticResolver(res)
+	var states []*libelan.State
+	var hosts []*simtime.Host
+	for i := 0; i < 2; i++ {
+		h := simtime.NewHost(k, fmt.Sprintf("n%d", i), cfg.HostCPUs)
+		nic := elan4.NewNIC(k, h, net, i, cfg, resolver)
+		ctx := nic.OpenContext(0)
+		ctx.SetVPID(i)
+		hosts = append(hosts, h)
+		states = append(states, libelan.Attach(ctx, cfg))
+	}
+	q0 := states[0].NewQueue(1, 64)
+	q1 := states[1].NewQueue(1, 64)
+	payload := make([]byte, size)
+	var total simtime.Duration
+	hosts[0].Spawn("ping", func(th *simtime.Thread) {
+		for i := 0; i < Warmup+iters; i++ {
+			start := th.Now()
+			states[0].QDMA(th, 1, 1, payload, nil, nil)
+			q0.Recv(th, libelan.Poll)
+			if i >= Warmup {
+				total += th.Now().Sub(start)
+			}
+		}
+	})
+	hosts[1].Spawn("pong", func(th *simtime.Thread) {
+		for i := 0; i < Warmup+iters; i++ {
+			q1.Recv(th, libelan.Poll)
+			states[1].QDMA(th, 0, 1, payload, nil, nil)
+		}
+	})
+	k.Run()
+	return total.Micros() / float64(iters) / 2
+}
+
+type staticResolver map[int][2]int
+
+func (r staticResolver) Resolve(v int) (int, int, bool) {
+	e, ok := r[v]
+	return e[0], e[1], ok
+}
+
+// ---- configuration builders ----
+
+func elanSpec(opts ptlelan4.Options, dtp bool, progress pml.ProgressMode) cluster.Spec {
+	return cluster.Spec{Elan: &opts, DTP: dtp, Progress: progress}
+}
+
+// base returns the Fig. 7 baseline for a scheme: inlined rendezvous data,
+// chained completion, no shared CQ, memcpy datatype path.
+func base(scheme ptlelan4.Scheme) ptlelan4.Options {
+	o := ptlelan4.BestOptions(scheme)
+	o.InlineRndv = true
+	return o
+}

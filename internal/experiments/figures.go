@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptlelan4"
+)
+
+// Sweep sizes matching the figures' x-axes.
+var (
+	// Fig7SmallSizes: panel (a), very small messages.
+	Fig7SmallSizes = []int{0, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	// Fig7LargeSizes: panel (b), around the 1984-byte eager threshold.
+	Fig7LargeSizes = []int{512, 1024, 2048, 4096}
+	// Fig8Sizes: chained-DMA / completion-queue sweep.
+	Fig8Sizes = []int{0, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+	// Fig9Sizes: layering analysis, up to the eager threshold.
+	Fig9Sizes = []int{0, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 1984}
+	// Fig10SmallSizes / Fig10LargeSizes: overall comparison.
+	Fig10SmallSizes = []int{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	Fig10LargeSizes = []int{2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288, 1048576}
+)
+
+// Iters is the per-size timing iteration count used by the figure sweeps.
+var Iters = 100
+
+func sweep(name string, sizes []int, measure func(size int) float64) Series {
+	s := Series{Name: name}
+	for _, n := range sizes {
+		s.Points = append(s.Points, Point{Size: n, Value: measure(n)})
+	}
+	return s
+}
+
+// Fig7 reproduces "Performance Analysis of Basic RDMA Read and Write":
+// the six series over the two panels' size ranges.
+func Fig7(sizes []int, panel string) *Result {
+	mk := func(opts ptlelan4.Options, dtp bool) func(int) float64 {
+		return func(n int) float64 {
+			return OpenMPIPingPong(elanSpec(opts, dtp, pml.Polling), n, Iters)
+		}
+	}
+	read := base(ptlelan4.RDMARead)
+	readNoInline := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	write := base(ptlelan4.RDMAWrite)
+	writeNoInline := ptlelan4.BestOptions(ptlelan4.RDMAWrite)
+	return &Result{
+		ID:     "fig7" + panel,
+		Title:  "Performance Analysis of Basic RDMA Read and Write (" + panel + ")",
+		XLabel: "bytes",
+		YLabel: "latency us",
+		Series: []Series{
+			sweep("RDMA-Read", sizes, mk(read, false)),
+			sweep("Read-NoInline", sizes, mk(readNoInline, false)),
+			sweep("Read-DTP", sizes, mk(read, true)),
+			sweep("RDMA-Write", sizes, mk(write, false)),
+			sweep("Write-NoInline", sizes, mk(writeNoInline, false)),
+			sweep("Write-DTP", sizes, mk(write, true)),
+		},
+	}
+}
+
+// Fig8 reproduces "Performance Analysis with Chained DMA and Shared
+// Completion Queue" (RDMA read based, per §6.2).
+func Fig8() *Result {
+	mk := func(opts ptlelan4.Options) func(int) float64 {
+		return func(n int) float64 {
+			return OpenMPIPingPong(elanSpec(opts, false, pml.Polling), n, Iters)
+		}
+	}
+	chained := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	noChain := chained
+	noChain.ChainFin = false
+	oneQ := chained
+	oneQ.CQ = ptlelan4.OneQueue
+	twoQ := chained
+	twoQ.CQ = ptlelan4.TwoQueue
+	return &Result{
+		ID:     "fig8",
+		Title:  "Chained DMA and Shared Completion Queue",
+		XLabel: "bytes",
+		YLabel: "latency us",
+		Series: []Series{
+			sweep("RDMA-Read", Fig8Sizes, mk(chained)),
+			sweep("Read-NoChain", Fig8Sizes, mk(noChain)),
+			sweep("One-Queue", Fig8Sizes, mk(oneQ)),
+			sweep("Two-Queue", Fig8Sizes, mk(twoQ)),
+		},
+	}
+}
+
+// Fig9 reproduces "Analysis of Communication Overhead in Different
+// Layers": native QDMA latency, the PTL-layer latency and the PML-layer
+// cost, all per half round trip.
+func Fig9() *Result {
+	spec := elanSpec(ptlelan4.BestOptions(ptlelan4.RDMARead), false, pml.Polling)
+	qdma := sweep("QDMA latency", Fig9Sizes, func(n int) float64 {
+		return QDMAPingPong(n, Iters)
+	})
+	var ptlLat, pmlCost Series
+	ptlLat.Name = "PTL Latency"
+	pmlCost.Name = "PML Layer Cost"
+	for _, n := range Fig9Sizes {
+		total, pmlc := OpenMPILayered(spec, n, Iters)
+		ptlLat.Points = append(ptlLat.Points, Point{Size: n, Value: total - pmlc})
+		pmlCost.Points = append(pmlCost.Points, Point{Size: n, Value: pmlc})
+	}
+	return &Result{
+		ID:     "fig9",
+		Title:  "Communication Overhead in Different Layers",
+		XLabel: "bytes",
+		YLabel: "latency us",
+		Series: []Series{qdma, ptlLat, pmlCost},
+	}
+}
+
+// Table1 reproduces "Performance Analysis of Thread-Based Asynchronous
+// Progress": Basic / Interrupt / One Thread / Two Threads at 4 B and
+// 4 KB over the RDMA-read scheme.
+func Table1() *Result {
+	basic := func(n int) float64 {
+		return OpenMPIPingPong(elanSpec(ptlelan4.BestOptions(ptlelan4.RDMARead), false, pml.Polling), n, Iters)
+	}
+	interrupt := func(n int) float64 {
+		o := ptlelan4.BestOptions(ptlelan4.RDMARead)
+		o.CQ = ptlelan4.OneQueue
+		return OpenMPIPingPong(elanSpec(o, false, pml.InterruptWait), n, Iters)
+	}
+	oneThread := func(n int) float64 {
+		o := ptlelan4.BestOptions(ptlelan4.RDMARead)
+		o.CQ = ptlelan4.OneQueue
+		o.Threads = 1
+		return OpenMPIPingPong(elanSpec(o, false, pml.Threaded), n, Iters)
+	}
+	twoThreads := func(n int) float64 {
+		o := ptlelan4.BestOptions(ptlelan4.RDMARead)
+		o.CQ = ptlelan4.TwoQueue
+		o.Threads = 2
+		return OpenMPIPingPong(elanSpec(o, false, pml.Threaded), n, Iters)
+	}
+	sizes := []int{4, 4096}
+	return &Result{
+		ID:     "table1",
+		Title:  "Thread-Based Asynchronous Progress (RDMA-Read)",
+		XLabel: "bytes",
+		YLabel: "latency us",
+		Series: []Series{
+			sweep("Basic", sizes, basic),
+			sweep("Interrupt", sizes, interrupt),
+			sweep("One Thread", sizes, oneThread),
+			sweep("Two Threads", sizes, twoThreads),
+		},
+	}
+}
+
+// fig10Iters shrinks iteration counts for the big-message sweep to keep
+// event counts reasonable.
+func fig10Iters(n int) int {
+	switch {
+	case n >= 1<<19:
+		return 20
+	case n >= 1<<16:
+		return 40
+	default:
+		return Iters
+	}
+}
+
+// Fig10 reproduces "Overall Performance of Open MPI over Quadrics/Elan4":
+// latency and bandwidth versus MPICH-QsNetII, small and large panels. The
+// best PTL options of §6.5 are used: chained completion, polling without a
+// shared completion queue, rendezvous without inlined data.
+func Fig10(sizes []int, panel string, bandwidth bool) *Result {
+	mpich := func(n int) float64 {
+		l := TportPingPong(n, fig10Iters(n))
+		if bandwidth {
+			return toBW(n, l)
+		}
+		return l
+	}
+	openmpi := func(scheme ptlelan4.Scheme) func(int) float64 {
+		return func(n int) float64 {
+			l := OpenMPIPingPong(elanSpec(ptlelan4.BestOptions(scheme), false, pml.Polling), n, fig10Iters(n))
+			if bandwidth {
+				return toBW(n, l)
+			}
+			return l
+		}
+	}
+	metric := "latency us"
+	if bandwidth {
+		metric = "MB/s"
+	}
+	return &Result{
+		ID:     "fig10" + panel,
+		Title:  "Open MPI over Quadrics/Elan4 vs MPICH-QsNetII (" + panel + ")",
+		XLabel: "bytes",
+		YLabel: metric,
+		Series: []Series{
+			sweep("MPICH-QsNetII", sizes, mpich),
+			sweep("PTL/Elan4-RDMA-Read", sizes, openmpi(ptlelan4.RDMARead)),
+			sweep("PTL/Elan4-RDMA-Write", sizes, openmpi(ptlelan4.RDMAWrite)),
+		},
+	}
+}
+
+// toBW converts a half-round-trip latency (µs) into MB/s.
+func toBW(n int, halfRTus float64) float64 {
+	if halfRTus <= 0 {
+		return 0
+	}
+	return float64(n) / halfRTus // bytes/µs == MB/s
+}
+
+// All regenerates every figure and table in paper order.
+func All() []*Result {
+	return []*Result{
+		Fig7(Fig7SmallSizes, "a"),
+		Fig7(Fig7LargeSizes, "b"),
+		Fig8(),
+		Fig9(),
+		Table1(),
+		Fig10(Fig10SmallSizes, "a-latency", false),
+		Fig10(Fig10LargeSizes, "b-latency", false),
+		Fig10(Fig10SmallSizes, "c-bandwidth", true),
+		Fig10(Fig10LargeSizes, "d-bandwidth", true),
+	}
+}

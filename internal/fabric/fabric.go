@@ -1,0 +1,350 @@
+// Package fabric models a QsNetII-style switched interconnect: a fat tree
+// of crossbar switches with cut-through (wormhole) routing, per-link FIFO
+// serialization and full-bisection "fat" up-links. The same machinery with
+// different parameters models the Ethernet that the TCP baseline PTL runs
+// over.
+//
+// The fabric carries opaque packets between numbered ports (one port per
+// NIC). It is purely event-driven: a Send computes the packet's path,
+// reserves each link for its serialization time, and schedules delivery at
+// the receiving port's handler. Packets between the same pair of ports are
+// delivered in send order (deterministic routing, FIFO links).
+package fabric
+
+import (
+	"fmt"
+
+	"qsmpi/internal/simtime"
+)
+
+// Params describes one fabric's physical characteristics.
+type Params struct {
+	// LinkBandwidth is the payload rate of a base (node-to-switch) link,
+	// in bytes/second. Up-links between switch levels are "fat": level l
+	// carries Arity^l times this rate, preserving full bisection.
+	LinkBandwidth float64
+	// WireLatency is the propagation delay of one link.
+	WireLatency simtime.Duration
+	// SwitchLatency is the crossing time of one switch crossbar.
+	SwitchLatency simtime.Duration
+	// MTU is the largest payload a single packet may carry. Senders (NIC
+	// DMA engines) chunk larger transfers.
+	MTU int
+	// PacketOverhead is header/CRC bytes added to every packet on the wire.
+	PacketOverhead int
+	// Arity is the fan-out of each switch level (ports per side). A
+	// quaternary fat tree has arity 4.
+	Arity int
+	// LossRate is the per-packet probability of a CRC error on the path.
+	// QsNet's link layer detects and retransmits corrupted packets
+	// in order (stop-and-go on the link), so a loss costs an extra
+	// serialization pass plus RetryDelay but never reaches software and
+	// never reorders — which is how the hardware keeps the reliable,
+	// in-order guarantee upper layers assume.
+	LossRate float64
+	// RetryDelay is the link-level retransmission turnaround.
+	RetryDelay simtime.Duration
+}
+
+// Packet is one wire packet. Payload is opaque to the fabric.
+type Packet struct {
+	Src, Dst int // port numbers
+	Size     int // payload bytes (≤ MTU)
+	Payload  any
+}
+
+// Handler receives packets delivered to a port.
+type Handler func(pkt *Packet)
+
+// link is a directed link with FIFO serialization.
+type link struct {
+	name     string
+	bw       float64 // bytes/sec
+	nextFree simtime.Time
+	// stats
+	packets int64
+	bytes   int64
+}
+
+// Network is a fat-tree fabric connecting a fixed number of ports.
+type Network struct {
+	k        *simtime.Kernel
+	p        Params
+	nports   int
+	arity    int
+	levels   int
+	handlers []Handler
+
+	up   map[string]*link // directed links, keyed by name
+	down map[string]*link
+
+	sent        int64
+	delivered   int64
+	retransmits int64
+}
+
+// New builds a fabric with nports ports. The tree has as many levels as
+// needed for the arity; eight nodes on an arity-8 radix fit under a single
+// switch, matching the paper's QS-8A testbed.
+func New(k *simtime.Kernel, p Params, nports int) *Network {
+	if nports < 1 {
+		panic("fabric: need at least one port")
+	}
+	if p.Arity < 2 {
+		p.Arity = 4
+	}
+	if p.MTU <= 0 {
+		panic("fabric: MTU must be positive")
+	}
+	n := &Network{
+		k:        k,
+		p:        p,
+		nports:   nports,
+		arity:    p.Arity,
+		handlers: make([]Handler, nports),
+		up:       make(map[string]*link),
+		down:     make(map[string]*link),
+	}
+	n.levels = 1
+	capacity := n.arity
+	for capacity < nports {
+		capacity *= n.arity
+		n.levels++
+	}
+	return n
+}
+
+// Ports returns the number of ports.
+func (n *Network) Ports() int { return n.nports }
+
+// Params returns the fabric parameters.
+func (n *Network) Params() Params { return n.p }
+
+// Attach installs the receive handler for port id. A port has exactly one
+// owner; attaching twice indicates two NICs (or transports) claiming the
+// same physical port and panics.
+func (n *Network) Attach(id int, h Handler) {
+	if id < 0 || id >= n.nports {
+		panic(fmt.Sprintf("fabric: attach to invalid port %d", id))
+	}
+	if n.handlers[id] != nil {
+		panic(fmt.Sprintf("fabric: port %d already attached", id))
+	}
+	n.handlers[id] = h
+}
+
+// switchOf returns the index of the level-l switch above port id.
+// Level 1 switches are leaves; each covers arity^l ports.
+func (n *Network) switchOf(id, l int) int {
+	span := 1
+	for i := 0; i < l; i++ {
+		span *= n.arity
+	}
+	return id / span
+}
+
+// linkFor returns (creating on demand) the directed link between level l-1
+// and level l above subtree sw, in the given direction. Level 0 "switch"
+// indices are port numbers (the node-NIC link).
+func (n *Network) linkFor(m map[string]*link, l, sw int, dir string) *link {
+	key := fmt.Sprintf("%s:l%d:s%d", dir, l, sw)
+	lk, ok := m[key]
+	if !ok {
+		bw := n.p.LinkBandwidth
+		// Fat up-links: multiply bandwidth per level above the first.
+		for i := 1; i < l; i++ {
+			bw *= float64(n.arity)
+		}
+		lk = &link{name: key, bw: bw}
+		m[key] = lk
+	}
+	return lk
+}
+
+// pathLinks returns the ordered links a packet traverses from src to dst,
+// and the number of switches crossed.
+func (n *Network) pathLinks(src, dst int) (links []*link, switches int) {
+	if src == dst {
+		return nil, 0
+	}
+	// Find lowest common ancestor level: smallest l with same level-l switch.
+	lca := 1
+	for n.switchOf(src, lca) != n.switchOf(dst, lca) {
+		lca++
+	}
+	// Up from src: node→leaf, then leaf→parent... up to level lca.
+	sw := src
+	for l := 1; l <= lca; l++ {
+		links = append(links, n.linkFor(n.up, l, sw, "up"))
+		sw = n.switchOf(src, l)
+	}
+	// Down to dst: from level lca down to the node link.
+	for l := lca; l >= 1; l-- {
+		var sub int
+		if l == 1 {
+			sub = dst
+		} else {
+			sub = n.switchOf(dst, l-1)
+		}
+		links = append(links, n.linkFor(n.down, l, sub, "down"))
+	}
+	switches = 2*lca - 1
+	return links, switches
+}
+
+// Send injects a packet at its source port. Delivery is scheduled at the
+// time implied by cut-through routing: the head flit advances hop by hop
+// (queuing behind busy links), and the tail follows one serialization time
+// behind on the bottleneck link. onWire, if non-nil, runs when the source
+// link has finished serializing the packet (the moment a NIC's DMA engine
+// is free to start the next packet).
+func (n *Network) Send(pkt *Packet, onWire func()) {
+	if pkt.Size < 0 || pkt.Size > n.p.MTU {
+		panic(fmt.Sprintf("fabric: packet size %d outside [0,%d]", pkt.Size, n.p.MTU))
+	}
+	if pkt.Src < 0 || pkt.Src >= n.nports || pkt.Dst < 0 || pkt.Dst >= n.nports {
+		panic(fmt.Sprintf("fabric: bad ports %d->%d", pkt.Src, pkt.Dst))
+	}
+	n.sent++
+	wire := pkt.Size + n.p.PacketOverhead
+	now := n.k.Now()
+
+	if pkt.Src == pkt.Dst {
+		// NIC loopback: no wire crossing, one switch-equivalent latency.
+		n.deliverAt(now.Add(n.p.SwitchLatency), pkt)
+		if onWire != nil {
+			n.k.At(now.Add(n.p.SwitchLatency), "fabric:onwire-loop", onWire)
+		}
+		return
+	}
+
+	links, switches := n.pathLinks(pkt.Src, pkt.Dst)
+	// CRC losses retransmit at the link layer: each lost pass costs a
+	// full serialization plus the retry turnaround, in order.
+	attempts := 1
+	for n.p.LossRate > 0 && n.k.Rand().Float64() < n.p.LossRate && attempts < 100 {
+		attempts++
+	}
+	n.retransmits += int64(attempts - 1)
+	var tail, srcSerialized simtime.Time
+	base := now
+	for a := 0; a < attempts; a++ {
+		head := base
+		tail = 0
+		for i, lk := range links {
+			start := head
+			if lk.nextFree > start {
+				start = lk.nextFree
+			}
+			ser := simtime.BytesAt(wire, lk.bw)
+			lk.nextFree = start.Add(ser)
+			lk.packets++
+			lk.bytes += int64(wire)
+			// Head advances after the link's propagation delay; the tail
+			// of the packet clears this link after serialization.
+			head = start.Add(n.p.WireLatency)
+			if t := start.Add(ser).Add(n.p.WireLatency); t > tail {
+				tail = t
+			}
+			if i == 0 {
+				srcSerialized = start.Add(ser)
+			}
+		}
+		base = tail.Add(n.p.RetryDelay)
+	}
+	arrival := tail.Add(simtime.Duration(switches) * n.p.SwitchLatency)
+	n.deliverAt(arrival, pkt)
+	if onWire != nil {
+		n.k.At(srcSerialized, "fabric:onwire", onWire)
+	}
+}
+
+// SendMulti injects a hardware multicast: the switches replicate the
+// packet down the tree, so each link on the union of paths carries it
+// exactly once (this is QsNet's hardware broadcast). payload builds the
+// per-destination payload (destinations may need different context
+// routing); size and src are shared. Destinations equal to src get a
+// loopback delivery.
+func (n *Network) SendMulti(src, size int, dsts []int, payload func(dst int) any, onWire func()) {
+	if size < 0 || size > n.p.MTU {
+		panic(fmt.Sprintf("fabric: multicast size %d outside [0,%d]", size, n.p.MTU))
+	}
+	wire := size + n.p.PacketOverhead
+	now := n.k.Now()
+	starts := make(map[*link]simtime.Time)
+	var srcSerialized simtime.Time
+	for _, dst := range dsts {
+		if dst == src {
+			n.sent++
+			n.deliverAt(now.Add(n.p.SwitchLatency), &Packet{Src: src, Dst: dst, Size: size, Payload: payload(dst)})
+			continue
+		}
+		links, switches := n.pathLinks(src, dst)
+		head := now
+		var tail simtime.Time
+		for i, lk := range links {
+			start, seen := starts[lk]
+			if !seen {
+				start = head
+				if lk.nextFree > start {
+					start = lk.nextFree
+				}
+				lk.nextFree = start.Add(simtime.BytesAt(wire, lk.bw))
+				lk.packets++
+				lk.bytes += int64(wire)
+				starts[lk] = start
+			}
+			head = start.Add(n.p.WireLatency)
+			if t := start.Add(simtime.BytesAt(wire, lk.bw)).Add(n.p.WireLatency); t > tail {
+				tail = t
+			}
+			if i == 0 && srcSerialized == 0 {
+				srcSerialized = start.Add(simtime.BytesAt(wire, lk.bw))
+			}
+		}
+		n.sent++
+		n.deliverAt(tail.Add(simtime.Duration(switches)*n.p.SwitchLatency),
+			&Packet{Src: src, Dst: dst, Size: size, Payload: payload(dst)})
+	}
+	if onWire != nil {
+		if srcSerialized == 0 {
+			srcSerialized = now
+		}
+		n.k.At(srcSerialized, "fabric:onwire-multi", onWire)
+	}
+}
+
+func (n *Network) deliverAt(t simtime.Time, pkt *Packet) {
+	n.k.At(t, fmt.Sprintf("fabric:deliver:%d->%d", pkt.Src, pkt.Dst), func() {
+		n.delivered++
+		h := n.handlers[pkt.Dst]
+		if h == nil {
+			panic(fmt.Sprintf("fabric: no handler attached to port %d", pkt.Dst))
+		}
+		h(pkt)
+	})
+}
+
+// Stats reports totals for tests and tools.
+func (n *Network) Stats() (sent, delivered int64) { return n.sent, n.delivered }
+
+// Retransmits reports link-level CRC retransmissions.
+func (n *Network) Retransmits() int64 { return n.retransmits }
+
+// ZeroByteLatency returns the modelled latency of a minimal packet between
+// two distinct ports under no contention: per-hop wire latency plus switch
+// crossings plus header serialization. Useful for calibration tests.
+func (n *Network) ZeroByteLatency(src, dst int) simtime.Duration {
+	links, switches := n.pathLinks(src, dst)
+	d := simtime.Duration(switches) * n.p.SwitchLatency
+	d += simtime.Duration(len(links)) * n.p.WireLatency
+	// Header bytes serialize on the bottleneck (slowest) link once.
+	var minBW float64
+	for i, lk := range links {
+		if i == 0 || lk.bw < minBW {
+			minBW = lk.bw
+		}
+	}
+	d += simtime.BytesAt(n.p.PacketOverhead, minBW)
+	return d
+}

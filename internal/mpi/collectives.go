@@ -1,0 +1,372 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"qsmpi/internal/datatype"
+)
+
+// collTag allocates the next collective tag for this communicator. MPI
+// semantics guarantee every member calls collectives in the same order, so
+// the per-comm sequence agrees across ranks.
+func (c *Comm) collTag() int {
+	c.seq.collSeq++
+	return collTagBase + c.seq.collSeq%(1<<20)
+}
+
+// Barrier blocks until every member has entered it (dissemination
+// algorithm: ceil(log2 n) rounds of zero-byte exchanges).
+func (c *Comm) Barrier() {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	tag := c.collTag()
+	empty := datatype.Contiguous(0)
+	for dist := 1; dist < n; dist *= 2 {
+		to := (c.myIdx + dist) % n
+		from := (c.myIdx - dist + n) % n
+		c.Sendrecv(to, tag, nil, empty, from, tag, nil, empty)
+	}
+}
+
+// Bcast broadcasts root's buf to every member: over the QsNet hardware
+// broadcast when a provider is installed and the group is eligible
+// (static world, contiguous data), otherwise a binomial software tree.
+func (c *Comm) Bcast(root int, buf []byte, dt *datatype.Datatype) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	if c.id == 0 && c.w.hw.coll != nil && c.w.hw.eligible && dt.Contig() {
+		c.seq.collSeq++ // keep collective sequencing aligned with fallback
+		if c.w.hw.coll.HWBcast(c.w.th, c.worldOf(root), c.ranks, c.w.rank, buf[:dt.Size()]) {
+			return
+		}
+	}
+	tag := c.collTag()
+	rel := (c.myIdx - root + n) % n
+	// Receive from parent.
+	if rel != 0 {
+		mask := 1
+		for mask < n {
+			if rel&mask != 0 {
+				parent := (c.myIdx - mask + n) % n
+				c.Recv(parent, tag, buf, dt)
+				break
+			}
+			mask *= 2
+		}
+	}
+	// Forward to children.
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			break
+		}
+		mask *= 2
+	}
+	for m := mask / 2; m >= 1; m /= 2 {
+		if rel+m < n {
+			child := (c.myIdx + m) % n
+			c.Send(child, tag, buf, dt)
+		}
+	}
+}
+
+// Op combines src into dst elementwise; both are the packed representation
+// of the reduction datatype.
+type Op func(dst, src []byte)
+
+// OpSumF64 adds little-endian float64 vectors.
+var OpSumF64 Op = func(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		a := f64(dst[i:])
+		b := f64(src[i:])
+		putF64(dst[i:], a+b)
+	}
+}
+
+// OpMaxF64 takes the elementwise max of float64 vectors.
+var OpMaxF64 Op = func(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		if b := f64(src[i:]); b > f64(dst[i:]) {
+			putF64(dst[i:], b)
+		}
+	}
+}
+
+// OpSumI64 adds little-endian int64 vectors.
+var OpSumI64 Op = func(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		putI64(dst[i:], i64(dst[i:])+i64(src[i:]))
+	}
+}
+
+func f64(b []byte) float64 {
+	return float64frombits(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56)
+}
+
+func putF64(b []byte, v float64) {
+	u := float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+func i64(b []byte) int64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return int64(u)
+}
+
+func putI64(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(v) >> (8 * i))
+	}
+}
+
+// Reduce combines every member's contribution into root's recv buffer
+// (binomial tree). buf is each member's contribution; on root, recv gets
+// the result (may alias buf on non-roots, unused there).
+func (c *Comm) Reduce(root int, buf, recv []byte, op Op) {
+	n := c.Size()
+	tag := c.collTag()
+	acc := append([]byte(nil), buf...)
+	rel := (c.myIdx - root + n) % n
+	dt := datatype.Contiguous(len(buf))
+	tmp := make([]byte, len(buf))
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := (c.myIdx - mask + n) % n
+			c.Send(parent, tag, acc, dt)
+			break
+		}
+		peer := rel + mask
+		if peer < n {
+			c.Recv((peer+root)%n, tag, tmp, dt)
+			op(acc, tmp)
+		}
+		mask *= 2
+	}
+	if c.myIdx == root {
+		copy(recv, acc)
+	}
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (c *Comm) Allreduce(buf, recv []byte, op Op) {
+	c.Reduce(0, buf, recv, op)
+	c.Bcast(0, recv, datatype.Contiguous(len(recv)))
+}
+
+// Gather concentrates equal-size contributions at root; recv must hold
+// Size()*len(buf) bytes on root.
+func (c *Comm) Gather(root int, buf, recv []byte) {
+	n := c.Size()
+	tag := c.collTag()
+	dt := datatype.Contiguous(len(buf))
+	if c.myIdx != root {
+		c.Send(root, tag, buf, dt)
+		return
+	}
+	if len(recv) < n*len(buf) {
+		panic(fmt.Sprintf("mpi: gather buffer %d short of %d", len(recv), n*len(buf)))
+	}
+	copy(recv[root*len(buf):], buf)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		c.Recv(r, tag, recv[r*len(buf):(r+1)*len(buf)], dt)
+	}
+}
+
+// Allgather distributes every member's equal-size contribution to all
+// (gather at 0, then broadcast).
+func (c *Comm) Allgather(buf, recv []byte) {
+	c.Gather(0, buf, recv)
+	c.Bcast(0, recv, datatype.Contiguous(len(recv)))
+}
+
+// allgatherBytes is Allgather returning a fresh slice.
+func (c *Comm) allgatherBytes(buf []byte) []byte {
+	out := make([]byte, len(buf)*c.Size())
+	c.Allgather(buf, out)
+	return out
+}
+
+// Scatter distributes equal slices of root's send buffer: member i
+// receives send[i*len(recv) : (i+1)*len(recv)] into recv.
+func (c *Comm) Scatter(root int, send, recv []byte) {
+	n := c.Size()
+	tag := c.collTag()
+	dt := datatype.Contiguous(len(recv))
+	if c.myIdx == root {
+		if len(send) < n*len(recv) {
+			panic(fmt.Sprintf("mpi: scatter buffer %d short of %d", len(send), n*len(recv)))
+		}
+		copy(recv, send[root*len(recv):(root+1)*len(recv)])
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			c.Send(r, tag, send[r*len(recv):(r+1)*len(recv)], dt)
+		}
+		return
+	}
+	c.Recv(root, tag, recv, dt)
+}
+
+// Alltoall performs the complete exchange: member i's send block j lands
+// in member j's recv block i. Block size is len(send)/Size().
+func (c *Comm) Alltoall(send, recv []byte) {
+	n := c.Size()
+	if len(send)%n != 0 || len(recv) != len(send) {
+		panic("mpi: alltoall buffers must be Size()-divisible and equal length")
+	}
+	blk := len(send) / n
+	tag := c.collTag()
+	dt := datatype.Contiguous(blk)
+	copy(recv[c.myIdx*blk:(c.myIdx+1)*blk], send[c.myIdx*blk:(c.myIdx+1)*blk])
+	// Pairwise exchange: in round k, exchange with rank^k when the size
+	// is a power of two, otherwise a simple shifted schedule.
+	var reqs []*Request
+	for r := 0; r < n; r++ {
+		if r == c.myIdx {
+			continue
+		}
+		reqs = append(reqs, c.Irecv(r, tag, recv[r*blk:(r+1)*blk], dt))
+	}
+	for shift := 1; shift < n; shift++ {
+		dst := (c.myIdx + shift) % n
+		reqs = append(reqs, c.Isend(dst, tag, send[dst*blk:(dst+1)*blk], dt))
+	}
+	Waitall(reqs...)
+}
+
+// Gatherv concentrates variable-size contributions at root: member i
+// sends len(buf) bytes which land at recv[displs[i]:displs[i]+counts[i]].
+// counts and displs are only consulted on the root; senders' counts must
+// match their buffer lengths.
+func (c *Comm) Gatherv(root int, buf []byte, recv []byte, counts, displs []int) {
+	n := c.Size()
+	tag := c.collTag()
+	if c.myIdx != root {
+		c.Send(root, tag, buf, datatype.Contiguous(len(buf)))
+		return
+	}
+	if len(counts) != n || len(displs) != n {
+		panic("mpi: gatherv needs one count and displacement per member")
+	}
+	copy(recv[displs[root]:displs[root]+counts[root]], buf)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		c.Recv(r, tag, recv[displs[r]:displs[r]+counts[r]], datatype.Contiguous(counts[r]))
+	}
+}
+
+// Scatterv distributes variable-size slices of root's send buffer: member
+// i receives counts[i] bytes from send[displs[i]:]. recv must hold the
+// member's count.
+func (c *Comm) Scatterv(root int, send []byte, counts, displs []int, recv []byte) {
+	n := c.Size()
+	tag := c.collTag()
+	if c.myIdx == root {
+		if len(counts) != n || len(displs) != n {
+			panic("mpi: scatterv needs one count and displacement per member")
+		}
+		copy(recv, send[displs[root]:displs[root]+counts[root]])
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			c.Send(r, tag, send[displs[r]:displs[r]+counts[r]], datatype.Contiguous(counts[r]))
+		}
+		return
+	}
+	c.Recv(root, tag, recv, datatype.Contiguous(len(recv)))
+}
+
+// Allgatherv distributes variable-size contributions to every member.
+// counts and displs must be identical on all members.
+func (c *Comm) Allgatherv(buf []byte, recv []byte, counts, displs []int) {
+	c.Gatherv(0, buf, recv, counts, displs)
+	total := 0
+	for i, ct := range counts {
+		if e := displs[i] + ct; e > total {
+			total = e
+		}
+	}
+	c.Bcast(0, recv[:total], datatype.Contiguous(total))
+}
+
+// Alltoallv is the variable-count complete exchange: member i sends
+// sendCounts[j] bytes from send[sendDispls[j]:] to member j, receiving
+// recvCounts[j] bytes at recv[recvDispls[j]:]. Every member's recvCounts[j]
+// must equal member j's sendCounts for it.
+func (c *Comm) Alltoallv(send []byte, sendCounts, sendDispls []int, recv []byte, recvCounts, recvDispls []int) {
+	n := c.Size()
+	if len(sendCounts) != n || len(sendDispls) != n || len(recvCounts) != n || len(recvDispls) != n {
+		panic("mpi: alltoallv needs per-member counts and displacements")
+	}
+	tag := c.collTag()
+	copy(recv[recvDispls[c.myIdx]:recvDispls[c.myIdx]+recvCounts[c.myIdx]],
+		send[sendDispls[c.myIdx]:sendDispls[c.myIdx]+sendCounts[c.myIdx]])
+	var reqs []*Request
+	for r := 0; r < n; r++ {
+		if r == c.myIdx {
+			continue
+		}
+		reqs = append(reqs, c.Irecv(r, tag,
+			recv[recvDispls[r]:recvDispls[r]+recvCounts[r]], datatype.Contiguous(recvCounts[r])))
+	}
+	for shift := 1; shift < n; shift++ {
+		dst := (c.myIdx + shift) % n
+		reqs = append(reqs, c.Isend(dst, tag,
+			send[sendDispls[dst]:sendDispls[dst]+sendCounts[dst]], datatype.Contiguous(sendCounts[dst])))
+	}
+	Waitall(reqs...)
+}
+
+// ReduceScatter reduces elementwise across members and scatters equal
+// blocks of the result: member i gets block i. send holds Size() blocks
+// of len(recv) bytes.
+func (c *Comm) ReduceScatter(send, recv []byte, op Op) {
+	n := c.Size()
+	if len(send) != n*len(recv) {
+		panic("mpi: reduce_scatter send must be Size()×recv")
+	}
+	full := make([]byte, len(send))
+	c.Reduce(0, send, full, op)
+	c.Scatter(0, full, recv)
+}
+
+// Scan computes the inclusive prefix reduction: member i receives the
+// combination of contributions from members 0..i.
+func (c *Comm) Scan(send, recv []byte, op Op) {
+	tag := c.collTag()
+	dt := datatype.Contiguous(len(send))
+	acc := append([]byte(nil), send...)
+	if c.myIdx > 0 {
+		prev := make([]byte, len(send))
+		c.Recv(c.myIdx-1, tag, prev, dt)
+		// Combine in rank order: earlier ranks first.
+		op(prev, acc)
+		acc = prev
+	}
+	if c.myIdx < c.Size()-1 {
+		c.Send(c.myIdx+1, tag, acc, dt)
+	}
+	copy(recv, acc)
+}
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(u uint64) float64 { return math.Float64frombits(u) }

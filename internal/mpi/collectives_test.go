@@ -1,0 +1,185 @@
+package mpi_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"qsmpi/internal/mpi"
+)
+
+func TestScatter(t *testing.T) {
+	const n = 4
+	launch(t, n, func(w *mpi.World) {
+		var send []byte
+		if w.Rank() == 1 {
+			for r := 0; r < n; r++ {
+				send = append(send, bytes.Repeat([]byte{byte(r + 1)}, 100)...)
+			}
+		}
+		recv := make([]byte, 100)
+		w.Comm().Scatter(1, send, recv)
+		if !bytes.Equal(recv, bytes.Repeat([]byte{byte(w.Rank() + 1)}, 100)) {
+			t.Errorf("rank %d scatter block wrong", w.Rank())
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	const n, blk = 5, 64
+	launch(t, n, func(w *mpi.World) {
+		send := make([]byte, n*blk)
+		for dst := 0; dst < n; dst++ {
+			// Block for dst is stamped (src, dst).
+			for i := 0; i < blk; i++ {
+				send[dst*blk+i] = byte(w.Rank()*16 + dst)
+			}
+		}
+		recv := make([]byte, n*blk)
+		w.Comm().Alltoall(send, recv)
+		for src := 0; src < n; src++ {
+			want := byte(src*16 + w.Rank())
+			for i := 0; i < blk; i++ {
+				if recv[src*blk+i] != want {
+					t.Errorf("rank %d block from %d byte %d = %d, want %d",
+						w.Rank(), src, i, recv[src*blk+i], want)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestAlltoallLargeBlocks(t *testing.T) {
+	const n, blk = 4, 50000 // rendezvous-size blocks
+	launch(t, n, func(w *mpi.World) {
+		send := make([]byte, n*blk)
+		for i := range send {
+			send[i] = byte(i + w.Rank())
+		}
+		recv := make([]byte, n*blk)
+		w.Comm().Alltoall(send, recv)
+		for src := 0; src < n; src++ {
+			// recv block src == src's send block for me.
+			off := src * blk
+			for i := 0; i < blk; i += 997 {
+				want := byte(w.Rank()*blk + i + src)
+				if recv[off+i] != want {
+					t.Errorf("rank %d: block from %d corrupt at %d", w.Rank(), src, i)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	const n = 4
+	launch(t, n, func(w *mpi.World) {
+		send := make([]byte, n*8)
+		for b := 0; b < n; b++ {
+			binary.LittleEndian.PutUint64(send[b*8:], math.Float64bits(float64(w.Rank()+b)))
+		}
+		recv := make([]byte, 8)
+		w.Comm().ReduceScatter(send, recv, mpi.OpSumF64)
+		// Block i = sum over ranks of (rank + i) = 6 + 4i.
+		want := float64(6 + 4*w.Rank())
+		if got := f64of(recv); got != want {
+			t.Errorf("rank %d reduce_scatter = %v, want %v", w.Rank(), got, want)
+		}
+	})
+}
+
+func TestScan(t *testing.T) {
+	const n = 6
+	launch(t, n, func(w *mpi.World) {
+		recv := make([]byte, 8)
+		w.Comm().Scan(f64buf(float64(w.Rank()+1)), recv, mpi.OpSumF64)
+		want := float64((w.Rank() + 1) * (w.Rank() + 2) / 2)
+		if got := f64of(recv); got != want {
+			t.Errorf("rank %d scan = %v, want %v", w.Rank(), got, want)
+		}
+	})
+}
+
+func TestGathervScatterv(t *testing.T) {
+	const n = 4
+	launch(t, n, func(w *mpi.World) {
+		// Member i contributes i+1 bytes of value i+1.
+		mine := bytes.Repeat([]byte{byte(w.Rank() + 1)}, w.Rank()+1)
+		counts := []int{1, 2, 3, 4}
+		displs := []int{0, 1, 3, 6}
+		recv := make([]byte, 10)
+		w.Comm().Gatherv(2, mine, recv, counts, displs)
+		if w.Rank() == 2 {
+			want := []byte{1, 2, 2, 3, 3, 3, 4, 4, 4, 4}
+			if !bytes.Equal(recv, want) {
+				t.Errorf("gatherv = %v, want %v", recv, want)
+			}
+			// Scatter it back out.
+			w.Comm().Scatterv(2, recv, counts, displs, make([]byte, 3))
+		} else {
+			back := make([]byte, w.Rank()+1)
+			w.Comm().Scatterv(2, nil, nil, nil, back)
+			if !bytes.Equal(back, mine) {
+				t.Errorf("rank %d scatterv = %v", w.Rank(), back)
+			}
+		}
+	})
+}
+
+func TestAllgatherv(t *testing.T) {
+	const n = 3
+	launch(t, n, func(w *mpi.World) {
+		mine := bytes.Repeat([]byte{byte(10 * (w.Rank() + 1))}, 2*(w.Rank()+1))
+		counts := []int{2, 4, 6}
+		displs := []int{0, 2, 6}
+		recv := make([]byte, 12)
+		w.Comm().Allgatherv(mine, recv, counts, displs)
+		want := []byte{10, 10, 20, 20, 20, 20, 30, 30, 30, 30, 30, 30}
+		if !bytes.Equal(recv, want) {
+			t.Errorf("rank %d allgatherv = %v", w.Rank(), recv)
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	// Member i sends j+1 bytes of value i*16+j to member j.
+	const n = 3
+	launch(t, n, func(w *mpi.World) {
+		me := w.Rank()
+		sendCounts := []int{1, 2, 3}
+		sendDispls := []int{0, 1, 3}
+		send := make([]byte, 6)
+		for j := 0; j < n; j++ {
+			for k := 0; k < sendCounts[j]; k++ {
+				send[sendDispls[j]+k] = byte(me*16 + j)
+			}
+		}
+		// I receive me+1 bytes from everyone.
+		rc := me + 1
+		recvCounts := []int{rc, rc, rc}
+		recvDispls := []int{0, rc, 2 * rc}
+		recv := make([]byte, 3*rc)
+		w.Comm().Alltoallv(send, sendCounts, sendDispls, recv, recvCounts, recvDispls)
+		for src := 0; src < n; src++ {
+			for k := 0; k < rc; k++ {
+				if got := recv[recvDispls[src]+k]; got != byte(src*16+me) {
+					t.Errorf("rank %d from %d byte %d = %d", me, src, k, got)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestScanSingleton(t *testing.T) {
+	launch(t, 1, func(w *mpi.World) {
+		recv := make([]byte, 8)
+		w.Comm().Scan(f64buf(7), recv, mpi.OpSumF64)
+		if f64of(recv) != 7 {
+			t.Errorf("singleton scan = %v", f64of(recv))
+		}
+	})
+}

@@ -1,0 +1,347 @@
+package mpi_test
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"math"
+	"testing"
+
+	"qsmpi/internal/cluster"
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/mpi"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptlelan4"
+)
+
+// launch runs fn as rank main over n processes with MPI worlds built on
+// the standard Elan4 stack.
+func launch(t testing.TB, n int, fn func(w *mpi.World)) {
+	t.Helper()
+	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	c := cluster.New(cluster.Spec{Elan: &opts, Progress: pml.Polling, DTP: true}, n)
+	uni := mpi.NewUniverse()
+	c.Launch(func(p *cluster.Proc) {
+		fn(mpi.NewWorld(p.Th, p.Stack, uni, p.Rank, n))
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func f64buf(v float64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+	return b
+}
+
+func f64of(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func TestBcastEveryRoot(t *testing.T) {
+	const n = 5
+	for root := 0; root < n; root++ {
+		root := root
+		ok := make([]bool, n)
+		launch(t, n, func(w *mpi.World) {
+			buf := make([]byte, 1000)
+			if w.Rank() == root {
+				for i := range buf {
+					buf[i] = byte(i + root)
+				}
+			}
+			w.Comm().Bcast(root, buf, datatype.Contiguous(len(buf)))
+			want := make([]byte, 1000)
+			for i := range want {
+				want[i] = byte(i + root)
+			}
+			ok[w.Rank()] = bytes.Equal(buf, want)
+		})
+		for r, v := range ok {
+			if !v {
+				t.Fatalf("root %d: rank %d missing bcast data", root, r)
+			}
+		}
+	}
+}
+
+func TestBcastLargeMessage(t *testing.T) {
+	const n = 1 << 20
+	received := 0
+	launch(t, 4, func(w *mpi.World) {
+		buf := make([]byte, n)
+		if w.Rank() == 0 {
+			for i := range buf {
+				buf[i] = byte(i * 3)
+			}
+		}
+		w.Comm().Bcast(0, buf, datatype.Contiguous(n))
+		for i := 0; i < n; i += 4099 {
+			if buf[i] != byte(i*3) {
+				t.Errorf("rank %d: byte %d wrong", w.Rank(), i)
+				return
+			}
+		}
+		received++
+	})
+	if received != 4 {
+		t.Fatalf("%d ranks verified", received)
+	}
+}
+
+func TestReduceEveryRoot(t *testing.T) {
+	const n = 7
+	for root := 0; root < n; root += 3 {
+		root := root
+		var got float64
+		launch(t, n, func(w *mpi.World) {
+			out := make([]byte, 8)
+			w.Comm().Reduce(root, f64buf(float64(w.Rank()+1)), out, mpi.OpSumF64)
+			if w.Rank() == root {
+				got = f64of(out)
+			}
+		})
+		if want := float64(n * (n + 1) / 2); got != want {
+			t.Fatalf("root %d: reduce = %v, want %v", root, got, want)
+		}
+	}
+}
+
+func TestReduceMaxAndI64(t *testing.T) {
+	launch(t, 5, func(w *mpi.World) {
+		out := make([]byte, 8)
+		w.Comm().Allreduce(f64buf(float64(w.Rank()*10)), out, mpi.OpMaxF64)
+		if f64of(out) != 40 {
+			t.Errorf("max = %v", f64of(out))
+		}
+		in := make([]byte, 8)
+		binary.LittleEndian.PutUint64(in, uint64(w.Rank()))
+		out2 := make([]byte, 8)
+		w.Comm().Allreduce(in, out2, mpi.OpSumI64)
+		if got := int64(binary.LittleEndian.Uint64(out2)); got != 10 {
+			t.Errorf("i64 sum = %d", got)
+		}
+	})
+}
+
+func TestReduceVector(t *testing.T) {
+	const elems = 256
+	launch(t, 4, func(w *mpi.World) {
+		in := make([]byte, elems*8)
+		for i := 0; i < elems; i++ {
+			binary.LittleEndian.PutUint64(in[i*8:], math.Float64bits(float64(w.Rank()+i)))
+		}
+		out := make([]byte, elems*8)
+		w.Comm().Allreduce(in, out, mpi.OpSumF64)
+		for i := 0; i < elems; i++ {
+			got := f64of(out[i*8:])
+			want := float64(4*i + 6) // sum over ranks 0..3 of (rank+i)
+			if got != want {
+				t.Errorf("elem %d = %v, want %v", i, got, want)
+				return
+			}
+		}
+	})
+}
+
+func TestBarrierManyRounds(t *testing.T) {
+	const n, rounds = 6, 5
+	counters := make([]int, n)
+	launch(t, n, func(w *mpi.World) {
+		for r := 0; r < rounds; r++ {
+			counters[w.Rank()]++
+			w.Comm().Barrier()
+			// After each barrier every rank must have completed the round.
+			for peer, c := range counters {
+				if c < r+1 {
+					t.Errorf("rank %d passed barrier %d before rank %d arrived", w.Rank(), r, peer)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestSplitNested(t *testing.T) {
+	// Split 8 ranks into halves, then quarter the halves; messages stay
+	// inside the innermost comm.
+	launch(t, 8, func(w *mpi.World) {
+		half := w.Comm().Split(w.Rank()/4, w.Rank())
+		quarter := half.Split(half.Rank()/2, half.Rank())
+		if quarter.Size() != 2 {
+			t.Errorf("quarter size = %d", quarter.Size())
+			return
+		}
+		peer := 1 - quarter.Rank()
+		got := make([]byte, 1)
+		quarter.Sendrecv(peer, 0, []byte{byte(w.Rank())}, datatype.Contiguous(1),
+			peer, 0, got, datatype.Contiguous(1))
+		// Partner must be the world-rank neighbour within the same pair.
+		if int(got[0])/2 != w.Rank()/2 {
+			t.Errorf("world %d paired with %d", w.Rank(), got[0])
+		}
+	})
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	launch(t, 4, func(w *mpi.World) {
+		var sub *mpi.Comm
+		if w.Rank()%2 == 0 {
+			sub = w.Comm().Split(0, w.Rank())
+		} else {
+			sub = w.Comm().Split(-1, w.Rank())
+		}
+		if w.Rank()%2 == 0 {
+			if sub == nil || sub.Size() != 2 {
+				t.Errorf("rank %d: bad subcomm", w.Rank())
+			}
+		} else if sub != nil {
+			t.Errorf("rank %d: undefined color produced a comm", w.Rank())
+		}
+	})
+}
+
+func TestGatherUnequalRoots(t *testing.T) {
+	launch(t, 4, func(w *mpi.World) {
+		mine := []byte{byte(w.Rank() * 3)}
+		out := make([]byte, 4)
+		w.Comm().Gather(3, mine, out)
+		if w.Rank() == 3 {
+			if !bytes.Equal(out, []byte{0, 3, 6, 9}) {
+				t.Errorf("gather = %v", out)
+			}
+		}
+	})
+}
+
+func TestRequestTestAndWaitall(t *testing.T) {
+	launch(t, 2, func(w *mpi.World) {
+		c := w.Comm()
+		if w.Rank() == 0 {
+			w.Thread().Proc().Sleep(1000 * 1000 * 50) // 50us head start for receiver
+			var reqs []*mpi.Request
+			for i := 0; i < 4; i++ {
+				reqs = append(reqs, c.Isend(1, i, []byte{byte(i)}, datatype.Contiguous(1)))
+			}
+			mpi.Waitall(reqs...)
+		} else {
+			bufs := make([][]byte, 4)
+			var reqs []*mpi.Request
+			for i := 0; i < 4; i++ {
+				bufs[i] = make([]byte, 1)
+				reqs = append(reqs, c.Irecv(0, i, bufs[i], datatype.Contiguous(1)))
+			}
+			if reqs[0].Test() {
+				t.Error("request complete before sender started")
+			}
+			mpi.Waitall(reqs...)
+			for i := range bufs {
+				if bufs[i][0] != byte(i) {
+					t.Errorf("msg %d = %d", i, bufs[i][0])
+				}
+			}
+			if !reqs[2].Test() {
+				t.Error("Test false after Wait")
+			}
+		}
+	})
+}
+
+func TestStatusSourceIsCommRank(t *testing.T) {
+	// In a reversed subcomm, Status.Source must be the comm rank.
+	launch(t, 4, func(w *mpi.World) {
+		rev := w.Comm().Split(0, -w.Rank()) // reverse order: world 3 → rank 0
+		if rev.Rank() == 0 {
+			// world rank 3 sends to rev rank 3 (world rank 0)
+			rev.Send(3, 1, []byte{9}, datatype.Contiguous(1))
+		} else if rev.Rank() == 3 {
+			buf := make([]byte, 1)
+			st := rev.Recv(mpi.AnySource, 1, buf, datatype.Contiguous(1))
+			if st.Source != 0 {
+				t.Errorf("status source = %d (comm rank expected 0)", st.Source)
+			}
+		}
+	})
+}
+
+func TestTagBoundsPanic(t *testing.T) {
+	launch(t, 2, func(w *mpi.World) {
+		if w.Rank() != 0 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("negative tag accepted")
+			}
+		}()
+		w.Comm().Send(1, -5, nil, datatype.Contiguous(0))
+	})
+}
+
+func TestDupManyCommsDistinct(t *testing.T) {
+	launch(t, 2, func(w *mpi.World) {
+		c := w.Comm()
+		var comms []*mpi.Comm
+		for i := 0; i < 8; i++ {
+			comms = append(comms, c.Dup())
+		}
+		if w.Rank() == 0 {
+			for i, d := range comms {
+				d.Send(1, 0, []byte{byte(i)}, datatype.Contiguous(1))
+			}
+		} else {
+			// Receive in reverse: isolation means each matches its comm.
+			for i := len(comms) - 1; i >= 0; i-- {
+				buf := make([]byte, 1)
+				comms[i].Recv(0, 0, buf, datatype.Contiguous(1))
+				if buf[0] != byte(i) {
+					t.Errorf("comm %d got %d", i, buf[0])
+				}
+			}
+		}
+	})
+}
+
+func TestCollectivesOnSubcomm(t *testing.T) {
+	launch(t, 6, func(w *mpi.World) {
+		sub := w.Comm().Split(w.Rank()%2, w.Rank())
+		out := make([]byte, 8)
+		sub.Allreduce(f64buf(float64(w.Rank())), out, mpi.OpSumF64)
+		var want float64
+		for r := w.Rank() % 2; r < 6; r += 2 {
+			want += float64(r)
+		}
+		if f64of(out) != want {
+			t.Errorf("rank %d: subcomm allreduce = %v, want %v", w.Rank(), f64of(out), want)
+		}
+		sub.Barrier()
+	})
+}
+
+func TestManyRanksSanity(t *testing.T) {
+	// 16 ranks on a two-level fat tree: barrier + allreduce still correct.
+	const n = 16
+	launch(t, n, func(w *mpi.World) {
+		out := make([]byte, 8)
+		w.Comm().Allreduce(f64buf(1), out, mpi.OpSumF64)
+		if f64of(out) != n {
+			t.Errorf("allreduce = %v", f64of(out))
+		}
+	})
+}
+
+func TestSendToSelf(t *testing.T) {
+	launch(t, 2, func(w *mpi.World) {
+		if w.Rank() != 0 {
+			return
+		}
+		c := w.Comm()
+		req := c.Irecv(0, 9, make([]byte, 4), datatype.Contiguous(4))
+		c.Send(0, 9, []byte{1, 2, 3, 4}, datatype.Contiguous(4))
+		st := req.Wait()
+		if st.Len != 4 || st.Source != 0 {
+			t.Errorf("self message status %+v", st)
+		}
+	})
+}

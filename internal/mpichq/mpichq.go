@@ -1,0 +1,118 @@
+// Package mpichq is a thin MPI-style layer over the Tport emulation,
+// standing in for MPICH-QsNetII: the default, statically-connected MPI on
+// Quadrics that the paper benchmarks against in Fig. 10. It provides just
+// the point-to-point surface the comparison needs; there is no dynamic
+// process management — the process pool is fixed at job launch, which is
+// precisely the limitation the paper's PTL design removes.
+package mpichq
+
+import (
+	"fmt"
+
+	"qsmpi/internal/elan4"
+	"qsmpi/internal/fabric"
+	"qsmpi/internal/model"
+	"qsmpi/internal/simtime"
+	"qsmpi/internal/tport"
+)
+
+// emptyResolver: MPICH-QsNetII does not route through the RTE — tport
+// addressing is static — but the NIC model wants a resolver for its
+// standard QDMA path, which this job never exercises.
+type emptyResolver struct{}
+
+func (emptyResolver) Resolve(int) (int, int, bool) { return 0, 0, false }
+
+// Job is a statically-launched MPICH-QsNetII run.
+type Job struct {
+	K     *simtime.Kernel
+	Cfg   model.Config
+	Net   *fabric.Network
+	Hosts []*simtime.Host
+	NICs  []*elan4.NIC
+	Eps   []*tport.Endpoint
+
+	nprocs int
+}
+
+// NewJob builds the cluster and one Tport endpoint per rank (rank i on
+// node i — the static VPID=rank coupling).
+func NewJob(nprocs int, override *model.Config) *Job {
+	cfg := model.Default()
+	if override != nil {
+		cfg = *override
+	}
+	k := simtime.NewKernel()
+	j := &Job{K: k, Cfg: cfg, nprocs: nprocs}
+	j.Net = fabric.New(k, fabric.Params{
+		LinkBandwidth:  cfg.LinkBandwidth,
+		WireLatency:    cfg.WireLatency,
+		SwitchLatency:  cfg.SwitchLatency,
+		MTU:            cfg.MTU,
+		PacketOverhead: cfg.PacketOverhead,
+		Arity:          cfg.FatTreeRadix,
+	}, nprocs)
+	ports := make([]int, nprocs)
+	for i := range ports {
+		ports[i] = i
+	}
+	for i := 0; i < nprocs; i++ {
+		h := simtime.NewHost(k, fmt.Sprintf("node%d", i), cfg.HostCPUs)
+		nic := elan4.NewNIC(k, h, j.Net, i, cfg, emptyResolver{})
+		j.Hosts = append(j.Hosts, h)
+		j.NICs = append(j.NICs, nic)
+		j.Eps = append(j.Eps, tport.New(k, h, nic, cfg, i, ports))
+	}
+	return j
+}
+
+// Comm is the per-rank communication handle.
+type Comm struct {
+	ep   *tport.Endpoint
+	size int
+}
+
+// Rank returns the calling process's rank.
+func (c *Comm) Rank() int { return c.ep.Rank() }
+
+// Size returns the job size.
+func (c *Comm) Size() int { return c.size }
+
+// Send is a blocking tagged send.
+func (c *Comm) Send(th *simtime.Thread, dst, tag int, data []byte) {
+	c.ep.Send(th, dst, tag, data)
+}
+
+// Recv is a blocking tagged receive returning the message length.
+func (c *Comm) Recv(th *simtime.Thread, src, tag int, buf []byte) int {
+	return c.ep.Recv(th, src, tag, buf)
+}
+
+// Isend starts a nonblocking send.
+func (c *Comm) Isend(th *simtime.Thread, dst, tag int, data []byte) *tport.SendHandle {
+	return c.ep.Isend(th, dst, tag, data)
+}
+
+// Irecv posts a nonblocking receive.
+func (c *Comm) Irecv(th *simtime.Thread, src, tag int, buf []byte) *tport.RecvHandle {
+	return c.ep.Irecv(th, src, tag, buf)
+}
+
+// Launch spawns main for every rank.
+func (j *Job) Launch(main func(rank int, th *simtime.Thread, c *Comm)) {
+	for r := 0; r < j.nprocs; r++ {
+		r := r
+		j.Hosts[r].Spawn(fmt.Sprintf("rank%d", r), func(th *simtime.Thread) {
+			main(r, th, &Comm{ep: j.Eps[r], size: j.nprocs})
+		})
+	}
+}
+
+// Run executes to quiescence, reporting deadlocks.
+func (j *Job) Run() error {
+	j.K.Run()
+	if st := j.K.Stalled(); len(st) != 0 {
+		return fmt.Errorf("mpichq: deadlock, stalled: %v", st)
+	}
+	return nil
+}

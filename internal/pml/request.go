@@ -1,0 +1,142 @@
+// Package pml implements the Point-to-point Management Layer of the Open
+// MPI communication architecture (the "TEG" PML the paper builds on):
+// request management, MPI matching semantics (wildcards, per-peer ordering
+// by sequence number), eager/rendezvous protocol selection, scheduling of
+// message remainders across the available PTL modules, and the progress
+// engine in its polling, interrupt-measurement and threaded modes.
+//
+// The PML is transport-neutral: everything network-specific (QDMA, RDMA
+// schemes, FIN/FIN_ACK control traffic, completion queues) lives below the
+// ptl.Module interface.
+package pml
+
+import (
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/ptl"
+	"qsmpi/internal/simtime"
+)
+
+// Wildcards for receive matching.
+const (
+	// AnySource matches a receive against messages from every rank.
+	AnySource = -1
+	// AnyTag matches a receive against every tag.
+	AnyTag = -1
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Len    int
+}
+
+// SendReq is one in-flight send. It is created by Stack.Send and completed
+// when every byte has been delivered or safely buffered.
+type SendReq struct {
+	id    uint64
+	stack *Stack
+
+	dst    int
+	tag    int
+	comm   uint16
+	dtype  *datatype.Datatype
+	user   []byte // caller's buffer (typed layout)
+	packed []byte // contiguous representation (== user when contiguous)
+	mem    ptl.MemDesc
+
+	n          int // total message bytes
+	progressed int
+	inlineLen  int // bytes inlined with the first fragment
+	acked      bool
+	done       *simtime.Signal
+}
+
+// ID returns the request handle stamped into headers.
+func (r *SendReq) ID() uint64 { return r.id }
+
+// Done reports completion.
+func (r *SendReq) Done() bool { return r.done.Fired() }
+
+// Wait blocks until the send completes, driving progress per the stack's
+// progress mode.
+func (r *SendReq) Wait(th *simtime.Thread) {
+	r.stack.waitOn(th, r.done)
+}
+
+// RecvReq is one posted receive.
+type RecvReq struct {
+	id    uint64
+	stack *Stack
+
+	src   int // AnySource allowed
+	tag   int // AnyTag allowed
+	comm  uint16
+	dtype *datatype.Datatype
+	user  []byte
+
+	matched   bool
+	staging   []byte // contiguous landing area (== user when contiguous)
+	mem       ptl.MemDesc
+	msgLen    int
+	got       int
+	status    Status
+	done      *simtime.Signal
+	cancelled bool
+}
+
+// ID returns the request handle stamped into headers.
+func (r *RecvReq) ID() uint64 { return r.id }
+
+// Done reports completion.
+func (r *RecvReq) Done() bool { return r.done.Fired() }
+
+// Status returns the source/tag/length of the matched message. Only valid
+// after completion.
+func (r *RecvReq) Status() Status { return r.status }
+
+// Wait blocks until the receive completes, driving progress per the
+// stack's progress mode.
+func (r *RecvReq) Wait(th *simtime.Thread) {
+	r.stack.waitOn(th, r.done)
+}
+
+// matchKey identifies a matching context (one per communicator).
+type matchKey = uint16
+
+// firstFrag is a MATCH/RNDV fragment awaiting a posted receive (the
+// unexpected queue) or its turn in sequence (the reorder buffer).
+type firstFrag struct {
+	mod  ptl.Module
+	peer *ptl.Peer
+	hdr  ptl.Header
+	data []byte // copied; owned by the PML
+}
+
+// commState is the per-communicator matching state.
+type commState struct {
+	posted     []*RecvReq           // FIFO of posted receives
+	unexpected []*firstFrag         // FIFO of unmatched arrivals, in match order
+	expected   map[int]uint32       // next expected seq per source rank
+	reorder    map[int][]*firstFrag // out-of-sequence arrivals per source
+	seqOut     map[int]uint32       // next seq to stamp per destination rank
+}
+
+func newCommState() *commState {
+	return &commState{
+		expected: make(map[int]uint32),
+		reorder:  make(map[int][]*firstFrag),
+		seqOut:   make(map[int]uint32),
+	}
+}
+
+// matches reports whether a posted receive accepts a fragment header.
+func matches(r *RecvReq, hdr *ptl.Header) bool {
+	if r.src != AnySource && int32(r.src) != hdr.SrcRank {
+		return false
+	}
+	if r.tag != AnyTag && int32(r.tag) != hdr.Tag {
+		return false
+	}
+	return true
+}

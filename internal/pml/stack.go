@@ -1,0 +1,711 @@
+package pml
+
+import (
+	"fmt"
+
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/model"
+	"qsmpi/internal/ptl"
+	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
+)
+
+// ProgressMode selects how blocking waits drive communication progress
+// (the paper's §3 "dual-mode communication progress", plus the
+// interrupt-only configuration measured in Table 1).
+type ProgressMode int
+
+const (
+	// Polling: the blocked thread spins, polling every module.
+	Polling ProgressMode = iota
+	// InterruptWait: the blocked thread arms a NIC interrupt inside the
+	// (single) PTL and sleeps. The paper notes this is not workable as a
+	// general strategy — the process can't block inside one PTL when
+	// several are active — but measures it to isolate interrupt cost.
+	InterruptWait
+	// Threaded: PTL progress threads drive completion; application
+	// threads sleep on their requests and pay a thread handoff on wake.
+	Threaded
+)
+
+// Blocker is implemented by modules that can block the calling thread
+// until any network activity occurs (used by InterruptWait).
+type Blocker interface {
+	BlockActivity(th *simtime.Thread)
+}
+
+// LayerTrace instruments the §6.3 layering measurement: time from the PTL
+// delivering a packet to the PML for matching until the PML hands the next
+// packet to a PTL — "the communication time above the PTL layer". In a
+// ping-pong the message is a token held by exactly one layer at a time, so
+// this isolates the PML-layer cost.
+type LayerTrace struct {
+	deliverAt simtime.Time
+	armed     bool
+
+	// PMLTime accumulates time spent above the PTL; Count is the number
+	// of deliver→send intervals measured.
+	PMLTime simtime.Duration
+	Count   int64
+}
+
+// Mean returns the average PML-layer cost per interval in microseconds.
+func (t *LayerTrace) Mean() float64 {
+	if t.Count == 0 {
+		return 0
+	}
+	return t.PMLTime.Micros() / float64(t.Count)
+}
+
+// Stats counts PML-layer activity.
+type Stats struct {
+	Sends          int64
+	Recvs          int64
+	EagerSends     int64
+	RndvSends      int64
+	UnexpectedMsgs int64
+	ReorderedMsgs  int64
+	MatchAttempts  int64
+}
+
+// Stack is one process's PML: the device-neutral message management layer
+// that fragments, schedules, matches and reassembles messages across the
+// available PTL modules.
+type Stack struct {
+	k    *simtime.Kernel
+	host *simtime.Host
+	cfg  model.Config
+	eng  *datatype.Engine
+	rank int
+
+	mods     []ptl.Module
+	peers    map[int]*ptl.Peer
+	peerMods map[int][]ptl.Module
+
+	sendReqs map[uint64]*SendReq
+	sendDesc map[uint64]*ptl.SendDesc
+	recvReqs map[uint64]*RecvReq
+	nextID   uint64
+
+	comms map[matchKey]*commState
+
+	// activity is bumped by transports whenever anything arrives or
+	// completes; polling waits block on it between progress sweeps.
+	activity *simtime.Counter
+	mode     ProgressMode
+	blocker  Blocker
+
+	// Trace, when non-nil, records PML-layer residence time (§6.3).
+	Trace *LayerTrace
+	// Tracer, when non-nil, records per-message protocol timelines.
+	Tracer *trace.Recorder
+
+	selfPeer *ptl.Peer
+
+	stats Stats
+}
+
+// NewStack creates the PML for one process. dtp selects the datatype copy
+// engine (true) or the generic-memcpy substitution the paper uses for
+// analysis (false).
+func NewStack(k *simtime.Kernel, host *simtime.Host, cfg model.Config, rank int, dtp bool, mode ProgressMode) *Stack {
+	return &Stack{
+		k: k, host: host, cfg: cfg, rank: rank,
+		eng:      datatype.NewEngine(cfg, dtp),
+		peers:    make(map[int]*ptl.Peer),
+		peerMods: make(map[int][]ptl.Module),
+		sendReqs: make(map[uint64]*SendReq),
+		sendDesc: make(map[uint64]*ptl.SendDesc),
+		recvReqs: make(map[uint64]*RecvReq),
+		comms:    make(map[matchKey]*commState),
+		activity: simtime.NewCounter(),
+		mode:     mode,
+		nextID:   1,
+	}
+}
+
+// Rank returns this process's rank.
+func (s *Stack) Rank() int { return s.rank }
+
+// Engine returns the datatype copy engine.
+func (s *Stack) Engine() *datatype.Engine { return s.eng }
+
+// Activity returns the counter transports bump on arrivals/completions.
+func (s *Stack) Activity() *simtime.Counter { return s.activity }
+
+// Mode returns the progress mode.
+func (s *Stack) Mode() ProgressMode { return s.mode }
+
+// SetBlocker installs the module used for InterruptWait blocking.
+func (s *Stack) SetBlocker(b Blocker) { s.blocker = b }
+
+// Stats returns a copy of the PML counters.
+func (s *Stack) Stats() Stats { return s.stats }
+
+// AddModule appends a PTL module to the stack, in scheduling priority
+// order (first module gets first fragments).
+func (s *Stack) AddModule(m ptl.Module) { s.mods = append(s.mods, m) }
+
+// Modules returns the stack's modules.
+func (s *Stack) Modules() []ptl.Module { return s.mods }
+
+// Peer returns the peer object for a connected rank.
+func (s *Stack) Peer(rank int) (*ptl.Peer, bool) {
+	p, ok := s.peers[rank]
+	return p, ok
+}
+
+// AddPeer makes a peer reachable through the given modules (which must
+// already be in the stack). Modules perform their connection setup in
+// AddProc; this is the dynamic-join entry point as well as the MPI_Init
+// path.
+func (s *Stack) AddPeer(th *simtime.Thread, peer *ptl.Peer, mods []ptl.Module) error {
+	if len(mods) == 0 {
+		return fmt.Errorf("pml: peer %d added with no modules", peer.Rank)
+	}
+	for _, m := range mods {
+		if err := m.AddProc(th, peer); err != nil {
+			return fmt.Errorf("pml: add peer %d via %s: %w", peer.Rank, m.Name(), err)
+		}
+	}
+	s.peers[peer.Rank] = peer
+	s.peerMods[peer.Rank] = append([]ptl.Module(nil), mods...)
+	return nil
+}
+
+// DelPeer disconnects a peer from every module (dynamic disjoin). Pending
+// traffic must have drained; transports will surface errors otherwise.
+func (s *Stack) DelPeer(th *simtime.Thread, rank int) {
+	peer := s.peers[rank]
+	if peer == nil {
+		return
+	}
+	for _, m := range s.peerMods[rank] {
+		m.DelProc(th, peer)
+	}
+	delete(s.peers, rank)
+	delete(s.peerMods, rank)
+	// Reset per-connection ordering state: a future process under the
+	// same rank (restart/respawn) starts a fresh sequence space, and
+	// stale reorder entries would otherwise park its traffic forever.
+	for _, cs := range s.comms {
+		delete(cs.expected, rank)
+		delete(cs.reorder, rank)
+		delete(cs.seqOut, rank)
+	}
+}
+
+func (s *Stack) comm(id matchKey) *commState {
+	cs, ok := s.comms[id]
+	if !ok {
+		cs = newCommState()
+		s.comms[id] = cs
+	}
+	return cs
+}
+
+// ---- Send path ----
+
+// Send starts a nonblocking typed send of dt's data from buf to rank dst.
+// Sends to the process's own rank short-circuit through a loopback path
+// (the role of Open MPI's "self" component): the message is matched
+// locally and copied, never touching a network.
+func (s *Stack) Send(th *simtime.Thread, dst, tag int, comm uint16, buf []byte, dt *datatype.Datatype) *SendReq {
+	return s.send(th, dst, tag, comm, buf, dt, false)
+}
+
+// SendSync is the MPI_Ssend flavour: the request completes only after the
+// receiver has matched the message. Implementation: force the rendezvous
+// protocol regardless of size, so completion requires the ACK/FIN_ACK
+// that only a match can produce.
+func (s *Stack) SendSync(th *simtime.Thread, dst, tag int, comm uint16, buf []byte, dt *datatype.Datatype) *SendReq {
+	return s.send(th, dst, tag, comm, buf, dt, true)
+}
+
+func (s *Stack) send(th *simtime.Thread, dst, tag int, comm uint16, buf []byte, dt *datatype.Datatype, sync bool) *SendReq {
+	th.Compute(s.cfg.PMLRequestCost + s.eng.SetupCost())
+	if dst == s.rank {
+		return s.sendSelf(th, tag, comm, buf, dt)
+	}
+	mods := s.peerMods[dst]
+	if len(mods) == 0 {
+		panic(fmt.Sprintf("pml: rank %d unreachable from %d", dst, s.rank))
+	}
+	n := dt.Size()
+	req := &SendReq{
+		id: s.nextID, stack: s, dst: dst, tag: tag, comm: comm,
+		dtype: dt, user: buf, n: n, done: simtime.NewSignal(),
+	}
+	s.nextID++
+	s.sendReqs[req.id] = req
+	s.stats.Sends++
+	s.trace(trace.SendPosted, req.id, dst, tag, n)
+
+	// Contiguous data is used in place (zero copy); non-contiguous data
+	// is packed once into a staging buffer.
+	if dt.Contig() {
+		req.packed = buf[:n]
+	} else {
+		req.packed = make([]byte, n)
+		s.eng.Pack(th, dt, req.packed, buf, 0, n)
+	}
+
+	th.Compute(s.cfg.PMLScheduleCost)
+	mod := mods[0]
+	req.mem = ptl.MemDesc{Buf: req.packed, E4: mod.RegisterMem(req.packed)}
+
+	cs := s.comm(comm)
+	seq := cs.seqOut[dst]
+	cs.seqOut[dst] = seq + 1
+
+	hdr := ptl.Header{
+		CommID: comm, SrcRank: int32(s.rank), DstRank: int32(dst),
+		Tag: int32(tag), SeqNum: seq, MsgLen: uint64(n),
+		SendReq: req.id, SrcAddr: uint64(req.mem.E4),
+	}
+	if n <= mod.EagerLimit() && !sync {
+		hdr.Type = ptl.TypeMatch
+		hdr.FragLen = uint32(n)
+		req.inlineLen = n
+		s.stats.EagerSends++
+	} else {
+		hdr.Type = ptl.TypeRndv
+		inline := 0
+		if mod.InlineRndv() {
+			inline = mod.EagerLimit()
+			if inline > n {
+				inline = n
+			}
+		}
+		hdr.FragLen = uint32(inline)
+		req.inlineLen = inline
+		s.stats.RndvSends++
+	}
+	sd := &ptl.SendDesc{Hdr: hdr, Mem: req.mem}
+	s.sendDesc[req.id] = sd
+	if s.Trace != nil && s.Trace.armed {
+		s.Trace.PMLTime += s.k.Now().Sub(s.Trace.deliverAt)
+		s.Trace.Count++
+		s.Trace.armed = false
+	}
+	mod.SendFirst(th, s.peers[dst], sd)
+	return req
+}
+
+// sendSelf is the loopback path: match locally, copy once.
+func (s *Stack) sendSelf(th *simtime.Thread, tag int, comm uint16, buf []byte, dt *datatype.Datatype) *SendReq {
+	n := dt.Size()
+	req := &SendReq{
+		id: s.nextID, stack: s, dst: s.rank, tag: tag, comm: comm,
+		dtype: dt, user: buf, n: n, done: simtime.NewSignal(),
+	}
+	s.nextID++
+	s.sendReqs[req.id] = req
+	s.stats.Sends++
+	if dt.Contig() {
+		req.packed = buf[:n]
+	} else {
+		req.packed = make([]byte, n)
+		s.eng.Pack(th, dt, req.packed, buf, 0, n)
+	}
+	cs := s.comm(comm)
+	seq := cs.seqOut[s.rank]
+	cs.seqOut[s.rank] = seq + 1
+	hdr := ptl.Header{
+		Type: ptl.TypeMatch, CommID: comm,
+		SrcRank: int32(s.rank), DstRank: int32(s.rank), Tag: int32(tag),
+		SeqNum: seq, FragLen: uint32(n), MsgLen: uint64(n), SendReq: req.id,
+	}
+	if s.selfPeer == nil {
+		s.selfPeer = &ptl.Peer{Rank: s.rank, Name: "self"}
+	}
+	s.ReceiveFirst(th, nil, s.selfPeer, hdr, req.packed)
+	s.SendProgress(th, req.id, n)
+	return req
+}
+
+// AckArrived implements ptl.PML: a rendezvous ACK reached the sender.
+func (s *Stack) AckArrived(th *simtime.Thread, hdr ptl.Header, remote ptl.RemoteMem) {
+	s.activity.Add(1)
+	req := s.sendReqs[hdr.SendReq]
+	if req == nil || req.acked {
+		return
+	}
+	req.acked = true
+	s.trace(trace.AckArrived, req.id, req.dst, req.tag, req.n)
+	sd := s.sendDesc[req.id]
+	sd.Hdr.RecvReq = hdr.RecvReq
+
+	if req.inlineLen > 0 {
+		// The data inlined with the rendezvous is now known delivered
+		// (ptl_send_progress for the first packet, per Fig. 2).
+		s.SendProgress(th, req.id, req.inlineLen)
+	}
+	rest := req.n - req.inlineLen
+	if rest <= 0 {
+		return
+	}
+	// Schedule the remainder across the modules reaching this peer,
+	// weighted by bandwidth (the second scheduling heuristic of §2.2).
+	th.Compute(s.cfg.PMLScheduleCost)
+	peer := s.peers[req.dst]
+	mods := s.peerMods[req.dst]
+	var usable []ptl.Module
+	var wsum float64
+	for _, m := range mods {
+		if m.SupportsPut() || m.MaxFragSize() > 0 {
+			usable = append(usable, m)
+			wsum += m.Weight()
+		}
+	}
+	if len(usable) == 0 {
+		panic("pml: no module can carry the message remainder")
+	}
+	off := req.inlineLen
+	remaining := rest
+	for i, m := range usable {
+		var ln int
+		if i == len(usable)-1 {
+			ln = remaining
+		} else {
+			ln = int(float64(rest) * m.Weight() / wsum)
+			if ln > remaining {
+				ln = remaining
+			}
+		}
+		if ln <= 0 {
+			continue
+		}
+		if m.SupportsPut() {
+			m.Put(th, peer, sd, remote, off, ln, true)
+		} else {
+			// In-band fragments, chunked at the module's limit.
+			max := m.MaxFragSize()
+			for o := off; o < off+ln; o += max {
+				c := off + ln - o
+				if c > max {
+					c = max
+				}
+				m.SendFrag(th, peer, sd, o, c)
+			}
+		}
+		off += ln
+		remaining -= ln
+	}
+}
+
+// SendProgress implements ptl.PML: bytes of a send were delivered or
+// safely buffered.
+func (s *Stack) SendProgress(th *simtime.Thread, sendReq uint64, bytes int) {
+	s.activity.Add(1)
+	req := s.sendReqs[sendReq]
+	if req == nil {
+		return
+	}
+	req.progressed += bytes
+	if req.progressed > req.n {
+		panic(fmt.Sprintf("pml: send %d progressed %d of %d bytes", sendReq, req.progressed, req.n))
+	}
+	s.trace(trace.SendProgressed, req.id, req.dst, req.tag, bytes)
+	if req.progressed == req.n && !req.done.Fired() {
+		delete(s.sendDesc, req.id)
+		s.trace(trace.SendCompleted, req.id, req.dst, req.tag, req.n)
+		req.done.Fire()
+	}
+}
+
+// ---- Receive path ----
+
+// Recv posts a nonblocking typed receive. src may be AnySource, tag may
+// be AnyTag.
+func (s *Stack) Recv(th *simtime.Thread, src, tag int, comm uint16, buf []byte, dt *datatype.Datatype) *RecvReq {
+	th.Compute(s.cfg.PMLRequestCost + s.eng.SetupCost())
+	req := &RecvReq{
+		id: s.nextID, stack: s, src: src, tag: tag, comm: comm,
+		dtype: dt, user: buf, done: simtime.NewSignal(),
+	}
+	s.nextID++
+	s.recvReqs[req.id] = req
+	s.stats.Recvs++
+	s.trace(trace.RecvPosted, req.id, src, tag, dt.Size())
+
+	cs := s.comm(comm)
+	th.Compute(s.cfg.PMLMatchCost)
+	s.stats.MatchAttempts++
+	for i, ff := range cs.unexpected {
+		if matches(req, &ff.hdr) {
+			cs.unexpected = append(cs.unexpected[:i], cs.unexpected[i+1:]...)
+			s.consumeMatch(th, req, ff)
+			return req
+		}
+	}
+	cs.posted = append(cs.posted, req)
+	return req
+}
+
+// ReceiveFirst implements ptl.PML: a MATCH/RNDV fragment arrived and needs
+// matching. data is only valid during the call.
+func (s *Stack) ReceiveFirst(th *simtime.Thread, mod ptl.Module, src *ptl.Peer, hdr ptl.Header, data []byte) {
+	s.activity.Add(1)
+	if s.Trace != nil {
+		s.Trace.deliverAt = s.k.Now()
+		s.Trace.armed = true
+	}
+	s.trace(trace.FirstArrived, hdr.SendReq, src.Rank, int(hdr.Tag), int(hdr.MsgLen))
+	cs := s.comm(hdr.CommID)
+	exp, ok := cs.expected[src.Rank]
+	if !ok {
+		cs.expected[src.Rank] = 0
+	}
+	if hdr.SeqNum != exp {
+		// Out of sequence (e.g. a NACKed-and-retried QDMA overtaken by a
+		// later message): park until its turn, preserving MPI ordering.
+		s.stats.ReorderedMsgs++
+		cs.reorder[src.Rank] = append(cs.reorder[src.Rank], &firstFrag{
+			mod: mod, peer: src, hdr: hdr, data: cloneBytes(data),
+		})
+		return
+	}
+	s.admitFirst(th, &firstFrag{mod: mod, peer: src, hdr: hdr, data: data})
+	// Drain any parked successors that are now in sequence.
+	for {
+		next := -1
+		exp = cs.expected[src.Rank]
+		for i, ff := range cs.reorder[src.Rank] {
+			if ff.hdr.SeqNum == exp {
+				next = i
+				break
+			}
+		}
+		if next < 0 {
+			return
+		}
+		ff := cs.reorder[src.Rank][next]
+		cs.reorder[src.Rank] = append(cs.reorder[src.Rank][:next], cs.reorder[src.Rank][next+1:]...)
+		s.admitFirst(th, ff)
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp
+}
+
+// admitFirst matches an in-sequence first fragment against the posted
+// receives, or stores it as unexpected.
+func (s *Stack) admitFirst(th *simtime.Thread, ff *firstFrag) {
+	cs := s.comm(ff.hdr.CommID)
+	cs.expected[ff.peer.Rank]++
+	th.Compute(s.cfg.PMLMatchCost)
+	s.stats.MatchAttempts++
+	for i, req := range cs.posted {
+		if matches(req, &ff.hdr) {
+			cs.posted = append(cs.posted[:i], cs.posted[i+1:]...)
+			s.consumeMatch(th, req, ff)
+			return
+		}
+	}
+	s.stats.UnexpectedMsgs++
+	s.trace(trace.Unexpected, ff.hdr.SendReq, ff.peer.Rank, int(ff.hdr.Tag), int(ff.hdr.MsgLen))
+	ff.data = cloneBytes(ff.data)
+	cs.unexpected = append(cs.unexpected, ff)
+}
+
+// consumeMatch binds a matched (request, fragment) pair: eager data is
+// copied out; rendezvous messages are handed to the module's scheme
+// (ptl_matched in the paper's flow).
+func (s *Stack) consumeMatch(th *simtime.Thread, req *RecvReq, ff *firstFrag) {
+	req.matched = true
+	s.trace(trace.Matched, req.id, ff.peer.Rank, int(ff.hdr.Tag), int(ff.hdr.MsgLen))
+	req.msgLen = int(ff.hdr.MsgLen)
+	req.status = Status{Source: int(ff.hdr.SrcRank), Tag: int(ff.hdr.Tag), Len: req.msgLen}
+	if req.msgLen > req.dtype.Size() {
+		panic(fmt.Sprintf("pml: message of %d bytes truncates receive of %d", req.msgLen, req.dtype.Size()))
+	}
+
+	if ff.hdr.Type == ptl.TypeMatch {
+		// Whole message inline: unpack straight to the user buffer.
+		if req.msgLen > 0 {
+			s.eng.Unpack(th, req.dtype, req.user, ff.data[:req.msgLen], 0, req.msgLen)
+		}
+		s.RecvProgress(th, req.id, req.msgLen)
+		if req.msgLen == 0 {
+			s.finishRecv(th, req)
+		}
+		return
+	}
+
+	// Rendezvous: prepare the landing area and run the module's scheme.
+	if req.dtype.Contig() {
+		req.staging = req.user[:req.msgLen]
+	} else {
+		req.staging = make([]byte, req.msgLen)
+	}
+	req.mem = ptl.MemDesc{Buf: req.staging, E4: ff.mod.RegisterMem(req.staging)}
+	inline := int(ff.hdr.FragLen)
+	if inline > 0 {
+		// The copy the "no-inline" optimization avoids: inlined
+		// rendezvous data must be copied from the bounce buffer while
+		// RDMA would have placed it directly.
+		th.Compute(s.eng.CopyCost(inline, 1))
+		copy(req.staging[:inline], ff.data[:inline])
+	}
+	rd := &ptl.RecvDesc{Hdr: ff.hdr, Mem: req.mem, ReqID: req.id}
+	ff.mod.Matched(th, ff.peer, rd)
+	if inline > 0 {
+		s.RecvProgress(th, req.id, inline)
+	}
+}
+
+// ReceiveFrag implements ptl.PML: an in-band continuation fragment.
+func (s *Stack) ReceiveFrag(th *simtime.Thread, hdr ptl.Header, data []byte) {
+	s.activity.Add(1)
+	req := s.recvReqs[hdr.RecvReq]
+	if req == nil || !req.matched {
+		panic(fmt.Sprintf("pml: FRAG for unknown receive %d", hdr.RecvReq))
+	}
+	ln := int(hdr.FragLen)
+	off := int(hdr.Offset)
+	th.Compute(s.eng.CopyCost(ln, 1))
+	copy(req.staging[off:off+ln], data[:ln])
+	s.RecvProgress(th, req.id, ln)
+}
+
+// RecvProgress implements ptl.PML: bytes landed for a receive request.
+func (s *Stack) RecvProgress(th *simtime.Thread, recvReq uint64, bytes int) {
+	s.activity.Add(1)
+	req := s.recvReqs[recvReq]
+	if req == nil {
+		return
+	}
+	req.got += bytes
+	if req.got > req.msgLen {
+		panic(fmt.Sprintf("pml: recv %d got %d of %d bytes", recvReq, req.got, req.msgLen))
+	}
+	s.trace(trace.RecvProgressed, req.id, req.status.Source, req.status.Tag, bytes)
+	if req.got == req.msgLen && req.matched {
+		s.finishRecv(th, req)
+	}
+}
+
+func (s *Stack) finishRecv(th *simtime.Thread, req *RecvReq) {
+	if req.done.Fired() {
+		return
+	}
+	if req.staging != nil && !req.dtype.Contig() {
+		// Scatter the packed staging buffer into the typed user layout.
+		s.eng.Unpack(th, req.dtype, req.user, req.staging, 0, req.msgLen)
+	}
+	delete(s.recvReqs, req.id)
+	s.trace(trace.RecvCompleted, req.id, req.status.Source, req.status.Tag, req.msgLen)
+	req.done.Fire()
+}
+
+// trace records a protocol event if a Tracer is attached.
+func (s *Stack) trace(kind trace.Kind, reqID uint64, peer, tag, bytes int) {
+	if s.Tracer == nil {
+		return
+	}
+	s.Tracer.Record(trace.Event{
+		At: s.k.Now(), Rank: s.rank, Kind: kind,
+		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes,
+	})
+}
+
+// ---- Probe ----
+
+// Iprobe checks for a matchable unexpected message without receiving it.
+func (s *Stack) Iprobe(th *simtime.Thread, src, tag int, comm uint16) (Status, bool) {
+	s.Progress(th)
+	th.Compute(s.cfg.PMLMatchCost)
+	probe := &RecvReq{src: src, tag: tag}
+	for _, ff := range s.comm(comm).unexpected {
+		if matches(probe, &ff.hdr) {
+			return Status{Source: int(ff.hdr.SrcRank), Tag: int(ff.hdr.Tag), Len: int(ff.hdr.MsgLen)}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Probe blocks until a matchable message is available.
+func (s *Stack) Probe(th *simtime.Thread, src, tag int, comm uint16) Status {
+	for {
+		if st, ok := s.Iprobe(th, src, tag, comm); ok {
+			return st
+		}
+		v := s.activity.Value()
+		s.activity.WaitFor(th.Proc(), v+1)
+	}
+}
+
+// ---- Progress engine ----
+
+// Progress polls every module once.
+func (s *Stack) Progress(th *simtime.Thread) {
+	for _, m := range s.mods {
+		m.Progress(th)
+	}
+}
+
+// waitOn blocks until sig fires, driving progress according to the mode.
+func (s *Stack) waitOn(th *simtime.Thread, sig *simtime.Signal) {
+	switch s.mode {
+	case Threaded:
+		// Progress threads inside the modules complete requests; the
+		// application thread sleeps and pays the handoff on wake.
+		if !sig.Fired() {
+			th.BlockOn(sig, s.cfg.ThreadHandoff)
+		}
+	default:
+		for !sig.Fired() {
+			s.Progress(th)
+			if sig.Fired() {
+				return
+			}
+			v := s.activity.Value()
+			if sig.Fired() {
+				return
+			}
+			if s.mode == InterruptWait && s.blocker != nil {
+				s.blocker.BlockActivity(th)
+			} else {
+				s.activity.WaitFor(th.Proc(), v+1)
+			}
+		}
+	}
+}
+
+// PendingSends returns in-flight send requests (used by finalization).
+func (s *Stack) PendingSends() int { return countUndone(s.sendReqs) }
+
+// PendingRecvs returns incomplete receive requests.
+func (s *Stack) PendingRecvs() int { return len(s.recvReqs) }
+
+func countUndone(m map[uint64]*SendReq) int {
+	n := 0
+	for _, r := range m {
+		if !r.done.Fired() {
+			n++
+		}
+	}
+	return n
+}
+
+// Finalize drains pending sends, then finalizes every module (stage four
+// of the lifecycle: "an existing connection can go through its
+// finalization stage only when the involving processes have completed all
+// the pending messages").
+func (s *Stack) Finalize(th *simtime.Thread) {
+	for s.PendingSends() > 0 {
+		s.Progress(th)
+		if s.PendingSends() == 0 {
+			break
+		}
+		v := s.activity.Value()
+		s.activity.WaitFor(th.Proc(), v+1)
+	}
+	for _, m := range s.mods {
+		m.Finalize(th)
+	}
+}

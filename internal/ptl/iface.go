@@ -1,0 +1,146 @@
+package ptl
+
+import (
+	"qsmpi/internal/elan4"
+	"qsmpi/internal/simtime"
+)
+
+// Peer identifies a remote process from the PTL layer's point of view.
+// Rank is the process's position in the job; Name is its RTE registry
+// name, which modules use to look up transport-specific addressing
+// (published queue ids, VPIDs, socket ports) during AddProc. Keeping MPI
+// rank and network addressing decoupled here is the paper's §4.1 design
+// point: a migrated or late-joining process changes its published
+// addressing, never its rank.
+type Peer struct {
+	Rank int
+	Name string
+}
+
+// MemDesc is the "expanded" memory descriptor of §4.2: the host buffer
+// plus its network-format address. Transports that need no transformed
+// addressing (TCP) leave E4 zero.
+type MemDesc struct {
+	Buf []byte
+	E4  elan4.E4Addr
+}
+
+// RemoteMem is a peer's exported memory descriptor, as carried by a
+// rendezvous ACK: where RDMA writes should land.
+type RemoteMem struct {
+	E4   elan4.E4Addr
+	VPID int
+}
+
+// SendDesc is the send side of one message as handed to modules: the
+// prebuilt match header, the packed (contiguous) data, and the memory
+// descriptor for RDMA. A module may receive the same SendDesc in a
+// SendFirst and several later Put/SendFrag calls.
+type SendDesc struct {
+	Hdr Header
+	Mem MemDesc
+}
+
+// RecvDesc is the receive side of one matched rendezvous: the rendezvous
+// header (carrying the sender's request handle and source address) and
+// the destination memory.
+type RecvDesc struct {
+	Hdr Header // the rendezvous header as received
+	Mem MemDesc
+	// ReqID is the receiver-side request handle to stamp into control
+	// messages back to this process.
+	ReqID uint64
+}
+
+// PML is the upcall interface a module uses to hand fragments and
+// progress back to the management layer (the paper's ptl_match,
+// ptl_send_progress and ptl_recv_progress entry points).
+type PML interface {
+	// ReceiveFirst delivers a MATCH or RNDV fragment for matching. data
+	// is the inlined payload (whole message for MATCH); the PML copies
+	// what it keeps before returning.
+	ReceiveFirst(th *simtime.Thread, mod Module, src *Peer, hdr Header, data []byte)
+	// ReceiveFrag delivers an in-band continuation fragment addressed to
+	// the receive request in hdr.RecvReq.
+	ReceiveFrag(th *simtime.Thread, hdr Header, data []byte)
+	// AckArrived delivers a rendezvous ACK to the sender side: the match
+	// succeeded, inlined data was consumed, and remote describes where
+	// the remainder may be Put (write scheme).
+	AckArrived(th *simtime.Thread, hdr Header, remote RemoteMem)
+	// SendProgress reports bytes of a send request safely delivered (or
+	// buffered); the PML completes the request when all bytes are
+	// accounted.
+	SendProgress(th *simtime.Thread, sendReq uint64, bytes int)
+	// RecvProgress reports bytes landed for a receive request.
+	RecvProgress(th *simtime.Thread, recvReq uint64, bytes int)
+}
+
+// RMACapable is the optional extension for true one-sided communication
+// (MPI-2 RMA): raw RDMA into a remote exposed window with no target-side
+// software, which an RDMA-capable transport can provide directly. onDone
+// runs in completion context (no thread; it must only update counters/
+// signals, not Compute).
+type RMACapable interface {
+	Module
+	// RawPut writes src into the peer's memory at remote+off.
+	RawPut(th *simtime.Thread, p *Peer, src []byte, remote elan4.E4Addr, off int, onDone func())
+	// RawGet reads len(dst) bytes from the peer's memory at remote+off.
+	RawGet(th *simtime.Thread, p *Peer, remote elan4.E4Addr, off int, dst []byte, onDone func())
+}
+
+// Module is one communication endpoint of a transport (the paper's PTL
+// module, typically one per NIC). Modules move fragments; all matching,
+// scheduling and request state lives above, in the PML.
+type Module interface {
+	// Name identifies the owning component, e.g. "elan4" or "tcp".
+	Name() string
+
+	// EagerLimit is the largest payload the module accepts in a first
+	// fragment (beyond it the PML must use rendezvous).
+	EagerLimit() int
+	// InlineRndv reports whether rendezvous fragments should carry
+	// EagerLimit bytes of inlined data (the Fig. 7 "-NoInline" series
+	// turns this off).
+	InlineRndv() bool
+	// SupportsPut reports RDMA-write capability (enables the Fig. 3
+	// scheme and PML striping of the post-ACK remainder).
+	SupportsPut() bool
+	// MaxFragSize is the largest in-band fragment for SendFrag (0 if the
+	// module does not do in-band continuation fragments).
+	MaxFragSize() int
+	// Weight is the relative bandwidth share the PML scheduler assigns
+	// when striping one message across several modules.
+	Weight() float64
+
+	// RegisterMem transforms a host buffer into the module's network
+	// addressing (E4Addr on Quadrics; zero for TCP). The PML stores it in
+	// the expanded memory descriptor.
+	RegisterMem(buf []byte) elan4.E4Addr
+
+	// AddProc establishes reachability to a peer (connection setup via
+	// the RTE modex); DelProc tears it down after pending traffic drains.
+	AddProc(th *simtime.Thread, p *Peer) error
+	DelProc(th *simtime.Thread, p *Peer)
+
+	// SendFirst transmits the first fragment: TypeMatch with the whole
+	// payload, or TypeRndv with sd.Hdr.FragLen inlined bytes.
+	SendFirst(th *simtime.Thread, p *Peer, sd *SendDesc)
+	// SendFrag transmits message bytes [off,off+ln) in-band.
+	SendFrag(th *simtime.Thread, p *Peer, sd *SendDesc, off, ln int)
+	// Put RDMA-writes message bytes [off,off+ln) into remote memory; fin
+	// marks the module's last segment of this message, after which the
+	// module must notify the receiver (FIN) of all bytes it has Put.
+	Put(th *simtime.Thread, p *Peer, sd *SendDesc, remote RemoteMem, off, ln int, fin bool)
+	// Matched executes the module's rendezvous scheme for a match made by
+	// the PML: reply with an ACK (write scheme) or start RDMA reads and
+	// finish with FIN_ACK (read scheme).
+	Matched(th *simtime.Thread, p *Peer, rd *RecvDesc)
+
+	// Progress polls the module once: drain arrived fragments and
+	// completions. Called from the PML progress loop.
+	Progress(th *simtime.Thread)
+
+	// Finalize drains pending communication and releases resources (the
+	// fourth lifecycle stage).
+	Finalize(th *simtime.Thread)
+}

@@ -1,0 +1,76 @@
+package ptl
+
+import "fmt"
+
+// Stage is a PTL component's position in its five-stage life:
+// opening → initializing → communicating → finalizing → closing (§2.2).
+type Stage int
+
+const (
+	// StageClosed: not yet opened, or closed again.
+	StageClosed Stage = iota
+	// StageOpened: component mapped in and sanity-checked.
+	StageOpened
+	// StageActive: modules initialized and inserted into the stack.
+	StageActive
+	// StageFinalized: pending communication drained, resources released.
+	StageFinalized
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageClosed:
+		return "closed"
+	case StageOpened:
+		return "opened"
+	case StageActive:
+		return "active"
+	case StageFinalized:
+		return "finalized"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// Lifecycle enforces the legal stage transitions of a PTL component. A
+// component embeds one and calls the transition methods at each stage;
+// illegal orders (communicating before initializing, closing without
+// finalizing) panic, as they indicate framework bugs.
+type Lifecycle struct {
+	name  string
+	stage Stage
+}
+
+// NewLifecycle returns a closed lifecycle for the named component.
+func NewLifecycle(name string) *Lifecycle {
+	return &Lifecycle{name: name, stage: StageClosed}
+}
+
+// Stage returns the current stage.
+func (l *Lifecycle) Stage() Stage { return l.stage }
+
+func (l *Lifecycle) transition(from, to Stage, what string) {
+	if l.stage != from {
+		panic(fmt.Sprintf("ptl: %s: %s while %v (need %v)", l.name, what, l.stage, from))
+	}
+	l.stage = to
+}
+
+// Open moves closed → opened.
+func (l *Lifecycle) Open() { l.transition(StageClosed, StageOpened, "open") }
+
+// Activate moves opened → active (modules initialized).
+func (l *Lifecycle) Activate() { l.transition(StageOpened, StageActive, "activate") }
+
+// Finalize moves active → finalized (pending traffic drained).
+func (l *Lifecycle) Finalize() { l.transition(StageActive, StageFinalized, "finalize") }
+
+// Close moves finalized → closed.
+func (l *Lifecycle) Close() { l.transition(StageFinalized, StageClosed, "close") }
+
+// RequireActive panics unless the component is communicating; data-path
+// entry points call it.
+func (l *Lifecycle) RequireActive(what string) {
+	if l.stage != StageActive {
+		panic(fmt.Sprintf("ptl: %s: %s while %v", l.name, what, l.stage))
+	}
+}

@@ -1,0 +1,95 @@
+package ptlelan4
+
+import (
+	"encoding/binary"
+
+	"qsmpi/internal/elan4"
+	"qsmpi/internal/libelan"
+	"qsmpi/internal/simtime"
+)
+
+// Hardware-collective support: QsNet's switch-replicated broadcast carries
+// MPI_Bcast when the group is static ([33] in the paper builds exactly
+// this for LA-MPI). §4.1 notes the constraint this file enforces by
+// construction: the member set is fixed for the duration of the operation
+// and every member was present when connections were established —
+// dynamically joined processes fall back to the software tree (the
+// qsmpi/mpi layer disables the hardware path once the world has grown).
+
+// chunkHeader is the per-chunk framing: the byte offset within the
+// broadcast payload, so link-level retries that reorder chunks cannot
+// corrupt reassembly.
+const chunkHeader = 8
+
+// HWBcast implements the mpi.HWColl hardware broadcast: root pushes the
+// payload as switch-replicated QDMA chunks, every other member consumes
+// them from the dedicated collective queue. Returns false when the module
+// cannot serve the group (unknown peer), in which case the caller must use
+// its software fallback. data must be the full payload on every member.
+func (m *Module) HWBcast(th *simtime.Thread, root int, members []int, me int, data []byte) bool {
+	if m.collQ == nil {
+		return false
+	}
+	if len(data) == 0 || len(members) < 2 {
+		return true
+	}
+	if me == root {
+		var vpids []int
+		for _, r := range members {
+			if r == me {
+				continue
+			}
+			pi, ok := m.peers[r]
+			if !ok {
+				return false
+			}
+			vpids = append(vpids, pi.vpid)
+		}
+		maxChunk := m.cfg.QDMAMaxPayload - chunkHeader
+		for off := 0; off < len(data); off += maxChunk {
+			ln := len(data) - off
+			if ln > maxChunk {
+				ln = maxChunk
+			}
+			payload := make([]byte, chunkHeader+ln)
+			binary.LittleEndian.PutUint64(payload, uint64(off))
+			copy(payload[chunkHeader:], data[off:off+ln])
+			m.st.BcastQDMA(th, vpids, qidColl, payload, nil, m.onSendError)
+		}
+		return true
+	}
+	// Non-root: reassemble by offset until every byte has landed,
+	// filtering chunks by root (a previous or next collective's chunks
+	// from another root may interleave; park them).
+	rootVPID, ok := m.peers[root]
+	if !ok {
+		return false
+	}
+	got := 0
+	for got < len(data) {
+		msg := m.nextCollChunk(th, rootVPID.vpid)
+		off := int(binary.LittleEndian.Uint64(msg.Data))
+		body := msg.Data[chunkHeader:]
+		copy(data[off:off+len(body)], body)
+		got += len(body)
+	}
+	return true
+}
+
+// nextCollChunk returns the next collective chunk from the given source,
+// parking chunks from other sources for their own collectives.
+func (m *Module) nextCollChunk(th *simtime.Thread, srcVPID int) elan4.QueuedMsg {
+	for i, p := range m.collPending {
+		if p.SrcVPID == srcVPID {
+			m.collPending = append(m.collPending[:i], m.collPending[i+1:]...)
+			return p
+		}
+	}
+	for {
+		msg := m.collQ.Recv(th, libelan.Poll)
+		if msg.SrcVPID == srcVPID {
+			return msg
+		}
+		m.collPending = append(m.collPending, msg)
+	}
+}

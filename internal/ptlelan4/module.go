@@ -1,0 +1,531 @@
+// Package ptlelan4 is the paper's primary contribution: the Open MPI
+// point-to-point transport layer (PTL) over Quadrics/Elan4.
+//
+// Protocol summary (§4, §5):
+//
+//   - Short messages (≤ 1984 B payload after the 64-byte match header) are
+//     copied into preallocated 2 KB send buffers and moved by QDMA into the
+//     peer's receive queue (QSLOTS).
+//   - Long messages send a rendezvous fragment (optionally with inlined
+//     data). After the PML match, either the receiver RDMA-reads the
+//     remainder and finishes with a FIN_ACK (Fig. 4 — saves one control
+//     packet), or it returns an ACK carrying its E4 memory descriptor and
+//     the sender RDMA-writes the remainder followed by a FIN (Fig. 3).
+//   - The trailing FIN/FIN_ACK can be chained to the last RDMA with the
+//     Elan4 chained-event mechanism, removing the host from the critical
+//     path (the Fig. 8 "NoChain" ablation turns this off).
+//   - Local RDMA completions are detected either by polling per-descriptor
+//     events (NoCQ) or through a shared completion queue built from QDMAs
+//     chained to the completing RDMA (Fig. 6): OneQueue shares the receive
+//     queue, TwoQueue uses a separate queue, enabling one- and two-thread
+//     asynchronous progress (Table 1).
+//   - Processes join the Quadrics network dynamically by claiming a context
+//     in the system-wide capability; rank↔VPID resolution goes through the
+//     RTE so peers can join, leave and migrate (§4.1).
+package ptlelan4
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"qsmpi/internal/elan4"
+	"qsmpi/internal/libelan"
+	"qsmpi/internal/model"
+	"qsmpi/internal/ptl"
+	"qsmpi/internal/rte"
+	"qsmpi/internal/simtime"
+)
+
+// Scheme selects the long-message protocol.
+type Scheme int
+
+const (
+	// RDMARead: receiver pulls, FIN_ACK completes both sides (Fig. 4).
+	RDMARead Scheme = iota
+	// RDMAWrite: receiver ACKs with its memory, sender pushes, FIN
+	// notifies the receiver (Fig. 3).
+	RDMAWrite
+)
+
+func (s Scheme) String() string {
+	if s == RDMARead {
+		return "rdma-read"
+	}
+	return "rdma-write"
+}
+
+// CQMode selects how local RDMA completions are detected.
+type CQMode int
+
+const (
+	// NoCQ polls one Elan event per outstanding descriptor.
+	NoCQ CQMode = iota
+	// OneQueue chains a completion QDMA into the main receive queue.
+	OneQueue
+	// TwoQueue chains completion QDMAs into a dedicated queue.
+	TwoQueue
+)
+
+func (c CQMode) String() string {
+	switch c {
+	case OneQueue:
+		return "one-queue"
+	case TwoQueue:
+		return "two-queue"
+	}
+	return "no-cq"
+}
+
+// Options configures a module; zero values give the paper's best
+// configuration except where noted.
+type Options struct {
+	Scheme     Scheme
+	InlineRndv bool // inline EagerLimit bytes with the rendezvous
+	// ChainFin chains the trailing FIN/FIN_ACK to the last RDMA on the
+	// NIC. Off = the Fig. 8 "NoChain" ablation (host issues it).
+	ChainFin bool
+	CQ       CQMode
+	// Threads spawns asynchronous progress threads: 1 (requires OneQueue)
+	// or 2 (requires TwoQueue). 0 leaves progress to the PML's mode.
+	Threads    int
+	EagerLimit int     // default 2048-64
+	QueueSlots int     // default model QueueSlots
+	Weight     float64 // default 1
+}
+
+// BestOptions is the configuration §6.5 measures Fig. 10 with: chained
+// completion, polling without a shared completion queue, rendezvous
+// without inlined data.
+func BestOptions(scheme Scheme) Options {
+	return Options{Scheme: scheme, InlineRndv: false, ChainFin: true, CQ: NoCQ}
+}
+
+// queue ids within the context.
+const (
+	qidRecv = 0
+	qidComp = 1
+	qidColl = 2
+)
+
+// completion-record encoding (local loopback QDMA payload). The first byte
+// is outside the ptl.MsgType range so records and wire messages can share
+// the OneQueue ring.
+const (
+	recMagic   = 0xC0
+	recPutDone = 1
+	recGetDone = 2
+)
+
+type peerInfo struct {
+	peer *ptl.Peer
+	vpid int
+}
+
+// localOp is one outstanding RDMA descriptor awaiting local completion
+// (NoCQ mode polls these; CQ modes get records instead).
+type localOp struct {
+	ev    *elan4.Event
+	kind  byte // recPutDone / recGetDone
+	reqID uint64
+	bytes int
+	seen  bool
+	fin   *finWork // host-issued FIN when ChainFin is off
+}
+
+// finWork is a FIN/FIN_ACK the host must issue after observing completion.
+type finWork struct {
+	dstVPID int
+	payload []byte
+}
+
+// finKey indexes host-issued FIN work by completion record identity.
+type finKey struct {
+	kind  byte
+	reqID uint64
+}
+
+// Stats counts module activity for tests and experiments.
+type Stats struct {
+	EagerTx, RndvTx int64
+	AckTx, FinTx    int64
+	FinAckTx        int64
+	PutOps, GetOps  int64
+	CQRecords       int64
+	HostIssuedFins  int64
+	// SendBufHighWater is the peak number of send buffers in flight;
+	// SendBufStalls counts sends that had to wait for a buffer.
+	SendBufHighWater int64
+	SendBufStalls    int64
+}
+
+// Module is one PTL/Elan4 endpoint (one per NIC context).
+type Module struct {
+	lc   *ptl.Lifecycle
+	k    *simtime.Kernel
+	host *simtime.Host
+	st   *libelan.State
+	rteH *rte.Handle
+	pml  ptl.PML
+	act  *simtime.Counter
+	cfg  model.Config
+	opts Options
+
+	recvQ *libelan.Queue
+	compQ *libelan.Queue
+	collQ *libelan.Queue
+	// sendBufs is the pool of preallocated 2 KB send buffers (§5): a
+	// first fragment or control message holds one from issue until the
+	// remote deposit is acknowledged; senders stall when the pool drains,
+	// which is the natural backpressure of the design.
+	sendBufs *simtime.Semaphore
+	// collPending parks hardware-collective chunks that arrived from a
+	// different root than the one currently being received (consecutive
+	// collectives overlapping in the network).
+	collPending []elan4.QueuedMsg
+
+	peers       map[int]*peerInfo // by rank
+	outstanding []*localOp
+	pendingFins map[finKey]*finWork
+	stopping    bool
+	threadsUp   int
+
+	stats Stats
+}
+
+// New creates (and opens) a PTL/Elan4 module bound to a libelan state, an
+// RTE handle for connection bootstrap, and the PML upcall interface.
+// activity is the PML's shared progress word.
+func New(k *simtime.Kernel, host *simtime.Host, st *libelan.State, rteH *rte.Handle, p ptl.PML, activity *simtime.Counter, cfg model.Config, opts Options) *Module {
+	if opts.EagerLimit == 0 {
+		opts.EagerLimit = cfg.QDMAMaxPayload - ptl.HeaderSize
+	}
+	if opts.EagerLimit > cfg.QDMAMaxPayload-ptl.HeaderSize {
+		panic("ptlelan4: eager limit exceeds QDMA slot capacity")
+	}
+	if opts.QueueSlots == 0 {
+		opts.QueueSlots = cfg.QueueSlots
+	}
+	if opts.Weight == 0 {
+		opts.Weight = 1
+	}
+	if opts.Threads == 1 && opts.CQ != OneQueue {
+		panic("ptlelan4: one-thread progress requires the combined (OneQueue) completion queue")
+	}
+	if opts.Threads == 2 && opts.CQ != TwoQueue {
+		panic("ptlelan4: two-thread progress requires a separate (TwoQueue) completion queue")
+	}
+	m := &Module{
+		lc: ptl.NewLifecycle("elan4"), k: k, host: host, st: st, rteH: rteH,
+		pml: p, act: activity, cfg: cfg, opts: opts,
+		peers:       make(map[int]*peerInfo),
+		pendingFins: make(map[finKey]*finWork),
+	}
+	m.lc.Open()
+	return m
+}
+
+// Init is the second lifecycle stage: allocate queues, publish addressing
+// through the RTE modex, and start progress threads if configured.
+func (m *Module) Init(th *simtime.Thread) {
+	m.recvQ = m.st.NewQueue(qidRecv, m.opts.QueueSlots)
+	m.recvQ.Raw().AddNotify(m.act)
+	m.collQ = m.st.NewQueue(qidColl, m.opts.QueueSlots)
+	m.sendBufs = simtime.NewSemaphore(m.opts.QueueSlots)
+	if m.opts.CQ == TwoQueue {
+		m.compQ = m.st.NewQueue(qidComp, m.opts.QueueSlots)
+		m.compQ.Raw().AddNotify(m.act)
+	}
+	vpid := make([]byte, 4)
+	binary.LittleEndian.PutUint32(vpid, uint32(m.st.Ctx.VPID()))
+	m.rteH.Publish(th, "elan4:vpid", vpid)
+	m.lc.Activate()
+
+	switch m.opts.Threads {
+	case 1:
+		m.spawnProgressThread("elan4-progress", m.recvQ)
+	case 2:
+		// With two progress threads sharing the host every wake pays the
+		// contention surcharge — the Table 1 one-vs-two-thread gap.
+		m.recvQ.WakePenalty = m.cfg.ThreadContention
+		m.compQ.WakePenalty = m.cfg.ThreadContention
+		m.spawnProgressThread("elan4-recv", m.recvQ)
+		m.spawnProgressThread("elan4-comp", m.compQ)
+	}
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Module) Stats() Stats { return m.stats }
+
+// Lifecycle exposes the component stage for tests.
+func (m *Module) Lifecycle() *ptl.Lifecycle { return m.lc }
+
+// ---- ptl.Module interface ----
+
+// Name implements ptl.Module.
+func (m *Module) Name() string { return "elan4" }
+
+// EagerLimit implements ptl.Module.
+func (m *Module) EagerLimit() int { return m.opts.EagerLimit }
+
+// InlineRndv implements ptl.Module.
+func (m *Module) InlineRndv() bool { return m.opts.InlineRndv }
+
+// SupportsPut implements ptl.Module: only the write scheme lets the PML
+// schedule Puts; under the read scheme the receiver pulls.
+func (m *Module) SupportsPut() bool { return m.opts.Scheme == RDMAWrite }
+
+// MaxFragSize implements ptl.Module: PTL/Elan4 never sends in-band
+// continuation fragments — remainders always move by RDMA.
+func (m *Module) MaxFragSize() int { return 0 }
+
+// Weight implements ptl.Module.
+func (m *Module) Weight() float64 { return m.opts.Weight }
+
+// RegisterMem implements ptl.Module: the §4.2 E4Addr transformation.
+func (m *Module) RegisterMem(buf []byte) elan4.E4Addr {
+	return m.st.Ctx.Register(buf)
+}
+
+// AddProc implements ptl.Module: resolve the peer's VPID through the RTE
+// modex (connection setup — static tables would preclude dynamic joins).
+func (m *Module) AddProc(th *simtime.Thread, p *ptl.Peer) error {
+	m.lc.RequireActive("AddProc")
+	raw := m.rteH.Lookup(th, p.Name, "elan4:vpid")
+	if len(raw) != 4 {
+		return fmt.Errorf("ptlelan4: bad vpid modex entry for %q", p.Name)
+	}
+	m.peers[p.Rank] = &peerInfo{peer: p, vpid: int(binary.LittleEndian.Uint32(raw))}
+	return nil
+}
+
+// DelProc implements ptl.Module.
+func (m *Module) DelProc(th *simtime.Thread, p *ptl.Peer) {
+	delete(m.peers, p.Rank)
+}
+
+func (m *Module) peerVPID(p *ptl.Peer) int {
+	pi, ok := m.peers[p.Rank]
+	if !ok {
+		panic(fmt.Sprintf("ptlelan4: peer %d not connected", p.Rank))
+	}
+	return pi.vpid
+}
+
+// acquireSendBuf takes one preallocated send buffer, stalling the caller
+// when the pool is exhausted, and returns the completion event that
+// releases it once the remote deposit is acknowledged.
+func (m *Module) acquireSendBuf(th *simtime.Thread) *elan4.Event {
+	if !m.sendBufs.TryAcquire() {
+		m.stats.SendBufStalls++
+		m.sendBufs.Acquire(th.Proc())
+	}
+	inFlight := int64(m.opts.QueueSlots - m.sendBufs.Available())
+	if inFlight > m.stats.SendBufHighWater {
+		m.stats.SendBufHighWater = inFlight
+	}
+	ev := m.st.Ctx.NewEvent(1)
+	ev.Chain(m.sendBufs.Release)
+	return ev
+}
+
+// SendFirst implements ptl.Module: copy header+inline payload into a
+// preallocated send buffer and QDMA it to the peer's receive queue.
+func (m *Module) SendFirst(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc) {
+	m.lc.RequireActive("SendFirst")
+	inline := int(sd.Hdr.FragLen)
+	payload := append(sd.Hdr.Encode(), sd.Mem.Buf[:inline]...)
+	// Copy into the 2KB send buffer (the preallocation of §5).
+	buf := m.acquireSendBuf(th)
+	th.Compute(m.st.Cfg.MemcpyStartup + simtime.BytesAt(len(payload), m.st.Cfg.MemcpyBandwidth))
+	m.st.QDMA(th, m.peerVPID(p), qidRecv, payload, buf, m.onSendError)
+	if sd.Hdr.Type == ptl.TypeMatch {
+		m.stats.EagerTx++
+		// Eager data is buffered; the request's bytes are locally complete
+		// (send-side completion is off the critical path, §6.3).
+		m.pml.SendProgress(th, sd.Hdr.SendReq, inline)
+	} else {
+		m.stats.RndvTx++
+	}
+}
+
+// SendFrag implements ptl.Module; PTL/Elan4 does not use in-band frags.
+func (m *Module) SendFrag(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc, off, ln int) {
+	panic("ptlelan4: SendFrag unsupported (MaxFragSize is 0)")
+}
+
+// Put implements ptl.Module: RDMA-write [off,off+ln) into the remote
+// descriptor; when fin is set, notify the receiver with a FIN carrying the
+// byte count once the write completes.
+func (m *Module) Put(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc, remote ptl.RemoteMem, off, ln int, fin bool) {
+	m.lc.RequireActive("Put")
+	m.stats.PutOps++
+	vpid := m.peerVPID(p)
+
+	var finHdr *ptl.Header
+	if fin {
+		h := sd.Hdr
+		h.Type = ptl.TypeFin
+		h.Offset = uint64(off)
+		h.FragLen = uint32(ln)
+		finHdr = &h
+	}
+	op := m.newLocalOp(recPutDone, sd.Hdr.SendReq, ln, vpid, finHdr)
+	m.st.RDMAWrite(th, vpid, sd.Mem.E4.Add(off), remote.E4.Add(off), ln, op.ev, m.onSendError)
+}
+
+// RawPut implements ptl.RMACapable: a one-sided RDMA write into a remote
+// window, used by the MPI-2 RMA layer. The source buffer is transformed
+// to an E4 address on the fly (Quadrics needs no pre-registration) and
+// onDone fires from the completion event's chain once the write is
+// network-acknowledged.
+func (m *Module) RawPut(th *simtime.Thread, p *ptl.Peer, src []byte, remote elan4.E4Addr, off int, onDone func()) {
+	m.lc.RequireActive("RawPut")
+	vpid := m.peerVPID(p)
+	srcE4 := m.st.Ctx.Register(src)
+	ev := m.st.Ctx.NewEvent(1)
+	ev.SetHostWord(simtime.NewCounter())
+	ev.AddNotify(m.act)
+	ev.Chain(onDone)
+	m.st.RDMAWrite(th, vpid, srcE4, remote.Add(off), len(src), ev, m.onSendError)
+}
+
+// RawGet implements ptl.RMACapable: a one-sided RDMA read from a remote
+// window.
+func (m *Module) RawGet(th *simtime.Thread, p *ptl.Peer, remote elan4.E4Addr, off int, dst []byte, onDone func()) {
+	m.lc.RequireActive("RawGet")
+	vpid := m.peerVPID(p)
+	dstE4 := m.st.Ctx.Register(dst)
+	ev := m.st.Ctx.NewEvent(1)
+	ev.SetHostWord(simtime.NewCounter())
+	ev.AddNotify(m.act)
+	ev.Chain(onDone)
+	m.st.RDMARead(th, vpid, remote.Add(off), dstE4, len(dst), ev, m.onRecvError)
+}
+
+// Matched implements ptl.Module (the paper's ptl_matched): execute the
+// configured rendezvous scheme for a freshly matched message.
+func (m *Module) Matched(th *simtime.Thread, p *ptl.Peer, rd *ptl.RecvDesc) {
+	m.lc.RequireActive("Matched")
+	vpid := m.peerVPID(p)
+	inline := int(rd.Hdr.FragLen)
+	rest := int(rd.Hdr.MsgLen) - inline
+
+	if m.opts.Scheme == RDMAWrite {
+		// Fig. 3: ACK with our memory descriptor; the sender will Put.
+		h := rd.Hdr
+		h.Type = ptl.TypeAck
+		h.RecvReq = rd.ReqID
+		payload := append(h.Encode(), encodeE4(rd.Mem.E4)...)
+		buf := m.acquireSendBuf(th)
+		th.Compute(m.st.Cfg.MemcpyStartup + simtime.BytesAt(len(payload), m.st.Cfg.MemcpyBandwidth))
+		m.st.QDMA(th, vpid, qidRecv, payload, buf, m.onSendError)
+		m.stats.AckTx++
+		return
+	}
+
+	// Fig. 4: RDMA-read the remainder, then FIN_ACK.
+	m.stats.GetOps++
+	h := rd.Hdr
+	h.Type = ptl.TypeFinAck
+	h.RecvReq = rd.ReqID
+	op := m.newLocalOp(recGetDone, rd.ReqID, rest, vpid, &h)
+	m.st.RDMARead(th, vpid, rd.Hdr.E4SrcAddr().Add(inline), rd.Mem.E4.Add(inline), rest, op.ev, m.onRecvError)
+}
+
+// newLocalOp allocates the completion event for one RDMA descriptor and
+// wires the configured notification strategy: chained FIN, completion
+// queue record, or pollable event.
+func (m *Module) newLocalOp(kind byte, reqID uint64, bytes, peerVPID int, finHdr *ptl.Header) *localOp {
+	ev := m.st.Ctx.NewEvent(1)
+	op := &localOp{ev: ev, kind: kind, reqID: reqID, bytes: bytes}
+
+	var finPayload []byte
+	if finHdr != nil {
+		finPayload = finHdr.Encode()
+		if m.opts.ChainFin {
+			if finHdr.Type == ptl.TypeFin {
+				m.stats.FinTx++
+			} else {
+				m.stats.FinAckTx++
+			}
+		} else {
+			// Host must notice completion and issue the FIN itself — the
+			// Fig. 8 "NoChain" ablation.
+			fw := &finWork{dstVPID: peerVPID, payload: finPayload}
+			if m.opts.CQ == NoCQ {
+				op.fin = fw
+			} else {
+				m.pendingFins[finKey{kind: kind, reqID: reqID}] = fw
+			}
+		}
+	}
+
+	cqQueue := -1
+	switch m.opts.CQ {
+	case OneQueue:
+		cqQueue = qidRecv
+	case TwoQueue:
+		cqQueue = qidComp
+	}
+	var rec []byte
+	if cqQueue >= 0 {
+		rec = encodeRecord(kind, reqID, bytes)
+		m.stats.CQRecords++
+	}
+
+	chainFin := m.opts.ChainFin && finHdr != nil
+	self := m.st.Ctx.VPID()
+	if chainFin || cqQueue >= 0 {
+		// Back-to-back chained commands issued on the NIC at completion:
+		// FIN to the peer, then the completion record to our own queue.
+		ev.Chain(func() {
+			if chainFin {
+				m.st.Ctx.QDMAFromNIC(peerVPID, qidRecv, finPayload, nil, m.onSendError)
+			}
+			if cqQueue >= 0 {
+				m.st.Ctx.QDMAFromNIC(self, cqQueue, rec, nil, m.onSendError)
+			}
+		})
+	}
+
+	ev.SetHostWord(simtime.NewCounter())
+	ev.AddNotify(m.act)
+	if m.opts.CQ == NoCQ {
+		m.outstanding = append(m.outstanding, op)
+	}
+	return op
+}
+
+func encodeE4(a elan4.E4Addr) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(a))
+	return b
+}
+
+func decodeE4(b []byte) elan4.E4Addr {
+	return elan4.E4Addr(binary.LittleEndian.Uint64(b))
+}
+
+func encodeRecord(kind byte, reqID uint64, bytes int) []byte {
+	b := make([]byte, 14)
+	b[0] = recMagic
+	b[1] = kind
+	binary.LittleEndian.PutUint64(b[2:], reqID)
+	binary.LittleEndian.PutUint32(b[10:], uint32(bytes))
+	return b
+}
+
+func decodeRecord(b []byte) (kind byte, reqID uint64, bytes int, ok bool) {
+	if len(b) != 14 || b[0] != recMagic {
+		return 0, 0, 0, false
+	}
+	return b[1], binary.LittleEndian.Uint64(b[2:]), int(binary.LittleEndian.Uint32(b[10:])), true
+}
+
+func (m *Module) onSendError(err error) {
+	panic(fmt.Sprintf("ptlelan4: transmit failure: %v", err))
+}
+
+func (m *Module) onRecvError(err error) {
+	panic(fmt.Sprintf("ptlelan4: RDMA read failure: %v", err))
+}

@@ -1,0 +1,196 @@
+package ptlelan4
+
+import (
+	"fmt"
+
+	"qsmpi/internal/elan4"
+	"qsmpi/internal/libelan"
+	"qsmpi/internal/ptl"
+	"qsmpi/internal/simtime"
+)
+
+// recStop is the poison completion record Finalize uses to unblock
+// progress threads.
+const recStop = 3
+
+// Progress implements ptl.Module: drain arrived queue messages and, in
+// NoCQ mode, poll the outstanding descriptor events. In threaded modes the
+// progress threads own the queues and Progress is a no-op.
+func (m *Module) Progress(th *simtime.Thread) {
+	if m.opts.Threads > 0 || m.lc.Stage() != ptl.StageActive {
+		return
+	}
+	m.drainQueue(th, m.recvQ)
+	if m.compQ != nil {
+		m.drainQueue(th, m.compQ)
+	}
+	if m.opts.CQ == NoCQ {
+		m.pollOutstanding(th)
+	}
+}
+
+func (m *Module) drainQueue(th *simtime.Thread, q *libelan.Queue) {
+	for {
+		msg, ok := q.TryRecv(th)
+		if !ok {
+			return
+		}
+		m.handleMsg(th, msg)
+	}
+}
+
+// handleMsg dispatches one queue slot: either a local completion record
+// or a wire message from a peer.
+func (m *Module) handleMsg(th *simtime.Thread, qm elan4.QueuedMsg) {
+	if kind, reqID, bytes, ok := decodeRecord(qm.Data); ok {
+		m.handleRecord(th, kind, reqID, bytes)
+		return
+	}
+	hdr, err := ptl.DecodeHeader(qm.Data)
+	if err != nil {
+		panic(fmt.Sprintf("ptlelan4: undecodable queue slot from VPID %d: %v", qm.SrcVPID, err))
+	}
+	body := qm.Data[ptl.HeaderSize:]
+	switch hdr.Type {
+	case ptl.TypeMatch, ptl.TypeRndv:
+		pi := m.peerByRank(int(hdr.SrcRank))
+		m.pml.ReceiveFirst(th, m, pi.peer, hdr, body)
+	case ptl.TypeAck:
+		if len(body) < 8 {
+			panic("ptlelan4: ACK without memory descriptor")
+		}
+		m.pml.AckArrived(th, hdr, ptl.RemoteMem{E4: decodeE4(body), VPID: qm.SrcVPID})
+	case ptl.TypeFin:
+		m.pml.RecvProgress(th, hdr.RecvReq, int(hdr.FragLen))
+	case ptl.TypeFinAck:
+		// Fig. 4: one control message acknowledges the rendezvous and
+		// completes the whole send.
+		m.pml.SendProgress(th, hdr.SendReq, int(hdr.MsgLen))
+	default:
+		panic(fmt.Sprintf("ptlelan4: unexpected %v in receive queue", hdr.Type))
+	}
+}
+
+func (m *Module) peerByRank(rank int) *peerInfo {
+	pi, ok := m.peers[rank]
+	if !ok {
+		panic(fmt.Sprintf("ptlelan4: message from unconnected rank %d", rank))
+	}
+	return pi
+}
+
+// handleRecord processes a shared-completion-queue record (Fig. 6).
+func (m *Module) handleRecord(th *simtime.Thread, kind byte, reqID uint64, bytes int) {
+	switch kind {
+	case recStop:
+		return
+	case recPutDone:
+		m.issuePendingFin(th, kind, reqID)
+		m.pml.SendProgress(th, reqID, bytes)
+	case recGetDone:
+		m.issuePendingFin(th, kind, reqID)
+		m.pml.RecvProgress(th, reqID, bytes)
+	default:
+		panic(fmt.Sprintf("ptlelan4: unknown completion record kind %d", kind))
+	}
+}
+
+// pollOutstanding checks each outstanding descriptor's host event word —
+// the per-descriptor completion strategy available without the shared
+// completion queue.
+func (m *Module) pollOutstanding(th *simtime.Thread) {
+	rest := m.outstanding[:0]
+	for _, op := range m.outstanding {
+		th.Compute(m.cfg.HostEventPoll)
+		if op.ev.HostWord().Value() > 0 {
+			m.completeOp(th, op)
+		} else {
+			rest = append(rest, op)
+		}
+	}
+	m.outstanding = rest
+}
+
+func (m *Module) completeOp(th *simtime.Thread, op *localOp) {
+	if op.fin != nil {
+		m.hostIssueFin(th, op.fin)
+		op.fin = nil
+	}
+	switch op.kind {
+	case recPutDone:
+		m.pml.SendProgress(th, op.reqID, op.bytes)
+	case recGetDone:
+		m.pml.RecvProgress(th, op.reqID, op.bytes)
+	}
+}
+
+// issuePendingFin sends a host-issued FIN if this op was created with
+// ChainFin disabled (the NoChain ablation under a CQ mode).
+func (m *Module) issuePendingFin(th *simtime.Thread, kind byte, reqID uint64) {
+	key := finKey{kind: kind, reqID: reqID}
+	fw, ok := m.pendingFins[key]
+	if !ok {
+		return
+	}
+	delete(m.pendingFins, key)
+	m.hostIssueFin(th, fw)
+}
+
+func (m *Module) hostIssueFin(th *simtime.Thread, fw *finWork) {
+	m.stats.HostIssuedFins++
+	buf := m.acquireSendBuf(th)
+	th.Compute(m.cfg.MemcpyStartup + simtime.BytesAt(len(fw.payload), m.cfg.MemcpyBandwidth))
+	m.st.QDMA(th, fw.dstVPID, qidRecv, fw.payload, buf, m.onSendError)
+}
+
+// ---- Asynchronous progress threads (§4.3, Table 1) ----
+
+func (m *Module) spawnProgressThread(name string, q *libelan.Queue) {
+	m.threadsUp++
+	m.host.Spawn(name, func(th *simtime.Thread) {
+		th.Proc().MarkDaemon()
+		for !m.stopping {
+			msg := q.Recv(th, libelan.Block)
+			m.handleMsg(th, msg)
+		}
+		m.threadsUp--
+	})
+}
+
+// BlockActivity implements pml.Blocker for the interrupt-measurement mode
+// of Table 1: block the calling (application) thread on the receive
+// queue's interrupt. Requires the OneQueue configuration so RDMA
+// completions are also visible in this queue.
+func (m *Module) BlockActivity(th *simtime.Thread) {
+	raw := m.recvQ.Raw()
+	if raw.Pending() > 0 {
+		return
+	}
+	sig := simtime.NewSignal()
+	raw.ArmInterrupt(sig)
+	if raw.Pending() > 0 {
+		raw.DisarmInterrupt()
+		return
+	}
+	th.BlockOn(sig, m.cfg.ThreadWake)
+}
+
+// Finalize implements ptl.Module: stop progress threads (waking them with
+// poison records), then retire the component. The PML drains pending
+// messages before calling this, honouring §4.1's requirement that
+// connections finalize only after pending messages complete.
+func (m *Module) Finalize(th *simtime.Thread) {
+	m.stopping = true
+	if m.opts.Threads >= 1 {
+		m.st.QDMA(th, m.st.Ctx.VPID(), qidRecv, encodeRecord(recStop, 0, 0), nil, nil)
+	}
+	if m.opts.Threads == 2 {
+		m.st.QDMA(th, m.st.Ctx.VPID(), qidComp, encodeRecord(recStop, 0, 0), nil, nil)
+	}
+	m.lc.Finalize()
+}
+
+// Close is the final lifecycle stage.
+func (m *Module) Close() {
+	m.lc.Close()
+}

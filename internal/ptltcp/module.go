@@ -1,0 +1,336 @@
+// Package ptltcp is the TCP/IP point-to-point transport — Open MPI's
+// first PTL and the baseline the paper contrasts with: every message pays
+// kernel crossings, protocol processing and user/kernel copies, in
+// exchange for portability. It runs over an Ethernet-parameterized fabric
+// and is also the second rail in the multi-network (concurrency)
+// scenarios, since a single message can be striped across PTL/Elan4 and
+// PTL/TCP by the PML scheduler.
+//
+// The model charges TCPSyscall per send/recv call, TCPStackCost per MTU
+// segment of protocol processing, and copies at TCPCopyBandwidth — the
+// "significant operating system overhead and multiple data copies" of the
+// paper's introduction.
+package ptltcp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"qsmpi/internal/elan4"
+	"qsmpi/internal/fabric"
+	"qsmpi/internal/model"
+	"qsmpi/internal/ptl"
+	"qsmpi/internal/rte"
+	"qsmpi/internal/simtime"
+)
+
+// Options configures the TCP PTL.
+type Options struct {
+	// EagerLimit is the largest first-fragment payload (default 64 KiB).
+	EagerLimit int
+	// MaxFrag is the in-band continuation fragment size (default 64 KiB).
+	MaxFrag int
+	// Weight is the PML scheduling weight (default 0.1: a gigabit rail
+	// next to QsNet).
+	Weight float64
+}
+
+// seg is one TCP segment on the Ethernet wire.
+type seg struct {
+	srcRank, dstRank int
+	msgID            uint64
+	off, total       int
+	data             []byte
+}
+
+// message is a reassembled PTL message.
+type message struct {
+	srcRank int
+	total   int
+	got     int
+	buf     []byte
+}
+
+// Stats counts module activity.
+type Stats struct {
+	MsgsTx, MsgsRx int64
+	SegsTx, SegsRx int64
+	BytesTx        int64
+}
+
+// Module is one process's TCP PTL endpoint.
+type Module struct {
+	lc   *ptl.Lifecycle
+	k    *simtime.Kernel
+	host *simtime.Host
+	net  *fabric.Network
+	port int
+	rteH *rte.Handle
+	pml  ptl.PML
+	act  *simtime.Counter
+	cfg  model.Config
+	opts Options
+
+	peers  map[int]*ptl.Peer
+	ports  map[int]int // peer rank → ethernet port
+	nextID uint64
+
+	// kernel-side receive state: segments reassembled off the wire
+	// without host cost until Progress "reads the socket".
+	assembling map[uint64]*message
+	inbox      []*message
+	segsPend   int
+
+	mss int
+
+	stats Stats
+}
+
+// New creates a TCP PTL on the node's Ethernet port. One TCP module per
+// node: the port's receive handler is exclusive.
+func New(k *simtime.Kernel, host *simtime.Host, net *fabric.Network, port int, rteH *rte.Handle, p ptl.PML, activity *simtime.Counter, cfg model.Config, opts Options) *Module {
+	if opts.EagerLimit == 0 {
+		opts.EagerLimit = 64 * 1024
+	}
+	if opts.MaxFrag == 0 {
+		opts.MaxFrag = 64 * 1024
+	}
+	if opts.Weight == 0 {
+		opts.Weight = 0.1
+	}
+	m := &Module{
+		lc: ptl.NewLifecycle("tcp"), k: k, host: host, net: net, port: port,
+		rteH: rteH, pml: p, act: activity, cfg: cfg, opts: opts,
+		peers:      make(map[int]*ptl.Peer),
+		ports:      make(map[int]int),
+		assembling: make(map[uint64]*message),
+		mss:        net.Params().MTU,
+		nextID:     1,
+	}
+	m.lc.Open()
+	net.Attach(port, m.handlePacket)
+	return m
+}
+
+// Init publishes this process's Ethernet addressing (lifecycle stage two).
+func (m *Module) Init(th *simtime.Thread) {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, uint32(m.port))
+	m.rteH.Publish(th, "tcp:port", b)
+	m.lc.Activate()
+}
+
+// Stats returns a copy of the counters.
+func (m *Module) Stats() Stats { return m.stats }
+
+// Lifecycle exposes the component stage.
+func (m *Module) Lifecycle() *ptl.Lifecycle { return m.lc }
+
+// ---- ptl.Module ----
+
+// Name implements ptl.Module.
+func (m *Module) Name() string { return "tcp" }
+
+// EagerLimit implements ptl.Module.
+func (m *Module) EagerLimit() int { return m.opts.EagerLimit }
+
+// InlineRndv implements ptl.Module: TCP always inlines rendezvous data —
+// the copy is already paid, so the wire may as well carry it.
+func (m *Module) InlineRndv() bool { return true }
+
+// SupportsPut implements ptl.Module: no RDMA over sockets.
+func (m *Module) SupportsPut() bool { return false }
+
+// MaxFragSize implements ptl.Module.
+func (m *Module) MaxFragSize() int { return m.opts.MaxFrag }
+
+// Weight implements ptl.Module.
+func (m *Module) Weight() float64 { return m.opts.Weight }
+
+// RegisterMem implements ptl.Module: sockets need no transformed
+// addressing.
+func (m *Module) RegisterMem(buf []byte) elan4.E4Addr { return elan4.NilAddr }
+
+// AddProc implements ptl.Module.
+func (m *Module) AddProc(th *simtime.Thread, p *ptl.Peer) error {
+	m.lc.RequireActive("AddProc")
+	raw := m.rteH.Lookup(th, p.Name, "tcp:port")
+	if len(raw) != 4 {
+		return fmt.Errorf("ptltcp: bad port modex entry for %q", p.Name)
+	}
+	m.peers[p.Rank] = p
+	m.ports[p.Rank] = int(binary.LittleEndian.Uint32(raw))
+	return nil
+}
+
+// DelProc implements ptl.Module.
+func (m *Module) DelProc(th *simtime.Thread, p *ptl.Peer) {
+	delete(m.peers, p.Rank)
+	delete(m.ports, p.Rank)
+}
+
+// SendFirst implements ptl.Module.
+func (m *Module) SendFirst(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc) {
+	m.lc.RequireActive("SendFirst")
+	inline := int(sd.Hdr.FragLen)
+	payload := append(sd.Hdr.Encode(), sd.Mem.Buf[:inline]...)
+	m.write(th, p, payload)
+	if sd.Hdr.Type == ptl.TypeMatch {
+		// Buffered by the kernel: locally complete.
+		m.pml.SendProgress(th, sd.Hdr.SendReq, inline)
+	}
+}
+
+// SendFrag implements ptl.Module: in-band continuation data.
+func (m *Module) SendFrag(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc, off, ln int) {
+	m.lc.RequireActive("SendFrag")
+	hdr := sd.Hdr
+	hdr.Type = ptl.TypeFrag
+	hdr.Offset = uint64(off)
+	hdr.FragLen = uint32(ln)
+	payload := append(hdr.Encode(), sd.Mem.Buf[off:off+ln]...)
+	m.write(th, p, payload)
+	m.pml.SendProgress(th, sd.Hdr.SendReq, ln)
+}
+
+// Put implements ptl.Module; sockets cannot.
+func (m *Module) Put(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc, remote ptl.RemoteMem, off, ln int, fin bool) {
+	panic("ptltcp: Put unsupported")
+}
+
+// Matched implements ptl.Module: reply with an ACK; the PML will schedule
+// the remainder as in-band fragments.
+func (m *Module) Matched(th *simtime.Thread, p *ptl.Peer, rd *ptl.RecvDesc) {
+	m.lc.RequireActive("Matched")
+	h := rd.Hdr
+	h.Type = ptl.TypeAck
+	h.RecvReq = rd.ReqID
+	m.write(th, p, h.Encode())
+}
+
+// write models a sendmsg(2): one syscall, per-segment stack processing and
+// user→kernel copy, then segments on the Ethernet.
+func (m *Module) write(th *simtime.Thread, p *ptl.Peer, payload []byte) {
+	port, ok := m.ports[p.Rank]
+	if !ok {
+		panic(fmt.Sprintf("ptltcp: peer %d not connected", p.Rank))
+	}
+	segs := (len(payload) + m.mss - 1) / m.mss
+	if segs == 0 {
+		segs = 1
+	}
+	th.Compute(m.cfg.TCPSyscall +
+		simtime.Duration(segs)*m.cfg.TCPStackCost +
+		simtime.BytesAt(len(payload), m.cfg.TCPCopyBandwidth))
+	id := m.nextID
+	m.nextID++
+	m.stats.MsgsTx++
+	m.stats.BytesTx += int64(len(payload))
+	total := len(payload)
+	if total == 0 {
+		m.stats.SegsTx++
+		m.net.Send(&fabric.Packet{Src: m.port, Dst: port, Size: 0, Payload: &seg{
+			srcRank: m.rank(), dstRank: p.Rank, msgID: id, off: 0, total: 0,
+		}}, nil)
+		return
+	}
+	for off := 0; off < total; off += m.mss {
+		ln := total - off
+		if ln > m.mss {
+			ln = m.mss
+		}
+		data := make([]byte, ln)
+		copy(data, payload[off:off+ln])
+		m.stats.SegsTx++
+		m.net.Send(&fabric.Packet{Src: m.port, Dst: port, Size: ln, Payload: &seg{
+			srcRank: m.rank(), dstRank: p.Rank, msgID: id, off: off, total: total, data: data,
+		}}, nil)
+	}
+}
+
+// rank recovers our own rank from the PML (via any connected peer's view);
+// the module itself is rank-agnostic, but segments carry ranks so the
+// receiver can attribute messages. We read it lazily from the stack.
+func (m *Module) rank() int {
+	type ranker interface{ Rank() int }
+	if r, ok := m.pml.(ranker); ok {
+		return r.Rank()
+	}
+	return -1
+}
+
+// handlePacket runs at wire delivery: kernel-side reassembly, no host
+// cost until the application reads the socket in Progress.
+func (m *Module) handlePacket(pkt *fabric.Packet) {
+	sg, ok := pkt.Payload.(*seg)
+	if !ok {
+		panic("ptltcp: foreign packet on ethernet port")
+	}
+	m.segsPend++
+	msg, ok := m.assembling[sg.msgID<<16|uint64(sg.srcRank)]
+	key := sg.msgID<<16 | uint64(sg.srcRank)
+	if !ok {
+		msg = &message{srcRank: sg.srcRank, total: sg.total, buf: make([]byte, sg.total)}
+		m.assembling[key] = msg
+	}
+	copy(msg.buf[sg.off:], sg.data)
+	msg.got += len(sg.data)
+	m.stats.SegsRx++
+	if msg.got >= msg.total {
+		delete(m.assembling, key)
+		m.inbox = append(m.inbox, msg)
+		m.stats.MsgsRx++
+		m.act.Add(1)
+	}
+}
+
+// Progress implements ptl.Module: read the socket — charge the syscall,
+// per-segment processing and kernel→user copy for everything pending, then
+// dispatch.
+func (m *Module) Progress(th *simtime.Thread) {
+	if m.lc.Stage() != ptl.StageActive || len(m.inbox) == 0 {
+		if m.segsPend > 0 && len(m.inbox) == 0 {
+			// Partial messages pending: poll cost only.
+			th.Compute(m.cfg.HostEventPoll)
+		}
+		return
+	}
+	th.Compute(m.cfg.TCPSyscall + simtime.Duration(m.segsPend)*m.cfg.TCPStackCost)
+	m.segsPend = 0
+	for len(m.inbox) > 0 {
+		msg := m.inbox[0]
+		m.inbox = m.inbox[1:]
+		th.Compute(simtime.BytesAt(len(msg.buf), m.cfg.TCPCopyBandwidth))
+		m.dispatch(th, msg)
+	}
+}
+
+func (m *Module) dispatch(th *simtime.Thread, msg *message) {
+	hdr, err := ptl.DecodeHeader(msg.buf)
+	if err != nil {
+		panic(fmt.Sprintf("ptltcp: bad message from rank %d: %v", msg.srcRank, err))
+	}
+	body := msg.buf[ptl.HeaderSize:]
+	switch hdr.Type {
+	case ptl.TypeMatch, ptl.TypeRndv:
+		peer, ok := m.peers[int(hdr.SrcRank)]
+		if !ok {
+			panic(fmt.Sprintf("ptltcp: message from unconnected rank %d", hdr.SrcRank))
+		}
+		m.pml.ReceiveFirst(th, m, peer, hdr, body)
+	case ptl.TypeAck:
+		m.pml.AckArrived(th, hdr, ptl.RemoteMem{})
+	case ptl.TypeFrag:
+		m.pml.ReceiveFrag(th, hdr, body)
+	default:
+		panic(fmt.Sprintf("ptltcp: unexpected %v", hdr.Type))
+	}
+}
+
+// Finalize implements ptl.Module.
+func (m *Module) Finalize(th *simtime.Thread) {
+	m.lc.Finalize()
+}
+
+// Close is the final lifecycle stage.
+func (m *Module) Close() { m.lc.Close() }

@@ -1,0 +1,232 @@
+// Package rte models the Open MPI Run-Time Environment: the out-of-band
+// services that exist outside the high-performance network. It owns the
+// system-wide Elan4 capability (allocation of NIC contexts and virtual
+// process ids), the process registry that decouples MPI ranks from VPIDs,
+// a modex-style publish/lookup board for connection bootstrap (queue ids,
+// E4 addresses), out-of-band messaging, and job rendezvous.
+//
+// Every RTE operation costs OOBLatency of virtual time: this traffic rides
+// a management network (ssh/TCP in real deployments), not QsNet, which is
+// why the paper keeps it off the critical path — connection setup happens
+// collectively during MPI_Init, and dynamic joins pay RTE costs only when
+// they happen.
+package rte
+
+import (
+	"fmt"
+
+	"qsmpi/internal/simtime"
+)
+
+// OOBMsg is one out-of-band message.
+type OOBMsg struct {
+	From    int // sender VPID
+	Tag     string
+	Payload any
+}
+
+// ProcInfo is the registry's record of one process.
+type ProcInfo struct {
+	Name  string
+	VPID  int
+	Port  int // fabric port of its NIC
+	Ctx   int // NIC context id
+	Alive bool
+
+	attrs   map[string][]byte
+	mailbox *simtime.Chan[OOBMsg]
+}
+
+// Registry is the system-wide RTE state. It implements elan4.Resolver so
+// NICs can translate VPIDs to current locations — the indirection that
+// makes dynamic process management possible over a network whose native
+// library assumes a static process pool.
+type Registry struct {
+	k   *simtime.Kernel
+	oob simtime.Duration
+
+	procs    map[int]*ProcInfo // by VPID
+	byName   map[string]*ProcInfo
+	nextVPID int
+	nextCtx  map[int]int // per fabric port
+
+	version     *simtime.Counter // bumped on any registry mutation
+	rendezvous  map[string]*meet
+	oobDelivers int64
+}
+
+type meet struct {
+	arrived int
+	done    *simtime.Signal
+}
+
+// NewRegistry creates an empty registry whose OOB operations take
+// oobLatency each.
+func NewRegistry(k *simtime.Kernel, oobLatency simtime.Duration) *Registry {
+	return &Registry{
+		k:          k,
+		oob:        oobLatency,
+		procs:      make(map[int]*ProcInfo),
+		byName:     make(map[string]*ProcInfo),
+		nextCtx:    make(map[int]int),
+		version:    simtime.NewCounter(),
+		rendezvous: make(map[string]*meet),
+	}
+}
+
+// Resolve implements elan4.Resolver: the current location of a VPID.
+func (r *Registry) Resolve(vpid int) (port, ctx int, ok bool) {
+	p, ok := r.procs[vpid]
+	if !ok || !p.Alive {
+		return 0, 0, false
+	}
+	return p.Port, p.Ctx, true
+}
+
+// AllocContext claims the next free NIC context on a fabric port, modeling
+// "claiming an available context in a system-wide Elan4 capability".
+func (r *Registry) AllocContext(port int) int {
+	c := r.nextCtx[port]
+	r.nextCtx[port] = c + 1
+	return c
+}
+
+// Handle is one process's session with the registry.
+type Handle struct {
+	r    *Registry
+	info *ProcInfo
+}
+
+// Join registers a process running on the NIC at (port, ctx) under a
+// unique name and returns its handle with a freshly allocated VPID. Names
+// must be unique across the job; reusing one panics (it would alias two
+// processes in the modex).
+func (r *Registry) Join(th *simtime.Thread, name string, port, ctx int) *Handle {
+	th.Proc().Sleep(r.oob)
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("rte: duplicate process name %q", name))
+	}
+	info := &ProcInfo{
+		Name: name, VPID: r.nextVPID, Port: port, Ctx: ctx, Alive: true,
+		attrs:   make(map[string][]byte),
+		mailbox: simtime.NewChan[OOBMsg](),
+	}
+	r.nextVPID++
+	r.procs[info.VPID] = info
+	r.byName[name] = info
+	r.version.Add(1)
+	return &Handle{r: r, info: info}
+}
+
+// VPID returns the process's virtual process id.
+func (h *Handle) VPID() int { return h.info.VPID }
+
+// Name returns the registered name.
+func (h *Handle) Name() string { return h.info.Name }
+
+// Leave marks the process departed; its VPID stops resolving. A process
+// must have drained pending DMA traffic first (the transports enforce
+// this), or in-flight descriptors will fail against the dead VPID.
+func (h *Handle) Leave(th *simtime.Thread) {
+	th.Proc().Sleep(h.r.oob)
+	h.info.Alive = false
+	h.r.version.Add(1)
+}
+
+// Publish stores a key/value on the board under this process's name.
+func (h *Handle) Publish(th *simtime.Thread, key string, value []byte) {
+	th.Proc().Sleep(h.r.oob)
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	h.info.attrs[key] = cp
+	h.r.version.Add(1)
+}
+
+// Lookup blocks until the named process has published key, then returns
+// the value. It is how peers exchange queue ids and E4 addresses during
+// connection setup.
+func (h *Handle) Lookup(th *simtime.Thread, procName, key string) []byte {
+	th.Proc().Sleep(h.r.oob)
+	for {
+		if p, ok := h.r.byName[procName]; ok {
+			if v, ok := p.attrs[key]; ok {
+				return v
+			}
+		}
+		v := h.r.version.Value()
+		h.r.version.WaitFor(th.Proc(), v+1)
+	}
+}
+
+// LookupVPID blocks until procName is registered and returns its VPID:
+// rank→VPID resolution during connection setup.
+func (h *Handle) LookupVPID(th *simtime.Thread, procName string) int {
+	th.Proc().Sleep(h.r.oob)
+	for {
+		if p, ok := h.r.byName[procName]; ok {
+			return p.VPID
+		}
+		v := h.r.version.Value()
+		h.r.version.WaitFor(th.Proc(), v+1)
+	}
+}
+
+// SendOOB delivers an out-of-band message to dstVPID's mailbox.
+func (h *Handle) SendOOB(th *simtime.Thread, dstVPID int, tag string, payload any) error {
+	th.Proc().Sleep(h.r.oob)
+	dst, ok := h.r.procs[dstVPID]
+	if !ok || !dst.Alive {
+		return fmt.Errorf("rte: OOB send to unknown VPID %d", dstVPID)
+	}
+	msg := OOBMsg{From: h.info.VPID, Tag: tag, Payload: payload}
+	h.r.k.After(h.r.oob, "rte:oob", func() {
+		h.r.oobDelivers++
+		dst.mailbox.Send(msg)
+	})
+	return nil
+}
+
+// RecvOOB blocks for the next out-of-band message.
+func (h *Handle) RecvOOB(th *simtime.Thread) OOBMsg {
+	return h.info.mailbox.Recv(th.Proc())
+}
+
+// TryRecvOOB polls the mailbox.
+func (h *Handle) TryRecvOOB() (OOBMsg, bool) {
+	return h.info.mailbox.TryRecv()
+}
+
+// Rendezvous blocks until n processes have arrived at the same tag. The
+// tag is consumed once complete, so it can be reused for later phases.
+func (r *Registry) Rendezvous(th *simtime.Thread, tag string, n int) {
+	th.Proc().Sleep(r.oob)
+	m, ok := r.rendezvous[tag]
+	if !ok {
+		m = &meet{done: simtime.NewSignal()}
+		r.rendezvous[tag] = m
+	}
+	m.arrived++
+	if m.arrived >= n {
+		delete(r.rendezvous, tag)
+		m.done.Fire()
+		return
+	}
+	m.done.Wait(th.Proc())
+}
+
+// Alive returns the VPIDs of live processes, in VPID order.
+func (r *Registry) Alive() []int {
+	var out []int
+	for v := 0; v < r.nextVPID; v++ {
+		if p, ok := r.procs[v]; ok && p.Alive {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Info returns the record for a VPID, if registered.
+func (r *Registry) Info(vpid int) (*ProcInfo, bool) {
+	p, ok := r.procs[vpid]
+	return p, ok
+}

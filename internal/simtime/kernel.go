@@ -1,0 +1,171 @@
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// event is a scheduled kernel action: either a timer callback or the
+// resumption of a parked process.
+type event struct {
+	at   Time
+	seq  int64 // tie-breaker: FIFO among events at the same instant
+	name string
+	fn   func()
+	idx  int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event simulator. All simulated
+// activity — timer callbacks and process execution — happens inside Run,
+// one action at a time, ordered by (time, schedule sequence).
+type Kernel struct {
+	now     Time
+	seq     int64
+	queue   eventHeap
+	procs   map[*Proc]struct{}
+	parked  int
+	steps   int64
+	rng     *rand.Rand
+	tracer  func(t Time, what string)
+	stopped bool
+	running bool
+}
+
+// NewKernel returns an empty kernel at time zero with a fixed-seed
+// deterministic random source.
+func NewKernel() *Kernel {
+	return &Kernel{
+		procs: make(map[*Proc]struct{}),
+		rng:   rand.New(rand.NewSource(1)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Steps returns the number of events executed so far, a cheap progress and
+// determinism fingerprint.
+func (k *Kernel) Steps() int64 { return k.steps }
+
+// Rand returns the kernel's deterministic random source. Simulated code
+// must use this instead of the global rand so runs stay reproducible.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// SetTracer installs fn to observe every executed event. A nil fn disables
+// tracing.
+func (k *Kernel) SetTracer(fn func(t Time, what string)) { k.tracer = fn }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics, since it would silently reorder causality.
+func (k *Kernel) At(t Time, name string, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("simtime: scheduling %q at %v before now %v", name, t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: t, seq: k.seq, name: name, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative durations are clamped to
+// zero (run "immediately", after already-queued events at this instant).
+func (k *Kernel) After(d Duration, name string, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now.Add(d), name, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued; Run may be called again to continue.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns the number of events executed by this call.
+func (k *Kernel) Run() int64 {
+	return k.run(-1)
+}
+
+// RunUntil executes events with time ≤ t, then sets the clock to t. It
+// returns the number of events executed by this call.
+func (k *Kernel) RunUntil(t Time) int64 {
+	n := k.run(t)
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+	return n
+}
+
+func (k *Kernel) run(until Time) int64 {
+	if k.running {
+		panic("simtime: Kernel.Run is not reentrant")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+
+	var n int64
+	for len(k.queue) > 0 && !k.stopped {
+		if until >= 0 && k.queue[0].at > until {
+			break
+		}
+		e := heap.Pop(&k.queue).(*event)
+		if e.at < k.now {
+			panic("simtime: event time went backwards")
+		}
+		k.now = e.at
+		k.steps++
+		n++
+		if k.tracer != nil {
+			k.tracer(k.now, e.name)
+		}
+		e.fn()
+	}
+	return n
+}
+
+// Idle reports whether no events are pending. If processes are still
+// parked while the kernel is idle, the simulation has deadlocked; Stalled
+// lists them.
+func (k *Kernel) Idle() bool { return len(k.queue) == 0 }
+
+// Stalled returns the names of processes that are parked with no pending
+// event that could wake them, i.e. the participants of a deadlock. It is
+// only meaningful when Idle reports true.
+func (k *Kernel) Stalled() []string {
+	var out []string
+	for p := range k.procs {
+		if p.state == procParked && !p.daemon {
+			out = append(out, p.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,131 @@
+package simtime
+
+import "fmt"
+
+type procState int
+
+const (
+	procNew procState = iota
+	procRunning
+	procParked
+	procReady
+	procDone
+)
+
+// Proc is a simulated process: a goroutine that runs in lockstep with the
+// kernel. A Proc runs until it blocks on a kernel primitive (Sleep, a
+// Signal, a Chan, a Semaphore, ...), at which point control returns to the
+// kernel and another event executes. At most one Proc (or timer callback)
+// is ever executing, so simulated code never needs synchronization of its
+// own.
+//
+// Kernel primitives must only be called from the goroutine that the kernel
+// started for this Proc; calling them from foreign goroutines corrupts the
+// lockstep protocol and panics where detectable.
+type Proc struct {
+	k      *Kernel
+	name   string
+	state  procState
+	resume chan struct{}
+	yield  chan struct{}
+	daemon bool
+	// wake is bookkeeping for Ready: a parked proc may be readied at most
+	// once per park.
+	wakePending bool
+}
+
+// MarkDaemon excludes the proc from Kernel.Stalled deadlock reports.
+// Service loops that legitimately block forever (NIC engines, progress
+// threads) mark themselves so an idle kernel with only daemons parked is
+// not misreported as a deadlock.
+func (p *Proc) MarkDaemon() { p.daemon = true }
+
+// Spawn creates a simulated process named name running fn, scheduled to
+// start at the current time (after already-queued events at this instant).
+// It may be called before Run or from inside running simulated code.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		state:  procNew,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.procs[p] = struct{}{}
+	k.After(0, "spawn:"+name, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.state = procDone
+			delete(k.procs, p)
+			p.yield <- struct{}{}
+		}()
+		p.state = procRunning
+		k.step(p)
+	})
+	return p
+}
+
+// step transfers control to p and waits for it to yield back. It is the
+// only place a proc goroutine executes.
+func (k *Kernel) step(p *Proc) {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park blocks the calling proc until a matching Ready. It transfers
+// control back to the kernel event loop.
+func (p *Proc) park() {
+	if p.state != procRunning {
+		panic(fmt.Sprintf("simtime: park of %q in state %d", p.name, p.state))
+	}
+	p.state = procParked
+	p.yield <- struct{}{}
+	<-p.resume
+	p.state = procRunning
+}
+
+// ready schedules a parked proc to resume at the current time. Readying a
+// proc that is not parked, or readying it twice, is a protocol violation
+// and panics: it always indicates a lost-wakeup or double-wakeup bug in a
+// synchronization primitive.
+func (p *Proc) readyAt(d Duration, why string) {
+	if p.state == procDone {
+		panic(fmt.Sprintf("simtime: ready of finished proc %q", p.name))
+	}
+	if p.wakePending {
+		panic(fmt.Sprintf("simtime: double wake of proc %q (%s)", p.name, why))
+	}
+	p.wakePending = true
+	p.k.After(d, "wake:"+p.name+":"+why, func() {
+		if p.state != procParked {
+			panic(fmt.Sprintf("simtime: wake of %q which is not parked", p.name))
+		}
+		p.wakePending = false
+		p.state = procRunning
+		p.k.step(p)
+	})
+}
+
+// Kernel returns the kernel this proc belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Sleep blocks the proc for d of virtual time. Negative durations are
+// treated as zero, which still yields to other ready work at this instant.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.readyAt(d, "sleep")
+	p.park()
+}
+
+// Yield cedes control so that other work scheduled at this instant can
+// run, then continues. Equivalent to Sleep(0).
+func (p *Proc) Yield() { p.Sleep(0) }

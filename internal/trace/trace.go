@@ -1,0 +1,119 @@
+// Package trace records per-message protocol timelines: when requests are
+// posted, matched, progressed and completed, on which rank, and with how
+// many bytes. A Recorder is attached to a PML stack (Stack.Tracer); the
+// cmd/msgtrace tool renders the merged timeline of a run, which is how the
+// §6.3-style layering analyses were debugged.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qsmpi/internal/simtime"
+)
+
+// Kind labels one protocol event.
+type Kind uint8
+
+// Event kinds, in rough protocol order.
+const (
+	SendPosted Kind = iota + 1
+	RecvPosted
+	FirstArrived
+	Matched
+	Unexpected
+	AckArrived
+	SendProgressed
+	RecvProgressed
+	SendCompleted
+	RecvCompleted
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SendPosted:
+		return "send-posted"
+	case RecvPosted:
+		return "recv-posted"
+	case FirstArrived:
+		return "first-arrived"
+	case Matched:
+		return "matched"
+	case Unexpected:
+		return "unexpected"
+	case AckArrived:
+		return "ack-arrived"
+	case SendProgressed:
+		return "send-progressed"
+	case RecvProgressed:
+		return "recv-progressed"
+	case SendCompleted:
+		return "send-completed"
+	case RecvCompleted:
+		return "recv-completed"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one timeline entry.
+type Event struct {
+	At    simtime.Time
+	Rank  int
+	Kind  Kind
+	ReqID uint64
+	Peer  int
+	Tag   int
+	Bytes int
+}
+
+// Recorder accumulates events. One Recorder may serve several ranks'
+// stacks (the simulation is cooperative, so appends never race).
+type Recorder struct {
+	events []Event
+	limit  int
+}
+
+// NewRecorder returns a recorder keeping at most limit events
+// (0 = unlimited).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Record appends an event unless the limit is reached.
+func (r *Recorder) Record(e Event) {
+	if r.limit > 0 && len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events in record order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// ByKind counts events of each kind.
+func (r *Recorder) ByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Render formats the timeline sorted by virtual time, one line per event,
+// with per-line deltas.
+func (r *Recorder) Render() string {
+	evs := append([]Event(nil), r.events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	var b strings.Builder
+	var prev simtime.Time
+	for _, e := range evs {
+		fmt.Fprintf(&b, "%12.3fus (+%8.3f) rank %d %-16s req=%-4d peer=%-3d tag=%-6d bytes=%d\n",
+			e.At.Micros(), e.At.Sub(prev).Micros(), e.Rank, e.Kind, e.ReqID, e.Peer, e.Tag, e.Bytes)
+		prev = e.At
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"qsmpi/internal/cluster"
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptlelan4"
+	"qsmpi/internal/trace"
+)
+
+func TestTimelineOfRendezvous(t *testing.T) {
+	o := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	c := cluster.New(cluster.Spec{Elan: &o, Progress: pml.Polling}, 2)
+	rec := trace.NewRecorder(0)
+	const n = 100000
+	c.Launch(func(p *cluster.Proc) {
+		p.Stack.Tracer = rec
+		dt := datatype.Contiguous(n)
+		if p.Rank == 0 {
+			p.Stack.Send(p.Th, 1, 5, 0, make([]byte, n), dt).Wait(p.Th)
+		} else {
+			buf := make([]byte, n)
+			p.Stack.Recv(p.Th, 0, 5, 0, buf, dt).Wait(p.Th)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts := rec.ByKind()
+	for _, k := range []trace.Kind{
+		trace.SendPosted, trace.RecvPosted, trace.FirstArrived,
+		trace.Matched, trace.SendCompleted, trace.RecvCompleted,
+	} {
+		if counts[k] != 1 {
+			t.Errorf("%v recorded %d times, want 1", k, counts[k])
+		}
+	}
+	// Read scheme: no ACK.
+	if counts[trace.AckArrived] != 0 {
+		t.Errorf("read scheme produced %d ACKs", counts[trace.AckArrived])
+	}
+	// Causal order in the merged timeline.
+	var postAt, matchAt, doneAt int
+	for i, e := range rec.Events() {
+		switch e.Kind {
+		case trace.SendPosted:
+			postAt = i
+		case trace.Matched:
+			matchAt = i
+		case trace.RecvCompleted:
+			doneAt = i
+		}
+	}
+	_ = postAt
+	if !(matchAt < doneAt) {
+		t.Error("match recorded after completion")
+	}
+	out := rec.Render()
+	for _, want := range []string{"send-posted", "matched", "recv-completed", "rank 0", "rank 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestWriteSchemeRecordsAck(t *testing.T) {
+	o := ptlelan4.BestOptions(ptlelan4.RDMAWrite)
+	c := cluster.New(cluster.Spec{Elan: &o, Progress: pml.Polling}, 2)
+	rec := trace.NewRecorder(0)
+	c.Launch(func(p *cluster.Proc) {
+		p.Stack.Tracer = rec
+		dt := datatype.Contiguous(50000)
+		if p.Rank == 0 {
+			p.Stack.Send(p.Th, 1, 0, 0, make([]byte, 50000), dt).Wait(p.Th)
+		} else {
+			p.Stack.Recv(p.Th, 0, 0, 0, make([]byte, 50000), dt).Wait(p.Th)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ByKind()[trace.AckArrived] != 1 {
+		t.Fatal("write scheme must record one ACK")
+	}
+}
+
+func TestUnexpectedRecorded(t *testing.T) {
+	o := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	c := cluster.New(cluster.Spec{Elan: &o, Progress: pml.Polling}, 2)
+	rec := trace.NewRecorder(0)
+	c.Launch(func(p *cluster.Proc) {
+		p.Stack.Tracer = rec
+		dt := datatype.Contiguous(16)
+		if p.Rank == 0 {
+			p.Stack.Send(p.Th, 1, 0, 0, make([]byte, 16), dt).Wait(p.Th)
+		} else {
+			p.Th.Proc().Sleep(50 * 1000 * 1000) // let it arrive unexpected
+			p.Stack.Progress(p.Th)
+			p.Stack.Recv(p.Th, 0, 0, 0, make([]byte, 16), dt).Wait(p.Th)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ByKind()[trace.Unexpected] != 1 {
+		t.Fatal("unexpected arrival not recorded")
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec := trace.NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		rec.Record(trace.Event{Kind: trace.SendPosted})
+	}
+	if rec.Len() != 3 {
+		t.Fatalf("limit not enforced: %d", rec.Len())
+	}
+}

@@ -1,0 +1,11 @@
+package qsmpi_test
+
+import "qsmpi/internal/model"
+
+// defaultModelWithLoss builds a cost model with link-level CRC loss for
+// failure-injection tests.
+func defaultModelWithLoss(rate float64) *model.Config {
+	m := model.Default()
+	m.LinkLossRate = rate
+	return &m
+}

@@ -1,0 +1,336 @@
+package qsmpi_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"qsmpi"
+)
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*7 + seed
+	}
+	return b
+}
+
+func TestRunPingPong(t *testing.T) {
+	err := qsmpi.Run(qsmpi.Config{Procs: 2}, func(w *qsmpi.World) {
+		c := w.Comm()
+		const n = 100000
+		if c.Rank() == 0 {
+			c.SendBytes(1, 0, pattern(n, 1))
+			buf := make([]byte, n)
+			st := c.RecvBytes(1, 1, buf)
+			if !bytes.Equal(buf, pattern(n, 2)) {
+				t.Error("reply corrupted")
+			}
+			if st.Source != 1 || st.Tag != 1 || st.Len != n {
+				t.Errorf("status %+v", st)
+			}
+		} else {
+			buf := make([]byte, n)
+			c.RecvBytes(0, 0, buf)
+			if !bytes.Equal(buf, pattern(n, 1)) {
+				t.Error("message corrupted")
+			}
+			c.SendBytes(0, 1, pattern(n, 2))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	var exit [4]float64
+	err := qsmpi.Run(qsmpi.Config{Procs: 4}, func(w *qsmpi.World) {
+		// Stagger arrivals; everyone must leave after the last arrival.
+		w.Sleep(float64(w.Rank()) * 100)
+		w.Comm().Barrier()
+		exit[w.Rank()] = w.NowMicros()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, e := range exit {
+		if e < 300 {
+			t.Fatalf("rank %d left the barrier at %.1fus, before the last arrival", r, e)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	const n = 50000
+	got := make([][]byte, 5)
+	err := qsmpi.Run(qsmpi.Config{Procs: 5}, func(w *qsmpi.World) {
+		buf := make([]byte, n)
+		if w.Rank() == 2 {
+			copy(buf, pattern(n, 9))
+		}
+		w.Comm().Bcast(2, buf, qsmpi.Contiguous(n))
+		got[w.Rank()] = buf
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range got {
+		if !bytes.Equal(got[r], pattern(n, 9)) {
+			t.Fatalf("rank %d bcast data wrong", r)
+		}
+	}
+}
+
+func TestReduceAllreduce(t *testing.T) {
+	const procs = 6
+	var rootGot float64
+	all := make([]float64, procs)
+	err := qsmpi.Run(qsmpi.Config{Procs: procs}, func(w *qsmpi.World) {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(float64(w.Rank()+1)))
+		out := make([]byte, 8)
+		w.Comm().Reduce(0, buf, out, qsmpi.OpSumF64)
+		if w.Rank() == 0 {
+			rootGot = math.Float64frombits(binary.LittleEndian.Uint64(out))
+		}
+		out2 := make([]byte, 8)
+		w.Comm().Allreduce(buf, out2, qsmpi.OpSumF64)
+		all[w.Rank()] = math.Float64frombits(binary.LittleEndian.Uint64(out2))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(procs * (procs + 1) / 2)
+	if rootGot != want {
+		t.Fatalf("reduce = %v, want %v", rootGot, want)
+	}
+	for r, v := range all {
+		if v != want {
+			t.Fatalf("allreduce at rank %d = %v, want %v", r, v, want)
+		}
+	}
+}
+
+func TestGatherAllgather(t *testing.T) {
+	const procs = 4
+	var rootGot []byte
+	allGot := make([][]byte, procs)
+	err := qsmpi.Run(qsmpi.Config{Procs: procs}, func(w *qsmpi.World) {
+		mine := []byte{byte(w.Rank()), byte(w.Rank() * 10)}
+		recv := make([]byte, 2*procs)
+		w.Comm().Gather(1, mine, recv)
+		if w.Rank() == 1 {
+			rootGot = recv
+		}
+		recv2 := make([]byte, 2*procs)
+		w.Comm().Allgather(mine, recv2)
+		allGot[w.Rank()] = recv2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 0, 1, 10, 2, 20, 3, 30}
+	if !bytes.Equal(rootGot, want) {
+		t.Fatalf("gather = %v, want %v", rootGot, want)
+	}
+	for r := range allGot {
+		if !bytes.Equal(allGot[r], want) {
+			t.Fatalf("allgather at %d = %v", r, allGot[r])
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	const procs = 6
+	err := qsmpi.Run(qsmpi.Config{Procs: procs}, func(w *qsmpi.World) {
+		// Even/odd split, keyed by descending world rank.
+		color := w.Rank() % 2
+		sub := w.Comm().Split(color, -w.Rank())
+		if sub.Size() != procs/2 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		// Key ordering: highest world rank first.
+		wantRank := (procs - 1 - w.Rank()) / 2
+		if sub.Rank() != wantRank {
+			t.Errorf("world %d: sub rank = %d, want %d", w.Rank(), sub.Rank(), wantRank)
+		}
+		// Traffic within the subcomm must not cross colors.
+		buf := []byte{byte(w.Rank())}
+		got := make([]byte, 1)
+		next := (sub.Rank() + 1) % sub.Size()
+		prev := (sub.Rank() - 1 + sub.Size()) % sub.Size()
+		sub.Sendrecv(next, 3, buf, qsmpi.Contiguous(1), prev, 3, got, qsmpi.Contiguous(1))
+		if int(got[0])%2 != color {
+			t.Errorf("world %d received cross-color byte %d", w.Rank(), got[0])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupIsolatesTags(t *testing.T) {
+	err := qsmpi.Run(qsmpi.Config{Procs: 2}, func(w *qsmpi.World) {
+		c := w.Comm()
+		d := c.Dup()
+		if w.Rank() == 0 {
+			// Same tag on both comms; receiver distinguishes by comm.
+			c.SendBytes(1, 5, []byte{1})
+			d.SendBytes(1, 5, []byte{2})
+		} else {
+			bd := make([]byte, 1)
+			d.RecvBytes(0, 5, bd)
+			bc := make([]byte, 1)
+			c.RecvBytes(0, 5, bc)
+			if bd[0] != 2 || bc[0] != 1 {
+				t.Errorf("dup isolation broken: c=%d d=%d", bc[0], bd[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingAndProbe(t *testing.T) {
+	err := qsmpi.Run(qsmpi.Config{Procs: 2}, func(w *qsmpi.World) {
+		c := w.Comm()
+		if w.Rank() == 0 {
+			w.Sleep(50)
+			c.SendBytes(1, 7, pattern(64, 3))
+		} else {
+			if _, ok := c.Iprobe(0, 7); ok {
+				t.Error("Iprobe hit before send")
+			}
+			st := c.Probe(0, 7)
+			if st.Len != 64 || st.Source != 0 {
+				t.Errorf("probe status %+v", st)
+			}
+			buf := make([]byte, 64)
+			req := c.Irecv(0, 7, buf, qsmpi.Contiguous(64))
+			req.Wait()
+			if !bytes.Equal(buf, pattern(64, 3)) {
+				t.Error("probed message corrupted")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnDynamicProcesses(t *testing.T) {
+	const initial, extra = 2, 2
+	joined := make(chan int, extra) // buffered; written in sim, read after
+	var sum float64
+	err := qsmpi.Run(qsmpi.Config{Procs: initial, Nodes: 4}, func(w *qsmpi.World) {
+		w.Spawn(extra, func(cw *qsmpi.World) {
+			// Children: contribute to an allreduce over the grown world.
+			joined <- cw.Rank()
+			contribute(cw, &sum)
+		})
+		if w.Size() != initial+extra {
+			t.Errorf("world did not grow: %d", w.Size())
+		}
+		contribute(w, &sum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(joined)
+	n := 0
+	for range joined {
+		n++
+	}
+	if n != extra {
+		t.Fatalf("%d children ran, want %d", n, extra)
+	}
+	want := float64((initial + extra) * (initial + extra + 1) / 2)
+	if sum != want {
+		t.Fatalf("allreduce over grown world = %v, want %v", sum, want)
+	}
+}
+
+// contribute performs an allreduce of rank+1 over the (grown) world and
+// records the result once (rank 0 of the result is the same everywhere).
+func contribute(w *qsmpi.World, out *float64) {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(float64(w.Rank()+1)))
+	res := make([]byte, 8)
+	w.Comm().Allreduce(buf, res, qsmpi.OpSumF64)
+	*out = math.Float64frombits(binary.LittleEndian.Uint64(res))
+}
+
+func TestVectorDatatypeThroughPublicAPI(t *testing.T) {
+	err := qsmpi.Run(qsmpi.Config{Procs: 2, DatatypeEngine: true}, func(w *qsmpi.World) {
+		dt := qsmpi.Vector(64, 8, 16, qsmpi.Contiguous(1)) // 512 data bytes
+		if w.Rank() == 0 {
+			src := pattern(dt.Extent(), 4)
+			w.Comm().Send(1, 0, src, dt)
+		} else {
+			dst := make([]byte, dt.Extent())
+			w.Comm().Recv(0, 0, dst, dt)
+			// Check strided blocks arrived.
+			for blk := 0; blk < 64; blk++ {
+				off := blk * 16
+				if !bytes.Equal(dst[off:off+8], pattern(dt.Extent(), 4)[off:off+8]) {
+					t.Fatalf("block %d corrupted", blk)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPOnlyConfiguration(t *testing.T) {
+	err := qsmpi.Run(qsmpi.Config{Procs: 2, DisableElan: true}, func(w *qsmpi.World) {
+		const n = 200000
+		c := w.Comm()
+		if w.Rank() == 0 {
+			c.SendBytes(1, 0, pattern(n, 5))
+		} else {
+			buf := make([]byte, n)
+			c.RecvBytes(0, 0, buf)
+			if !bytes.Equal(buf, pattern(n, 5)) {
+				t.Error("TCP-only transfer corrupted")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinalize(t *testing.T) {
+	err := qsmpi.Run(qsmpi.Config{Procs: 2}, func(w *qsmpi.World) {
+		c := w.Comm()
+		if w.Rank() == 0 {
+			c.SendBytes(1, 0, pattern(1024, 1))
+		} else {
+			buf := make([]byte, 1024)
+			c.RecvBytes(0, 0, buf)
+		}
+		c.Barrier()
+		w.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	err := qsmpi.Run(qsmpi.Config{Procs: 2}, func(w *qsmpi.World) {
+		if w.Rank() == 0 {
+			buf := make([]byte, 8)
+			w.Comm().RecvBytes(1, 0, buf) // nobody sends: deadlock
+		}
+	})
+	if err == nil {
+		t.Fatal("deadlocked run returned nil error")
+	}
+}

@@ -1,0 +1,173 @@
+package qsmpi_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qsmpi"
+)
+
+// TestConfigurationMatrix drives the same correctness workload through
+// every protocol configuration the paper evaluates: both rendezvous
+// schemes × inline on/off × chain on/off × completion-queue modes ×
+// progress modes. Data integrity must hold everywhere; only timing may
+// differ.
+func TestConfigurationMatrix(t *testing.T) {
+	type cfgCase struct {
+		name string
+		cfg  qsmpi.Config
+	}
+	var cases []cfgCase
+	for _, scheme := range []qsmpi.Scheme{qsmpi.RDMARead, qsmpi.RDMAWrite} {
+		for _, inline := range []bool{false, true} {
+			for _, nochain := range []bool{false, true} {
+				cases = append(cases, cfgCase{
+					name: fmt.Sprintf("scheme%d-inline%v-nochain%v", scheme, inline, nochain),
+					cfg:  qsmpi.Config{Procs: 2, Scheme: scheme, InlineRndv: inline, NoChainFin: nochain},
+				})
+			}
+		}
+	}
+	cases = append(cases,
+		cfgCase{"one-queue", qsmpi.Config{Procs: 2, CQ: qsmpi.OneQueue}},
+		cfgCase{"two-queue", qsmpi.Config{Procs: 2, CQ: qsmpi.TwoQueue}},
+		cfgCase{"interrupt", qsmpi.Config{Procs: 2, CQ: qsmpi.OneQueue, Progress: qsmpi.Interrupt}},
+		cfgCase{"one-thread", qsmpi.Config{Procs: 2, CQ: qsmpi.OneQueue, ProgressThreads: 1}},
+		cfgCase{"two-thread", qsmpi.Config{Procs: 2, CQ: qsmpi.TwoQueue, ProgressThreads: 2}},
+		cfgCase{"dtp", qsmpi.Config{Procs: 2, DatatypeEngine: true}},
+		cfgCase{"dual-rail-tcp", qsmpi.Config{Procs: 2, Scheme: qsmpi.RDMAWrite, EnableTCP: true}},
+		cfgCase{"hw-bcast", qsmpi.Config{Procs: 2, HWBcast: true}},
+	)
+
+	sizes := []int{0, 1, 64, 1984, 1985, 4096, 100000}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := qsmpi.Run(tc.cfg, func(w *qsmpi.World) {
+				c := w.Comm()
+				for i, n := range sizes {
+					if w.Rank() == 0 {
+						c.SendBytes(1, i, pattern(n, byte(i)))
+					} else {
+						buf := make([]byte, n)
+						c.RecvBytes(0, i, buf)
+						if !bytes.Equal(buf, pattern(n, byte(i))) {
+							t.Errorf("size %d corrupted", n)
+						}
+					}
+				}
+				c.Barrier()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestChaosTraffic fuzzes a 4-rank job: random message sizes, tags,
+// senders, nonblocking batches and collectives interleaved, across several
+// seeds. The PML's ordering, matching and completion logic must keep every
+// byte intact.
+func TestChaosTraffic(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const procs = 4
+			const msgsPerPair = 12
+			// Pre-generate the traffic plan (identical on all ranks).
+			rng := rand.New(rand.NewSource(seed))
+			type msg struct{ size, tag int }
+			plan := make(map[[2]int][]msg) // (src,dst) → messages
+			for s := 0; s < procs; s++ {
+				for d := 0; d < procs; d++ {
+					if s == d {
+						continue
+					}
+					var ms []msg
+					for i := 0; i < msgsPerPair; i++ {
+						var size int
+						switch rng.Intn(3) {
+						case 0:
+							size = rng.Intn(1984)
+						case 1:
+							size = 1984 + rng.Intn(4096)
+						default:
+							size = rng.Intn(200000)
+						}
+						ms = append(ms, msg{size: size, tag: i})
+					}
+					plan[[2]int{s, d}] = ms
+				}
+			}
+			err := qsmpi.Run(qsmpi.Config{Procs: procs}, func(w *qsmpi.World) {
+				c := w.Comm()
+				me := w.Rank()
+				var reqs []*qsmpi.Request
+				bufs := make(map[[2]int][][]byte)
+				for pair, ms := range plan {
+					if pair[0] == me {
+						for i, m := range ms {
+							reqs = append(reqs, c.Isend(pair[1], m.tag,
+								pattern(m.size, byte(pair[0]*16+i)), qsmpi.Contiguous(m.size)))
+						}
+					}
+					if pair[1] == me {
+						var bs [][]byte
+						for _, m := range ms {
+							b := make([]byte, m.size)
+							bs = append(bs, b)
+							reqs = append(reqs, c.Irecv(pair[0], m.tag, b, qsmpi.Contiguous(m.size)))
+						}
+						bufs[pair] = bs
+					}
+				}
+				// A barrier in the middle of the in-flight traffic: the
+				// collective must not disturb matching.
+				c.Barrier()
+				for _, r := range reqs {
+					r.Wait()
+				}
+				for pair, bs := range bufs {
+					for i, b := range bs {
+						want := pattern(plan[pair][i].size, byte(pair[0]*16+i))
+						if !bytes.Equal(b, want) {
+							t.Errorf("pair %v msg %d corrupted", pair, i)
+						}
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestChaosWithLoss repeats a reduced chaos run over lossy links.
+func TestChaosWithLoss(t *testing.T) {
+	cfg := qsmpi.Config{Procs: 3}
+	// Reach into the model override for loss injection (in-module use).
+	m := defaultModelWithLoss(0.03)
+	cfg.Model = m
+	err := qsmpi.Run(cfg, func(w *qsmpi.World) {
+		c := w.Comm()
+		next := (w.Rank() + 1) % 3
+		prev := (w.Rank() + 2) % 3
+		for i := 0; i < 10; i++ {
+			n := 5000 * (i + 1)
+			buf := make([]byte, n)
+			r := c.Irecv(prev, i, buf, qsmpi.Contiguous(n))
+			c.SendBytes(next, i, pattern(n, byte(i)))
+			r.Wait()
+			if !bytes.Equal(buf, pattern(n, byte(i))) {
+				t.Errorf("round %d corrupted under loss", i)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
