@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test check bench figures perfbench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the fast-path gate: vet everything, then run the simulator
+# kernel and matching-engine suites under the race detector. The kernel's
+# lockstep discipline (exactly one simulated entity runs at a time) is
+# what lets every pool and cache in the stack go lock-free, so these two
+# packages are the ones that must stay race-clean.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/simtime/... ./internal/pml/...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+figures:
+	$(GO) run ./cmd/elan4bench
+	$(GO) run ./cmd/ompibench
+
+perfbench:
+	$(GO) run ./cmd/perfbench -out BENCH_wallclock.json

@@ -147,7 +147,27 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		return &o
 	}(), Progress: pml.Polling}
 	b.ReportAllocs()
+	var events int64
 	for i := 0; i < b.N; i++ {
-		experiments.OpenMPIPingPong(spec, 4, 100)
+		_, ev := experiments.OpenMPIPingPongEvents(spec, 4, 100)
+		events += ev
 	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkSimulatorThroughputRndv is the rendezvous-path counterpart:
+// 64 KiB ping-pongs over the RDMA-read scheme, exercising chunked RDMA,
+// FIN traffic and the staging-buffer pools.
+func BenchmarkSimulatorThroughputRndv(b *testing.B) {
+	spec := cluster.Spec{Elan: func() *ptlelan4.Options {
+		o := ptlelan4.BestOptions(ptlelan4.RDMARead)
+		return &o
+	}(), Progress: pml.Polling}
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		_, ev := experiments.OpenMPIPingPongEvents(spec, 65536, 20)
+		events += ev
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }

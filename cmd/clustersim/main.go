@@ -55,8 +55,10 @@ func main() {
 	m.LinkLossRate = *lossRate
 	c := cluster.New(cluster.Spec{Elan: &opts, Progress: progress, ElanRails: *rails, Model: &m}, *procs)
 	var mods []*ptlelan4.Module
+	var stacks []*pml.Stack
 	c.Launch(func(p *cluster.Proc) {
 		mods = append(mods, p.Elan)
+		stacks = append(stacks, p.Stack)
 		runPattern(p, *procs, *pattern, *size, *iters)
 	})
 	if err := c.Run(); err != nil {
@@ -84,6 +86,13 @@ func main() {
 		s := m.Stats()
 		fmt.Printf("rank %d PTL: eager=%d rndv=%d ack=%d fin=%d fin_ack=%d puts=%d gets=%d cq=%d\n",
 			i, s.EagerTx, s.RndvTx, s.AckTx, s.FinTx, s.FinAckTx, s.PutOps, s.GetOps, s.CQRecords)
+	}
+	fmt.Println()
+	for i, st := range stacks {
+		s := st.Stats()
+		fmt.Printf("rank %d PML match: attempts=%d bucket=%d wildcard=%d unexpected=%d unexp-highwater=%d reordered=%d\n",
+			i, s.MatchAttempts, s.BucketHits, s.WildcardHits,
+			s.UnexpectedMsgs, s.UnexpectedHighWater, s.ReorderedMsgs)
 	}
 }
 

@@ -1,0 +1,298 @@
+// Command perfbench measures the simulator's wall-clock performance — how
+// fast the testbed itself runs, as opposed to the simulated latencies the
+// figure generators report. For each workload it records the simulated
+// time (which optimizations must never change), the wall-clock time, and
+// the event throughput, then writes a JSON report.
+//
+// Usage:
+//
+//	perfbench                             # run workloads, print a table
+//	perfbench -out BENCH_wallclock.json   # also write the JSON report
+//	perfbench -reps 5                     # best-of-5 wall times
+//	perfbench -before seed.txt -after new.txt -out BENCH_wallclock.json
+//
+// The -before/-after flags take saved `go test -bench` outputs (the same
+// benchmark set run on two trees) and embed per-benchmark wall-clock
+// speedups in the report, which is how the fast-path overhaul's ≥1.5×
+// target is recorded.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+
+	"qsmpi/internal/cluster"
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/experiments"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptlelan4"
+	"qsmpi/internal/ptltcp"
+)
+
+// workloadResult is one workload's measurement.
+type workloadResult struct {
+	Name string `json:"name"`
+	// SimUS is the workload's simulated-time result (mean latency for the
+	// ping-pongs, elapsed virtual time otherwise); it is the invariant —
+	// identical before and after any wall-clock optimization.
+	SimUS float64 `json:"sim_us"`
+	// Events is the number of kernel events one run executes.
+	Events int64 `json:"events"`
+	// WallMS is the best-of-reps wall-clock time for one run.
+	WallMS float64 `json:"wall_ms"`
+	// EventsPerSec is Events over the best wall time.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// NSPerEvent is the mean wall cost of one simulator event.
+	NSPerEvent float64 `json:"ns_per_event"`
+}
+
+// speedupEntry compares one `go test -bench` benchmark across two trees.
+type speedupEntry struct {
+	Benchmark string  `json:"benchmark"`
+	BeforeMS  float64 `json:"before_ms_per_op"`
+	AfterMS   float64 `json:"after_ms_per_op"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// report is the BENCH_wallclock.json schema.
+type report struct {
+	Generated   string           `json:"generated"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Reps        int              `json:"reps"`
+	Workloads   []workloadResult `json:"workloads"`
+	Speedups    []speedupEntry   `json:"speedups,omitempty"`
+	MinSpeedup  float64          `json:"min_speedup,omitempty"`
+	MeanSpeedup float64          `json:"mean_speedup,omitempty"`
+}
+
+// workload is a named simulator run returning its simulated time and
+// event count; wall time is measured around it.
+type workload struct {
+	name string
+	run  func() (simUS float64, events int64)
+}
+
+func elanSpec() cluster.Spec {
+	o := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	return cluster.Spec{Elan: &o, Progress: pml.Polling}
+}
+
+// clusterRun launches a pattern over a fresh cluster and returns the
+// elapsed simulated time and kernel event count.
+func clusterRun(spec cluster.Spec, procs int, body func(p *cluster.Proc)) (float64, int64) {
+	c := cluster.New(spec, procs)
+	c.Launch(body)
+	if err := c.Run(); err != nil {
+		log.Fatalf("perfbench: %v", err)
+	}
+	return c.Now().Micros(), c.K.Steps()
+}
+
+func workloads() []workload {
+	return []workload{
+		{"pingpong-eager-4B", func() (float64, int64) {
+			return experiments.OpenMPIPingPongEvents(elanSpec(), 4, 2000)
+		}},
+		{"pingpong-rndv-64KB", func() (float64, int64) {
+			return experiments.OpenMPIPingPongEvents(elanSpec(), 65536, 300)
+		}},
+		{"pingpong-tcp-4KB", func() (float64, int64) {
+			spec := cluster.Spec{TCP: &ptltcp.Options{}, Progress: pml.Polling}
+			return experiments.OpenMPIPingPongEvents(spec, 4096, 500)
+		}},
+		{"pingpong-vector-8KB", func() (float64, int64) {
+			// Non-contiguous datatype: exercises the pack/unpack staging
+			// pools on both sides of every transfer.
+			dt := datatype.Vector(512, 16, 32, datatype.Contiguous(1))
+			spec := elanSpec()
+			spec.DTP = true
+			return clusterRun(spec, 2, func(p *cluster.Proc) {
+				buf := make([]byte, dt.Extent())
+				scratch := make([]byte, dt.Extent())
+				for i := 0; i < 300; i++ {
+					if p.Rank == 0 {
+						p.Stack.Send(p.Th, 1, 1, 0, buf, dt).Wait(p.Th)
+						p.Stack.Recv(p.Th, 1, 2, 0, scratch, dt).Wait(p.Th)
+					} else {
+						p.Stack.Recv(p.Th, 0, 1, 0, scratch, dt).Wait(p.Th)
+						p.Stack.Send(p.Th, 0, 2, 0, buf, dt).Wait(p.Th)
+					}
+				}
+			})
+		}},
+		{"alltoall-8x4KB", func() (float64, int64) {
+			dt := datatype.Contiguous(4096)
+			return clusterRun(elanSpec(), 8, func(p *cluster.Proc) {
+				buf := make([]byte, 4096)
+				for i := 0; i < 10; i++ {
+					var sends []*pml.SendReq
+					var recvs []*pml.RecvReq
+					for peer := 0; peer < 8; peer++ {
+						if peer == p.Rank {
+							continue
+						}
+						recvs = append(recvs, p.Stack.Recv(p.Th, peer, i, 0, make([]byte, 4096), dt))
+						sends = append(sends, p.Stack.Send(p.Th, peer, i, 0, buf, dt))
+					}
+					for _, r := range recvs {
+						r.Wait(p.Th)
+					}
+					for _, s := range sends {
+						s.Wait(p.Th)
+					}
+				}
+			})
+		}},
+	}
+}
+
+func measure(w workload, reps int) workloadResult {
+	res := workloadResult{Name: w.name}
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		simUS, events := w.run()
+		elapsed := time.Since(start)
+		if r == 0 {
+			res.SimUS, res.Events = simUS, events
+		} else if simUS != res.SimUS || events != res.Events {
+			log.Fatalf("perfbench: %s is nondeterministic: sim %.3fus/%d events vs %.3fus/%d",
+				w.name, simUS, events, res.SimUS, res.Events)
+		}
+		if elapsed < best {
+			best = elapsed
+		}
+	}
+	res.WallMS = float64(best.Nanoseconds()) / 1e6
+	res.EventsPerSec = float64(res.Events) / best.Seconds()
+	res.NSPerEvent = float64(best.Nanoseconds()) / float64(res.Events)
+	return res
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+// "BenchmarkFig7BasicRDMA-8   2   64538012 ns/op ...".
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// parseBench extracts benchmark-name → ms/op from saved bench output.
+// Repeated runs of the same benchmark (interleaved executions or -count)
+// keep the minimum, the standard way to reject scheduler noise.
+func parseBench(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, m := range benchLine.FindAllStringSubmatch(string(data), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad ns/op in %q", path, m[0])
+		}
+		ms := ns / 1e6
+		if prev, ok := out[m[1]]; !ok || ms < prev {
+			out[m[1]] = ms
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+func speedups(beforePath, afterPath string) ([]speedupEntry, error) {
+	before, err := parseBench(beforePath)
+	if err != nil {
+		return nil, err
+	}
+	after, err := parseBench(afterPath)
+	if err != nil {
+		return nil, err
+	}
+	var out []speedupEntry
+	for name, b := range before {
+		a, ok := after[name]
+		if !ok {
+			continue
+		}
+		out = append(out, speedupEntry{Benchmark: name, BeforeMS: b, AfterMS: a, Speedup: b / a})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no common benchmarks between %s and %s", beforePath, afterPath)
+	}
+	// Deterministic report order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Benchmark < out[j-1].Benchmark; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	reps := flag.Int("reps", 3, "wall-time repetitions per workload (best is kept)")
+	out := flag.String("out", "", "write the JSON report to this file")
+	before := flag.String("before", "", "saved `go test -bench` output from the baseline tree")
+	after := flag.String("after", "", "saved `go test -bench` output from the optimized tree")
+	flag.Parse()
+
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       *reps,
+	}
+	fmt.Printf("%-22s %14s %12s %12s %14s %10s\n",
+		"workload", "sim-us", "events", "wall-ms", "events/sec", "ns/event")
+	for _, w := range workloads() {
+		r := measure(w, *reps)
+		rep.Workloads = append(rep.Workloads, r)
+		fmt.Printf("%-22s %14.1f %12d %12.2f %14.0f %10.1f\n",
+			r.Name, r.SimUS, r.Events, r.WallMS, r.EventsPerSec, r.NSPerEvent)
+	}
+
+	if (*before == "") != (*after == "") {
+		log.Fatal("perfbench: -before and -after must be given together")
+	}
+	if *before != "" {
+		sp, err := speedups(*before, *after)
+		if err != nil {
+			log.Fatalf("perfbench: %v", err)
+		}
+		rep.Speedups = sp
+		rep.MinSpeedup = sp[0].Speedup
+		prod := 1.0
+		for _, s := range sp {
+			if s.Speedup < rep.MinSpeedup {
+				rep.MinSpeedup = s.Speedup
+			}
+			prod *= s.Speedup
+		}
+		rep.MeanSpeedup = math.Pow(prod, 1/float64(len(sp)))
+		fmt.Println()
+		for _, s := range sp {
+			fmt.Printf("%-34s %10.2f -> %8.2f ms/op  %5.2fx\n",
+				s.Benchmark, s.BeforeMS, s.AfterMS, s.Speedup)
+		}
+		fmt.Printf("min speedup %.2fx, geomean %.2fx\n", rep.MinSpeedup, rep.MeanSpeedup)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatalf("perfbench: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

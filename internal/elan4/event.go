@@ -30,6 +30,11 @@ type Event struct {
 	irqSignal *simtime.Signal
 	chain     func() // chained command, issued on the NIC at fire time
 
+	// triggerFn is the cached decrement callback; triggering is the
+	// busiest event-update path, and reusing one bound closure per Event
+	// keeps it allocation-free.
+	triggerFn func()
+
 	fires int64
 }
 
@@ -88,12 +93,15 @@ func (e *Event) setCount(n int64) { e.count = n }
 // completes. It charges the NIC's event-update cost, then fires if the
 // count reaches exactly zero.
 func (e *Event) trigger() {
-	e.nic.k.After(e.nic.cfg.EventUpdate, "elan4:event", func() {
-		e.count--
-		if e.count == 0 {
-			e.fire()
+	if e.triggerFn == nil {
+		e.triggerFn = func() {
+			e.count--
+			if e.count == 0 {
+				e.fire()
+			}
 		}
-	})
+	}
+	e.nic.k.After(e.nic.cfg.EventUpdate, "elan4:event", e.triggerFn)
 }
 
 func (e *Event) fire() {

@@ -3,6 +3,7 @@ package elan4
 import (
 	"fmt"
 
+	"qsmpi/internal/bufpool"
 	"qsmpi/internal/fabric"
 	"qsmpi/internal/model"
 	"qsmpi/internal/simtime"
@@ -42,6 +43,11 @@ type NIC struct {
 	contexts map[int]*Context
 	engineQ  *simtime.Chan[*dmaOp]
 	firmware Firmware
+
+	// pool recycles QDMA payload copies and RDMA chunk buffers. Chunks
+	// released on a receiving NIC migrate into that NIC's pool, which is
+	// fine — a pool is just recycled storage.
+	pool *bufpool.Pool
 
 	// rxPCIFree serializes inbound host-memory placement: the receive side
 	// of the PCI bus is one resource, so a small trailing chunk cannot be
@@ -92,6 +98,9 @@ type dmaOp struct {
 	// QDMA
 	queue int
 	data  []byte
+	// dataPooled marks data as owned by the issuing NIC's buffer pool;
+	// retire releases it once the op reaches a terminal state.
+	dataPooled bool
 
 	// RDMA
 	localAddr  E4Addr
@@ -122,6 +131,17 @@ func (op *dmaOp) fail(n *NIC, err error) {
 func (op *dmaOp) complete() {
 	if op.done != nil {
 		op.done.trigger()
+	}
+}
+
+// retire releases the op's pooled payload, if any. Call exactly once, at
+// a terminal state (final ack, retry exhaustion, or resolve failure) —
+// retries re-send op.data, so it must stay live until then.
+func (op *dmaOp) retire(n *NIC) {
+	if op.dataPooled {
+		op.dataPooled = false
+		n.pool.Put(op.data)
+		op.data = nil
 	}
 }
 
@@ -182,6 +202,7 @@ func NewNIC(k *simtime.Kernel, host *simtime.Host, net *fabric.Network, port int
 		k: k, host: host, net: net, port: port, cfg: cfg, res: res,
 		contexts: make(map[int]*Context),
 		engineQ:  simtime.NewChan[*dmaOp](),
+		pool:     bufpool.New(),
 	}
 	net.Attach(port, n.handlePacket)
 	k.Spawn(fmt.Sprintf("elan4:engine:%d", port), n.engineLoop)
@@ -258,11 +279,11 @@ func (c *Context) IssueQDMA(th *simtime.Thread, dstVPID, queue int, data []byte,
 		panic(fmt.Sprintf("elan4: QDMA payload %d exceeds %d", len(data), c.nic.cfg.QDMAMaxPayload))
 	}
 	th.Compute(c.nic.cfg.CmdIssue + simtime.BytesAt(len(data), c.nic.cfg.PIOBandwidth))
-	cp := make([]byte, len(data))
+	cp := c.nic.pool.Get(len(data))
 	copy(cp, data)
 	c.enqueueOp(&dmaOp{
 		kind: opQDMA, srcCtx: c, dstVPID: dstVPID, queue: queue,
-		data: cp, done: done, onError: onError, pending: 1,
+		data: cp, dataPooled: true, done: done, onError: onError, pending: 1,
 	})
 }
 
@@ -322,11 +343,11 @@ func (c *Context) QDMAFromNIC(dstVPID, queue int, data []byte, done *Event, onEr
 	if len(data) > c.nic.cfg.QDMAMaxPayload {
 		panic(fmt.Sprintf("elan4: QDMA payload %d exceeds %d", len(data), c.nic.cfg.QDMAMaxPayload))
 	}
-	cp := make([]byte, len(data))
+	cp := c.nic.pool.Get(len(data))
 	copy(cp, data)
 	c.nic.engineQ.Send(&dmaOp{
 		kind: opQDMA, srcCtx: c, dstVPID: dstVPID, queue: queue,
-		data: cp, done: done, onError: onError,
+		data: cp, dataPooled: true, done: done, onError: onError,
 	})
 }
 
@@ -386,6 +407,7 @@ func (n *NIC) engineLoop(p *simtime.Proc) {
 			port, ctx, ok := n.res.Resolve(op.dstVPID)
 			if !ok {
 				op.fail(n, fmt.Errorf("elan4: QDMA to unknown VPID %d", op.dstVPID))
+				op.retire(n)
 				continue
 			}
 			n.send(port, len(op.data), &qdmaPkt{
@@ -440,7 +462,7 @@ func (n *NIC) engineLoop(p *simtime.Proc) {
 				continue
 			}
 			n.streamChunks(p, src, op.n, func(off, ln int, last bool) {
-				chunk := make([]byte, ln)
+				chunk := n.pool.Get(ln)
 				copy(chunk, src[off:off+ln])
 				n.stats.BytesSent += int64(ln)
 				n.send(port, ln, &rdmaWritePkt{
@@ -480,7 +502,7 @@ func (n *NIC) engineLoop(p *simtime.Proc) {
 			}
 			dst := op.replyOp.localAddr
 			n.streamChunks(p, src, op.n, func(off, ln int, last bool) {
-				chunk := make([]byte, ln)
+				chunk := n.pool.Get(ln)
 				copy(chunk, src[off:off+ln])
 				n.stats.BytesSent += int64(ln)
 				n.send(op.replyPort, ln, &rdmaReadDataPkt{
@@ -550,6 +572,9 @@ func (n *NIC) handlePacket(pkt *fabric.Packet) {
 
 	case *rdmaWritePkt:
 		n.afterRxPCI(len(m.data), 0, "elan4:rdma-write", func() {
+			// Chunk buffers are recycled into the receiving NIC's pool once
+			// placed (or dropped on error).
+			defer n.pool.Put(m.data)
 			ctx := n.contexts[m.dstCtx]
 			if ctx == nil || ctx.closed {
 				n.reply(m.srcPort, &ackPkt{op: m.op, err: fmt.Errorf("elan4: RDMA write to closed context %d", m.dstCtx)})
@@ -584,6 +609,7 @@ func (n *NIC) handlePacket(pkt *fabric.Packet) {
 			return
 		}
 		n.afterRxPCI(len(m.data), 0, "elan4:read-data", func() {
+			defer n.pool.Put(m.data)
 			dst, err := m.op.srcCtx.mmu.Slice(m.addr, len(m.data))
 			if err != nil {
 				m.op.fail(n, err)
@@ -598,17 +624,20 @@ func (n *NIC) handlePacket(pkt *fabric.Packet) {
 	case *ackPkt:
 		if m.err != nil {
 			m.op.fail(n, m.err)
+			m.op.retire(n)
 			return
 		}
 		m.op.pending--
 		if m.op.pending <= 0 {
 			m.op.complete()
+			m.op.retire(n)
 		}
 
 	case *nackPkt:
 		m.orig.op.attempt++
 		if m.orig.op.attempt > qdmaMaxRetries {
 			m.orig.op.fail(n, fmt.Errorf("elan4: QDMA retries exhausted to VPID %d", m.orig.dstVPID))
+			m.orig.op.retire(n)
 			return
 		}
 		n.stats.Retries++
@@ -621,6 +650,7 @@ func (n *NIC) handlePacket(pkt *fabric.Packet) {
 			port, ctx, ok := n.res.Resolve(m.orig.dstVPID)
 			if !ok {
 				m.orig.op.fail(n, fmt.Errorf("elan4: QDMA retry to unknown VPID %d", m.orig.dstVPID))
+				m.orig.op.retire(n)
 				return
 			}
 			m.orig.dstCtx = ctx

@@ -20,6 +20,10 @@ type RecvQueue struct {
 	id       int
 	slotSize int
 	slots    []QueuedMsg
+	// slotBufs are the per-slot backing arrays, allocated once (lazily)
+	// and reused for every deposit into that slot — the hardware reality
+	// of a QSLOT ring, and the reason deposits allocate nothing.
+	slotBufs [][]byte
 	head     int // next slot to poll
 	count    int // occupied slots
 
@@ -48,6 +52,7 @@ func (c *Context) CreateQueue(id, nslots int) *RecvQueue {
 		id:       id,
 		slotSize: c.nic.cfg.QDMAMaxPayload,
 		slots:    make([]QueuedMsg, nslots),
+		slotBufs: make([][]byte, nslots),
 		hostWord: simtime.NewCounter(),
 	}
 	c.queues[id] = q
@@ -117,7 +122,16 @@ func (q *RecvQueue) deposit(src int, data []byte) bool {
 		return false
 	}
 	idx := (q.head + q.count) % len(q.slots)
-	cp := make([]byte, len(data))
+	buf := q.slotBufs[idx]
+	if cap(buf) < len(data) {
+		size := q.slotSize
+		if size < len(data) {
+			size = len(data)
+		}
+		buf = make([]byte, size)
+		q.slotBufs[idx] = buf
+	}
+	cp := buf[:len(data)]
 	copy(cp, data)
 	q.slots[idx] = QueuedMsg{SrcVPID: src, Data: cp}
 	q.count++

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// fig7Fingerprint runs a reduced Fig7 sweep and renders every simulated
+// measurement with full float64 precision (hex mantissa), so two runs
+// compare byte-for-byte rather than through rounded output.
+func fig7Fingerprint() string {
+	old := Iters
+	Iters = 10
+	defer func() { Iters = old }()
+	r := Fig7([]int{0, 4, 512, 2048, 4096}, "det")
+	var sb strings.Builder
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "%s %d %x\n", s.Name, p.Size, p.Value)
+		}
+	}
+	return sb.String()
+}
+
+// TestDeterminismGolden pins the core property every fast-path
+// optimization must preserve: the discrete-event simulation is a pure
+// function of its inputs. The Fig7-equivalent workload (six protocol
+// variants, eager and rendezvous sizes) must produce byte-identical
+// simulated-time series run-to-run and regardless of GOMAXPROCS —
+// goroutine scheduling, map iteration and buffer reuse may never leak
+// into virtual time.
+func TestDeterminismGolden(t *testing.T) {
+	first := fig7Fingerprint()
+	if again := fig7Fingerprint(); again != first {
+		t.Errorf("repeat run diverged:\nfirst:\n%s\nsecond:\n%s", first, again)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial := fig7Fingerprint()
+	runtime.GOMAXPROCS(prev)
+	if serial != first {
+		t.Errorf("GOMAXPROCS=1 run diverged:\ndefault:\n%s\nserial:\n%s", first, serial)
+	}
+}

@@ -98,17 +98,26 @@ func (r *Result) Render() string {
 // OpenMPIPingPong measures mean half-round-trip latency (µs) of the Open
 // MPI stack for one size under a spec.
 func OpenMPIPingPong(spec cluster.Spec, size, iters int) float64 {
-	lat, _ := openMPITraced(spec, size, iters, false)
+	lat, _, _ := openMPITraced(spec, size, iters, false)
 	return lat
+}
+
+// OpenMPIPingPongEvents is OpenMPIPingPong plus the number of kernel
+// events the run executed, for wall-clock throughput (events/sec)
+// measurement by the benchmark harness.
+func OpenMPIPingPongEvents(spec cluster.Spec, size, iters int) (latUS float64, events int64) {
+	lat, _, steps := openMPITraced(spec, size, iters, false)
+	return lat, steps
 }
 
 // OpenMPILayered measures both the half-round-trip latency and the mean
 // PML-layer cost (§6.3) for one size.
 func OpenMPILayered(spec cluster.Spec, size, iters int) (total, pmlCost float64) {
-	return openMPITraced(spec, size, iters, true)
+	total, pmlCost, _ = openMPITraced(spec, size, iters, true)
+	return total, pmlCost
 }
 
-func openMPITraced(spec cluster.Spec, size, iters int, trace bool) (float64, float64) {
+func openMPITraced(spec cluster.Spec, size, iters int, trace bool) (float64, float64, int64) {
 	c := cluster.New(spec, 2)
 	var total simtime.Duration
 	var traces []*pml.LayerTrace
@@ -141,7 +150,7 @@ func openMPITraced(spec cluster.Spec, size, iters int, trace bool) (float64, flo
 	}
 	lat := total.Micros() / float64(iters) / 2
 	if !trace {
-		return lat, 0
+		return lat, 0, c.K.Steps()
 	}
 	var pmlSum float64
 	var n int
@@ -154,7 +163,7 @@ func openMPITraced(spec cluster.Spec, size, iters int, trace bool) (float64, flo
 	if n > 0 {
 		pmlSum /= float64(n)
 	}
-	return lat, pmlSum
+	return lat, pmlSum, c.K.Steps()
 }
 
 // TportPingPong measures mean half-round-trip latency (µs) of the

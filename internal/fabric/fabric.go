@@ -53,8 +53,20 @@ type Packet struct {
 	Payload  any
 }
 
-// Handler receives packets delivered to a port.
+// Handler receives packets delivered to a port. The packet is only valid
+// for the duration of the call: the fabric recycles it afterwards, so a
+// handler must take what it needs (typically the Payload) rather than
+// retain the pointer.
 type Handler func(pkt *Packet)
+
+// delivery is a pooled delivery-event context. Its closure is allocated
+// once per pooled entry and reused for every packet it delivers, so the
+// per-packet delivery schedule costs no allocation.
+type delivery struct {
+	n   *Network
+	pkt *Packet
+	fn  func()
+}
 
 // link is a directed link with FIFO serialization.
 type link struct {
@@ -66,6 +78,20 @@ type link struct {
 	bytes   int64
 }
 
+// linkKey identifies a directed link: the hop between level l-1 and level
+// l above subtree sw (level 0 "switch" indices are port numbers).
+type linkKey struct {
+	l, sw int
+}
+
+// route is one memoized up-down path through the tree. Deterministic
+// routing means the path per (src, dst) pair never changes, so it is
+// computed once and reused for every subsequent packet.
+type route struct {
+	links    []*link
+	switches int
+}
+
 // Network is a fat-tree fabric connecting a fixed number of ports.
 type Network struct {
 	k        *simtime.Kernel
@@ -75,8 +101,17 @@ type Network struct {
 	levels   int
 	handlers []Handler
 
-	up   map[string]*link // directed links, keyed by name
-	down map[string]*link
+	up   map[linkKey]*link // directed links by (level, subtree)
+	down map[linkKey]*link
+
+	// routes caches the up-down path per (src, dst) pair so routing cost
+	// is paid once per pair, not once per packet.
+	routes map[int64]*route
+
+	// freePkt and freeDel recycle packets and delivery events; both are
+	// returned to the lists when the receive handler comes back.
+	freePkt []*Packet
+	freeDel []*delivery
 
 	sent        int64
 	delivered   int64
@@ -102,8 +137,9 @@ func New(k *simtime.Kernel, p Params, nports int) *Network {
 		nports:   nports,
 		arity:    p.Arity,
 		handlers: make([]Handler, nports),
-		up:       make(map[string]*link),
-		down:     make(map[string]*link),
+		up:       make(map[linkKey]*link),
+		down:     make(map[linkKey]*link),
+		routes:   make(map[int64]*route),
 	}
 	n.levels = 1
 	capacity := n.arity
@@ -146,8 +182,8 @@ func (n *Network) switchOf(id, l int) int {
 // linkFor returns (creating on demand) the directed link between level l-1
 // and level l above subtree sw, in the given direction. Level 0 "switch"
 // indices are port numbers (the node-NIC link).
-func (n *Network) linkFor(m map[string]*link, l, sw int, dir string) *link {
-	key := fmt.Sprintf("%s:l%d:s%d", dir, l, sw)
+func (n *Network) linkFor(m map[linkKey]*link, l, sw int, dir string) *link {
+	key := linkKey{l: l, sw: sw}
 	lk, ok := m[key]
 	if !ok {
 		bw := n.p.LinkBandwidth
@@ -155,15 +191,28 @@ func (n *Network) linkFor(m map[string]*link, l, sw int, dir string) *link {
 		for i := 1; i < l; i++ {
 			bw *= float64(n.arity)
 		}
-		lk = &link{name: key, bw: bw}
+		lk = &link{name: fmt.Sprintf("%s:l%d:s%d", dir, l, sw), bw: bw}
 		m[key] = lk
 	}
 	return lk
 }
 
 // pathLinks returns the ordered links a packet traverses from src to dst,
-// and the number of switches crossed.
+// and the number of switches crossed. Routes are deterministic, so the
+// result is memoized per (src, dst) pair: the first packet pays the tree
+// walk, every later packet is one map lookup.
 func (n *Network) pathLinks(src, dst int) (links []*link, switches int) {
+	key := int64(src)<<32 | int64(uint32(dst))
+	if r, ok := n.routes[key]; ok {
+		return r.links, r.switches
+	}
+	links, switches = n.computePath(src, dst)
+	n.routes[key] = &route{links: links, switches: switches}
+	return links, switches
+}
+
+// computePath walks the fat tree to build the up-down path.
+func (n *Network) computePath(src, dst int) (links []*link, switches int) {
 	if src == dst {
 		return nil, 0
 	}
@@ -208,6 +257,12 @@ func (n *Network) Send(pkt *Packet, onWire func()) {
 	n.sent++
 	wire := pkt.Size + n.p.PacketOverhead
 	now := n.k.Now()
+
+	// Move the packet into a pooled copy: the caller's value never escapes
+	// into the fabric, and the copy is recycled after delivery.
+	q := n.getPacket()
+	*q = *pkt
+	pkt = q
 
 	if pkt.Src == pkt.Dst {
 		// NIC loopback: no wire crossing, one switch-equivalent latency.
@@ -276,7 +331,9 @@ func (n *Network) SendMulti(src, size int, dsts []int, payload func(dst int) any
 	for _, dst := range dsts {
 		if dst == src {
 			n.sent++
-			n.deliverAt(now.Add(n.p.SwitchLatency), &Packet{Src: src, Dst: dst, Size: size, Payload: payload(dst)})
+			q := n.getPacket()
+			*q = Packet{Src: src, Dst: dst, Size: size, Payload: payload(dst)}
+			n.deliverAt(now.Add(n.p.SwitchLatency), q)
 			continue
 		}
 		links, switches := n.pathLinks(src, dst)
@@ -303,8 +360,9 @@ func (n *Network) SendMulti(src, size int, dsts []int, payload func(dst int) any
 			}
 		}
 		n.sent++
-		n.deliverAt(tail.Add(simtime.Duration(switches)*n.p.SwitchLatency),
-			&Packet{Src: src, Dst: dst, Size: size, Payload: payload(dst)})
+		q := n.getPacket()
+		*q = Packet{Src: src, Dst: dst, Size: size, Payload: payload(dst)}
+		n.deliverAt(tail.Add(simtime.Duration(switches)*n.p.SwitchLatency), q)
 	}
 	if onWire != nil {
 		if srcSerialized == 0 {
@@ -314,15 +372,42 @@ func (n *Network) SendMulti(src, size int, dsts []int, payload func(dst int) any
 	}
 }
 
+// getPacket takes a packet from the free list, or allocates one.
+func (n *Network) getPacket() *Packet {
+	if ln := len(n.freePkt); ln > 0 {
+		p := n.freePkt[ln-1]
+		n.freePkt = n.freePkt[:ln-1]
+		return p
+	}
+	return new(Packet)
+}
+
 func (n *Network) deliverAt(t simtime.Time, pkt *Packet) {
-	n.k.At(t, fmt.Sprintf("fabric:deliver:%d->%d", pkt.Src, pkt.Dst), func() {
-		n.delivered++
-		h := n.handlers[pkt.Dst]
-		if h == nil {
-			panic(fmt.Sprintf("fabric: no handler attached to port %d", pkt.Dst))
+	var d *delivery
+	if ln := len(n.freeDel); ln > 0 {
+		d = n.freeDel[ln-1]
+		n.freeDel = n.freeDel[:ln-1]
+	} else {
+		d = &delivery{n: n}
+		d.fn = func() {
+			p := d.pkt
+			d.pkt = nil
+			nn := d.n
+			nn.delivered++
+			h := nn.handlers[p.Dst]
+			if h == nil {
+				panic(fmt.Sprintf("fabric: no handler attached to port %d", p.Dst))
+			}
+			h(p)
+			// Per the Handler contract the packet is dead once the handler
+			// returns; recycle it and this delivery slot.
+			*p = Packet{}
+			nn.freePkt = append(nn.freePkt, p)
+			nn.freeDel = append(nn.freeDel, d)
 		}
-		h(pkt)
-	})
+	}
+	d.pkt = pkt
+	n.k.At(t, "fabric:deliver", d.fn)
 }
 
 // Stats reports totals for tests and tools.

@@ -21,7 +21,11 @@ func testParams() Params {
 
 func collect(net *Network, id int) *[]*Packet {
 	var got []*Packet
-	net.Attach(id, func(p *Packet) { got = append(got, p) })
+	// Delivered packets are recycled after the handler returns; keep copies.
+	net.Attach(id, func(p *Packet) {
+		cp := *p
+		got = append(got, &cp)
+	})
 	return &got
 }
 

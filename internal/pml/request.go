@@ -49,7 +49,7 @@ type SendReq struct {
 	progressed int
 	inlineLen  int // bytes inlined with the first fragment
 	acked      bool
-	done       *simtime.Signal
+	done       simtime.Signal
 }
 
 // ID returns the request handle stamped into headers.
@@ -61,7 +61,7 @@ func (r *SendReq) Done() bool { return r.done.Fired() }
 // Wait blocks until the send completes, driving progress per the stack's
 // progress mode.
 func (r *SendReq) Wait(th *simtime.Thread) {
-	r.stack.waitOn(th, r.done)
+	r.stack.waitOn(th, &r.done)
 }
 
 // RecvReq is one posted receive.
@@ -75,13 +75,18 @@ type RecvReq struct {
 	dtype *datatype.Datatype
 	user  []byte
 
+	// pseq is the posting order within the communicator; matching merges
+	// the specific bucket and the wildcard list by it, so the
+	// first-posted-wins (non-overtaking) rule survives bucketing.
+	pseq uint64
+
 	matched   bool
 	staging   []byte // contiguous landing area (== user when contiguous)
 	mem       ptl.MemDesc
 	msgLen    int
 	got       int
 	status    Status
-	done      *simtime.Signal
+	done      simtime.Signal
 	cancelled bool
 }
 
@@ -98,7 +103,7 @@ func (r *RecvReq) Status() Status { return r.status }
 // Wait blocks until the receive completes, driving progress per the
 // stack's progress mode.
 func (r *RecvReq) Wait(th *simtime.Thread) {
-	r.stack.waitOn(th, r.done)
+	r.stack.waitOn(th, &r.done)
 }
 
 // matchKey identifies a matching context (one per communicator).
@@ -110,23 +115,50 @@ type firstFrag struct {
 	mod  ptl.Module
 	peer *ptl.Peer
 	hdr  ptl.Header
-	data []byte // copied; owned by the PML
+	data []byte // copied; owned by the PML when owned is set
+	// aseq is the arrival order within the communicator; wildcard receives
+	// pick the minimum across buckets, recovering global FIFO order.
+	aseq uint64
+	// owned marks data as a pool-owned copy to recycle after the match.
+	owned bool
 }
 
-// commState is the per-communicator matching state.
+// stKey packs a concrete (source rank, tag) pair into one bucket key.
+// Wildcards never appear in keys: fragments always carry concrete values,
+// and wildcard receives take the separate list.
+func stKey(src, tag int32) uint64 {
+	return uint64(uint32(src))<<32 | uint64(uint32(tag))
+}
+
+// commState is the per-communicator matching state. Both match directions
+// are bucketed by concrete (source,tag): a fragment probes exactly one
+// posted bucket plus the wildcard list; a specific receive probes exactly
+// one unexpected bucket. Order merges restore the linear-scan semantics:
+// posted entries carry posting sequence (pseq), unexpected entries carry
+// arrival sequence (aseq), and the candidate with the smaller sequence
+// wins — exactly the entry a front-to-back scan of the old single FIFO
+// would have found first.
 type commState struct {
-	posted     []*RecvReq           // FIFO of posted receives
-	unexpected []*firstFrag         // FIFO of unmatched arrivals, in match order
-	expected   map[int]uint32       // next expected seq per source rank
-	reorder    map[int][]*firstFrag // out-of-sequence arrivals per source
-	seqOut     map[int]uint32       // next seq to stamp per destination rank
+	posted     map[uint64][]*RecvReq // specific receives by (src,tag), FIFO
+	postedWild []*RecvReq            // AnySource/AnyTag receives, FIFO
+	nextPost   uint64
+
+	unexpected map[uint64][]*firstFrag // unmatched arrivals by (src,tag), FIFO
+	unexpCount int
+	nextArr    uint64
+
+	expected map[int]uint32       // next expected seq per source rank
+	reorder  map[int][]*firstFrag // out-of-sequence arrivals per source
+	seqOut   map[int]uint32       // next seq to stamp per destination rank
 }
 
 func newCommState() *commState {
 	return &commState{
-		expected: make(map[int]uint32),
-		reorder:  make(map[int][]*firstFrag),
-		seqOut:   make(map[int]uint32),
+		posted:     make(map[uint64][]*RecvReq),
+		unexpected: make(map[uint64][]*firstFrag),
+		expected:   make(map[int]uint32),
+		reorder:    make(map[int][]*firstFrag),
+		seqOut:     make(map[int]uint32),
 	}
 }
 
@@ -139,4 +171,101 @@ func matches(r *RecvReq, hdr *ptl.Header) bool {
 		return false
 	}
 	return true
+}
+
+// postRecv appends a receive to its matching structure in posting order.
+func (cs *commState) postRecv(r *RecvReq) {
+	r.pseq = cs.nextPost
+	cs.nextPost++
+	if r.src == AnySource || r.tag == AnyTag {
+		cs.postedWild = append(cs.postedWild, r)
+		return
+	}
+	k := stKey(int32(r.src), int32(r.tag))
+	cs.posted[k] = append(cs.posted[k], r)
+}
+
+// takePosted removes and returns the posted receive the fragment matches
+// — the earliest-posted across the specific bucket and the wildcard list —
+// or nil. wild reports which path produced the match.
+func (cs *commState) takePosted(hdr *ptl.Header) (req *RecvReq, wild bool) {
+	k := stKey(hdr.SrcRank, hdr.Tag)
+	bucket := cs.posted[k]
+	wi := -1
+	for i, r := range cs.postedWild {
+		if matches(r, hdr) {
+			wi = i
+			break
+		}
+	}
+	switch {
+	case len(bucket) == 0 && wi < 0:
+		return nil, false
+	case wi < 0 || (len(bucket) > 0 && bucket[0].pseq < cs.postedWild[wi].pseq):
+		req = bucket[0]
+		bucket[0] = nil
+		if len(bucket) == 1 {
+			delete(cs.posted, k)
+		} else {
+			cs.posted[k] = bucket[1:]
+		}
+		return req, false
+	default:
+		req = cs.postedWild[wi]
+		cs.postedWild = append(cs.postedWild[:wi], cs.postedWild[wi+1:]...)
+		return req, true
+	}
+}
+
+// addUnexpected stores an unmatched arrival in arrival order.
+func (cs *commState) addUnexpected(ff *firstFrag) {
+	ff.aseq = cs.nextArr
+	cs.nextArr++
+	k := stKey(ff.hdr.SrcRank, ff.hdr.Tag)
+	cs.unexpected[k] = append(cs.unexpected[k], ff)
+	cs.unexpCount++
+}
+
+// peekUnexpected returns the earliest-arrived unexpected fragment the
+// receive matches, without removing it, plus its bucket key. A specific
+// receive reads one bucket head; a wildcard receive takes the minimum
+// arrival sequence across matching bucket heads (unique stamps make the
+// map iteration deterministic).
+func (cs *commState) peekUnexpected(r *RecvReq) (*firstFrag, uint64) {
+	if r.src != AnySource && r.tag != AnyTag {
+		k := stKey(int32(r.src), int32(r.tag))
+		if q := cs.unexpected[k]; len(q) > 0 {
+			return q[0], k
+		}
+		return nil, 0
+	}
+	var best *firstFrag
+	var bestKey uint64
+	for k, q := range cs.unexpected {
+		ff := q[0]
+		if !matches(r, &ff.hdr) {
+			continue
+		}
+		if best == nil || ff.aseq < best.aseq {
+			best, bestKey = ff, k
+		}
+	}
+	return best, bestKey
+}
+
+// takeUnexpected is peekUnexpected plus removal.
+func (cs *commState) takeUnexpected(r *RecvReq) *firstFrag {
+	ff, k := cs.peekUnexpected(r)
+	if ff == nil {
+		return nil
+	}
+	q := cs.unexpected[k]
+	q[0] = nil
+	if len(q) == 1 {
+		delete(cs.unexpected, k)
+	} else {
+		cs.unexpected[k] = q[1:]
+	}
+	cs.unexpCount--
+	return ff
 }

@@ -3,6 +3,7 @@ package pml
 import (
 	"fmt"
 
+	"qsmpi/internal/bufpool"
 	"qsmpi/internal/datatype"
 	"qsmpi/internal/model"
 	"qsmpi/internal/ptl"
@@ -66,6 +67,12 @@ type Stats struct {
 	UnexpectedMsgs int64
 	ReorderedMsgs  int64
 	MatchAttempts  int64
+
+	// Matching-engine effectiveness: how matches were resolved and how
+	// deep the unexpected queue ever got.
+	BucketHits          int64 // resolved through a specific (src,tag) bucket
+	WildcardHits        int64 // resolved through the wildcard path
+	UnexpectedHighWater int64 // peak unexpected-queue depth
 }
 
 // Stack is one process's PML: the device-neutral message management layer
@@ -100,6 +107,9 @@ type Stack struct {
 	// Tracer, when non-nil, records per-message protocol timelines.
 	Tracer *trace.Recorder
 
+	// pool recycles pack/unpack staging and unexpected-message copies.
+	pool *bufpool.Pool
+
 	selfPeer *ptl.Peer
 
 	stats Stats
@@ -121,6 +131,7 @@ func NewStack(k *simtime.Kernel, host *simtime.Host, cfg model.Config, rank int,
 		activity: simtime.NewCounter(),
 		mode:     mode,
 		nextID:   1,
+		pool:     bufpool.New(),
 	}
 }
 
@@ -234,7 +245,7 @@ func (s *Stack) send(th *simtime.Thread, dst, tag int, comm uint16, buf []byte, 
 	n := dt.Size()
 	req := &SendReq{
 		id: s.nextID, stack: s, dst: dst, tag: tag, comm: comm,
-		dtype: dt, user: buf, n: n, done: simtime.NewSignal(),
+		dtype: dt, user: buf, n: n,
 	}
 	s.nextID++
 	s.sendReqs[req.id] = req
@@ -242,11 +253,11 @@ func (s *Stack) send(th *simtime.Thread, dst, tag int, comm uint16, buf []byte, 
 	s.trace(trace.SendPosted, req.id, dst, tag, n)
 
 	// Contiguous data is used in place (zero copy); non-contiguous data
-	// is packed once into a staging buffer.
+	// is packed once into pooled scratch, recycled on completion.
 	if dt.Contig() {
 		req.packed = buf[:n]
 	} else {
-		req.packed = make([]byte, n)
+		req.packed = s.pool.Get(n)
 		s.eng.Pack(th, dt, req.packed, buf, 0, n)
 	}
 
@@ -297,7 +308,7 @@ func (s *Stack) sendSelf(th *simtime.Thread, tag int, comm uint16, buf []byte, d
 	n := dt.Size()
 	req := &SendReq{
 		id: s.nextID, stack: s, dst: s.rank, tag: tag, comm: comm,
-		dtype: dt, user: buf, n: n, done: simtime.NewSignal(),
+		dtype: dt, user: buf, n: n,
 	}
 	s.nextID++
 	s.sendReqs[req.id] = req
@@ -305,7 +316,7 @@ func (s *Stack) sendSelf(th *simtime.Thread, tag int, comm uint16, buf []byte, d
 	if dt.Contig() {
 		req.packed = buf[:n]
 	} else {
-		req.packed = make([]byte, n)
+		req.packed = s.pool.Get(n)
 		s.eng.Pack(th, dt, req.packed, buf, 0, n)
 	}
 	cs := s.comm(comm)
@@ -409,6 +420,11 @@ func (s *Stack) SendProgress(th *simtime.Thread, sendReq uint64, bytes int) {
 	s.trace(trace.SendProgressed, req.id, req.dst, req.tag, bytes)
 	if req.progressed == req.n && !req.done.Fired() {
 		delete(s.sendDesc, req.id)
+		if !req.dtype.Contig() && req.packed != nil {
+			// The packed scratch was fully transmitted; recycle it.
+			s.pool.Put(req.packed)
+			req.packed = nil
+		}
 		s.trace(trace.SendCompleted, req.id, req.dst, req.tag, req.n)
 		req.done.Fire()
 	}
@@ -422,7 +438,7 @@ func (s *Stack) Recv(th *simtime.Thread, src, tag int, comm uint16, buf []byte, 
 	th.Compute(s.cfg.PMLRequestCost + s.eng.SetupCost())
 	req := &RecvReq{
 		id: s.nextID, stack: s, src: src, tag: tag, comm: comm,
-		dtype: dt, user: buf, done: simtime.NewSignal(),
+		dtype: dt, user: buf,
 	}
 	s.nextID++
 	s.recvReqs[req.id] = req
@@ -432,14 +448,16 @@ func (s *Stack) Recv(th *simtime.Thread, src, tag int, comm uint16, buf []byte, 
 	cs := s.comm(comm)
 	th.Compute(s.cfg.PMLMatchCost)
 	s.stats.MatchAttempts++
-	for i, ff := range cs.unexpected {
-		if matches(req, &ff.hdr) {
-			cs.unexpected = append(cs.unexpected[:i], cs.unexpected[i+1:]...)
-			s.consumeMatch(th, req, ff)
-			return req
+	if ff := cs.takeUnexpected(req); ff != nil {
+		if req.src == AnySource || req.tag == AnyTag {
+			s.stats.WildcardHits++
+		} else {
+			s.stats.BucketHits++
 		}
+		s.consumeMatch(th, req, ff)
+		return req
 	}
-	cs.posted = append(cs.posted, req)
+	cs.postRecv(req)
 	return req
 }
 
@@ -462,7 +480,7 @@ func (s *Stack) ReceiveFirst(th *simtime.Thread, mod ptl.Module, src *ptl.Peer, 
 		// later message): park until its turn, preserving MPI ordering.
 		s.stats.ReorderedMsgs++
 		cs.reorder[src.Rank] = append(cs.reorder[src.Rank], &firstFrag{
-			mod: mod, peer: src, hdr: hdr, data: cloneBytes(data),
+			mod: mod, peer: src, hdr: hdr, data: s.cloneBytes(data), owned: true,
 		})
 		return
 	}
@@ -486,8 +504,9 @@ func (s *Stack) ReceiveFirst(th *simtime.Thread, mod ptl.Module, src *ptl.Peer, 
 	}
 }
 
-func cloneBytes(b []byte) []byte {
-	cp := make([]byte, len(b))
+// cloneBytes copies transient fragment data into a pool-owned buffer.
+func (s *Stack) cloneBytes(b []byte) []byte {
+	cp := s.pool.Get(len(b))
 	copy(cp, b)
 	return cp
 }
@@ -499,17 +518,27 @@ func (s *Stack) admitFirst(th *simtime.Thread, ff *firstFrag) {
 	cs.expected[ff.peer.Rank]++
 	th.Compute(s.cfg.PMLMatchCost)
 	s.stats.MatchAttempts++
-	for i, req := range cs.posted {
-		if matches(req, &ff.hdr) {
-			cs.posted = append(cs.posted[:i], cs.posted[i+1:]...)
-			s.consumeMatch(th, req, ff)
-			return
+	if req, wild := cs.takePosted(&ff.hdr); req != nil {
+		if wild {
+			s.stats.WildcardHits++
+		} else {
+			s.stats.BucketHits++
 		}
+		s.consumeMatch(th, req, ff)
+		return
 	}
 	s.stats.UnexpectedMsgs++
 	s.trace(trace.Unexpected, ff.hdr.SendReq, ff.peer.Rank, int(ff.hdr.Tag), int(ff.hdr.MsgLen))
-	ff.data = cloneBytes(ff.data)
-	cs.unexpected = append(cs.unexpected, ff)
+	if !ff.owned {
+		// Reorder-buffer frags already own a copy; transient data from the
+		// wire must be copied before the transport reclaims it.
+		ff.data = s.cloneBytes(ff.data)
+		ff.owned = true
+	}
+	cs.addUnexpected(ff)
+	if int64(cs.unexpCount) > s.stats.UnexpectedHighWater {
+		s.stats.UnexpectedHighWater = int64(cs.unexpCount)
+	}
 }
 
 // consumeMatch binds a matched (request, fragment) pair: eager data is
@@ -523,6 +552,15 @@ func (s *Stack) consumeMatch(th *simtime.Thread, req *RecvReq, ff *firstFrag) {
 	if req.msgLen > req.dtype.Size() {
 		panic(fmt.Sprintf("pml: message of %d bytes truncates receive of %d", req.msgLen, req.dtype.Size()))
 	}
+	// Once the match consumes the fragment's data below, a pool-owned copy
+	// can be recycled.
+	defer func() {
+		if ff.owned {
+			ff.owned = false
+			s.pool.Put(ff.data)
+			ff.data = nil
+		}
+	}()
 
 	if ff.hdr.Type == ptl.TypeMatch {
 		// Whole message inline: unpack straight to the user buffer.
@@ -540,7 +578,7 @@ func (s *Stack) consumeMatch(th *simtime.Thread, req *RecvReq, ff *firstFrag) {
 	if req.dtype.Contig() {
 		req.staging = req.user[:req.msgLen]
 	} else {
-		req.staging = make([]byte, req.msgLen)
+		req.staging = s.pool.Get(req.msgLen)
 	}
 	req.mem = ptl.MemDesc{Buf: req.staging, E4: ff.mod.RegisterMem(req.staging)}
 	inline := int(ff.hdr.FragLen)
@@ -594,8 +632,11 @@ func (s *Stack) finishRecv(th *simtime.Thread, req *RecvReq) {
 		return
 	}
 	if req.staging != nil && !req.dtype.Contig() {
-		// Scatter the packed staging buffer into the typed user layout.
+		// Scatter the packed staging buffer into the typed user layout,
+		// then recycle the scratch.
 		s.eng.Unpack(th, req.dtype, req.user, req.staging, 0, req.msgLen)
+		s.pool.Put(req.staging)
+		req.staging = nil
 	}
 	delete(s.recvReqs, req.id)
 	s.trace(trace.RecvCompleted, req.id, req.status.Source, req.status.Tag, req.msgLen)
@@ -620,10 +661,8 @@ func (s *Stack) Iprobe(th *simtime.Thread, src, tag int, comm uint16) (Status, b
 	s.Progress(th)
 	th.Compute(s.cfg.PMLMatchCost)
 	probe := &RecvReq{src: src, tag: tag}
-	for _, ff := range s.comm(comm).unexpected {
-		if matches(probe, &ff.hdr) {
-			return Status{Source: int(ff.hdr.SrcRank), Tag: int(ff.hdr.Tag), Len: int(ff.hdr.MsgLen)}, true
-		}
+	if ff, _ := s.comm(comm).peekUnexpected(probe); ff != nil {
+		return Status{Source: int(ff.hdr.SrcRank), Tag: int(ff.hdr.Tag), Len: int(ff.hdr.MsgLen)}, true
 	}
 	return Status{}, false
 }

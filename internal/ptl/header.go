@@ -80,6 +80,15 @@ type Header struct {
 // Encode writes the fixed 64-byte wire form.
 func (h *Header) Encode() []byte {
 	b := make([]byte, HeaderSize)
+	h.EncodeTo(b)
+	return b
+}
+
+// EncodeTo writes the wire form into b, which must hold HeaderSize bytes.
+// It is the allocation-free form of Encode for callers staging into
+// pooled buffers.
+func (h *Header) EncodeTo(b []byte) {
+	_ = b[HeaderSize-1]
 	b[0] = byte(h.Type)
 	b[1] = h.Flags
 	binary.LittleEndian.PutUint16(b[2:], h.CommID)
@@ -93,7 +102,6 @@ func (h *Header) Encode() []byte {
 	binary.LittleEndian.PutUint64(b[40:], h.SendReq)
 	binary.LittleEndian.PutUint64(b[48:], h.RecvReq)
 	binary.LittleEndian.PutUint64(b[56:], h.SrcAddr)
-	return b
 }
 
 // DecodeHeader parses the 64-byte wire form.

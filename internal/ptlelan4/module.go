@@ -28,6 +28,8 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"qsmpi/internal/bufpool"
+
 	"qsmpi/internal/elan4"
 	"qsmpi/internal/libelan"
 	"qsmpi/internal/model"
@@ -178,10 +180,18 @@ type Module struct {
 	// remote deposit is acknowledged; senders stall when the pool drains,
 	// which is the natural backpressure of the design.
 	sendBufs *simtime.Semaphore
+	// releaseSendBuf is sendBufs.Release bound once, so chaining it onto
+	// each send-completion event does not allocate a method value per send.
+	releaseSendBuf func()
 	// collPending parks hardware-collective chunks that arrived from a
 	// different root than the one currently being received (consecutive
 	// collectives overlapping in the network).
 	collPending []elan4.QueuedMsg
+
+	// pool recycles the transient header+inline staging buffers built for
+	// each outgoing QDMA (IssueQDMA copies synchronously, so staging can
+	// be released as soon as the issue call returns).
+	pool *bufpool.Pool
 
 	peers       map[int]*peerInfo // by rank
 	outstanding []*localOp
@@ -217,6 +227,7 @@ func New(k *simtime.Kernel, host *simtime.Host, st *libelan.State, rteH *rte.Han
 	m := &Module{
 		lc: ptl.NewLifecycle("elan4"), k: k, host: host, st: st, rteH: rteH,
 		pml: p, act: activity, cfg: cfg, opts: opts,
+		pool:        bufpool.New(),
 		peers:       make(map[int]*peerInfo),
 		pendingFins: make(map[finKey]*finWork),
 	}
@@ -231,6 +242,7 @@ func (m *Module) Init(th *simtime.Thread) {
 	m.recvQ.Raw().AddNotify(m.act)
 	m.collQ = m.st.NewQueue(qidColl, m.opts.QueueSlots)
 	m.sendBufs = simtime.NewSemaphore(m.opts.QueueSlots)
+	m.releaseSendBuf = m.sendBufs.Release
 	if m.opts.CQ == TwoQueue {
 		m.compQ = m.st.NewQueue(qidComp, m.opts.QueueSlots)
 		m.compQ.Raw().AddNotify(m.act)
@@ -324,7 +336,7 @@ func (m *Module) acquireSendBuf(th *simtime.Thread) *elan4.Event {
 		m.stats.SendBufHighWater = inFlight
 	}
 	ev := m.st.Ctx.NewEvent(1)
-	ev.Chain(m.sendBufs.Release)
+	ev.Chain(m.releaseSendBuf)
 	return ev
 }
 
@@ -333,11 +345,14 @@ func (m *Module) acquireSendBuf(th *simtime.Thread) *elan4.Event {
 func (m *Module) SendFirst(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc) {
 	m.lc.RequireActive("SendFirst")
 	inline := int(sd.Hdr.FragLen)
-	payload := append(sd.Hdr.Encode(), sd.Mem.Buf[:inline]...)
+	payload := m.pool.Get(ptl.HeaderSize + inline)
+	sd.Hdr.EncodeTo(payload)
+	copy(payload[ptl.HeaderSize:], sd.Mem.Buf[:inline])
 	// Copy into the 2KB send buffer (the preallocation of §5).
 	buf := m.acquireSendBuf(th)
 	th.Compute(m.st.Cfg.MemcpyStartup + simtime.BytesAt(len(payload), m.st.Cfg.MemcpyBandwidth))
 	m.st.QDMA(th, m.peerVPID(p), qidRecv, payload, buf, m.onSendError)
+	m.pool.Put(payload)
 	if sd.Hdr.Type == ptl.TypeMatch {
 		m.stats.EagerTx++
 		// Eager data is buffered; the request's bytes are locally complete
@@ -415,10 +430,13 @@ func (m *Module) Matched(th *simtime.Thread, p *ptl.Peer, rd *ptl.RecvDesc) {
 		h := rd.Hdr
 		h.Type = ptl.TypeAck
 		h.RecvReq = rd.ReqID
-		payload := append(h.Encode(), encodeE4(rd.Mem.E4)...)
+		payload := m.pool.Get(ptl.HeaderSize + 8)
+		h.EncodeTo(payload)
+		binary.LittleEndian.PutUint64(payload[ptl.HeaderSize:], uint64(rd.Mem.E4))
 		buf := m.acquireSendBuf(th)
 		th.Compute(m.st.Cfg.MemcpyStartup + simtime.BytesAt(len(payload), m.st.Cfg.MemcpyBandwidth))
 		m.st.QDMA(th, vpid, qidRecv, payload, buf, m.onSendError)
+		m.pool.Put(payload)
 		m.stats.AckTx++
 		return
 	}

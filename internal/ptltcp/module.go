@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"qsmpi/internal/bufpool"
 	"qsmpi/internal/elan4"
 	"qsmpi/internal/fabric"
 	"qsmpi/internal/model"
@@ -83,6 +84,12 @@ type Module struct {
 
 	mss int
 
+	// pool recycles segment copies, reassembly buffers and outgoing
+	// payload staging — the per-message allocation churn of the socket
+	// path. Segments released here may have been allocated by a peer's
+	// module; pools are just recycled storage.
+	pool *bufpool.Pool
+
 	stats Stats
 }
 
@@ -106,6 +113,7 @@ func New(k *simtime.Kernel, host *simtime.Host, net *fabric.Network, port int, r
 		assembling: make(map[uint64]*message),
 		mss:        net.Params().MTU,
 		nextID:     1,
+		pool:       bufpool.New(),
 	}
 	m.lc.Open()
 	net.Attach(port, m.handlePacket)
@@ -173,8 +181,11 @@ func (m *Module) DelProc(th *simtime.Thread, p *ptl.Peer) {
 func (m *Module) SendFirst(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc) {
 	m.lc.RequireActive("SendFirst")
 	inline := int(sd.Hdr.FragLen)
-	payload := append(sd.Hdr.Encode(), sd.Mem.Buf[:inline]...)
+	payload := m.pool.Get(ptl.HeaderSize + inline)
+	sd.Hdr.EncodeTo(payload)
+	copy(payload[ptl.HeaderSize:], sd.Mem.Buf[:inline])
 	m.write(th, p, payload)
+	m.pool.Put(payload)
 	if sd.Hdr.Type == ptl.TypeMatch {
 		// Buffered by the kernel: locally complete.
 		m.pml.SendProgress(th, sd.Hdr.SendReq, inline)
@@ -188,8 +199,11 @@ func (m *Module) SendFrag(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc, off
 	hdr.Type = ptl.TypeFrag
 	hdr.Offset = uint64(off)
 	hdr.FragLen = uint32(ln)
-	payload := append(hdr.Encode(), sd.Mem.Buf[off:off+ln]...)
+	payload := m.pool.Get(ptl.HeaderSize + ln)
+	hdr.EncodeTo(payload)
+	copy(payload[ptl.HeaderSize:], sd.Mem.Buf[off:off+ln])
 	m.write(th, p, payload)
+	m.pool.Put(payload)
 	m.pml.SendProgress(th, sd.Hdr.SendReq, ln)
 }
 
@@ -205,7 +219,10 @@ func (m *Module) Matched(th *simtime.Thread, p *ptl.Peer, rd *ptl.RecvDesc) {
 	h := rd.Hdr
 	h.Type = ptl.TypeAck
 	h.RecvReq = rd.ReqID
-	m.write(th, p, h.Encode())
+	payload := m.pool.Get(ptl.HeaderSize)
+	h.EncodeTo(payload)
+	m.write(th, p, payload)
+	m.pool.Put(payload)
 }
 
 // write models a sendmsg(2): one syscall, per-segment stack processing and
@@ -239,7 +256,7 @@ func (m *Module) write(th *simtime.Thread, p *ptl.Peer, payload []byte) {
 		if ln > m.mss {
 			ln = m.mss
 		}
-		data := make([]byte, ln)
+		data := m.pool.Get(ln)
 		copy(data, payload[off:off+ln])
 		m.stats.SegsTx++
 		m.net.Send(&fabric.Packet{Src: m.port, Dst: port, Size: ln, Payload: &seg{
@@ -270,11 +287,14 @@ func (m *Module) handlePacket(pkt *fabric.Packet) {
 	msg, ok := m.assembling[sg.msgID<<16|uint64(sg.srcRank)]
 	key := sg.msgID<<16 | uint64(sg.srcRank)
 	if !ok {
-		msg = &message{srcRank: sg.srcRank, total: sg.total, buf: make([]byte, sg.total)}
+		msg = &message{srcRank: sg.srcRank, total: sg.total, buf: m.pool.Get(sg.total)}
 		m.assembling[key] = msg
 	}
 	copy(msg.buf[sg.off:], sg.data)
 	msg.got += len(sg.data)
+	// The segment copy is done with; recycle it into this side's pool.
+	m.pool.Put(sg.data)
+	sg.data = nil
 	m.stats.SegsRx++
 	if msg.got >= msg.total {
 		delete(m.assembling, key)
@@ -302,6 +322,10 @@ func (m *Module) Progress(th *simtime.Thread) {
 		m.inbox = m.inbox[1:]
 		th.Compute(simtime.BytesAt(len(msg.buf), m.cfg.TCPCopyBandwidth))
 		m.dispatch(th, msg)
+		// Dispatch upcalls copy what they keep; the reassembly buffer can
+		// be recycled as soon as the message has been consumed.
+		m.pool.Put(msg.buf)
+		msg.buf = nil
 	}
 }
 

@@ -1,47 +1,80 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
 )
 
 // event is a scheduled kernel action: either a timer callback or the
-// resumption of a parked process.
+// resumption of a parked process. Proc wakes store the proc pointer
+// directly instead of a closure — waking is the single hottest schedule
+// path, and the pointer form costs no allocation per wake (name then
+// holds only the wake reason; the traced label is composed lazily).
 type event struct {
 	at   Time
 	seq  int64 // tie-breaker: FIFO among events at the same instant
 	name string
 	fn   func()
-	idx  int
+	proc *Proc
 }
 
-type eventHeap []*event
+// eventHeap is a binary min-heap ordered by (at, seq), stored by value.
+// Storing event records inline in the slice — rather than boxing *event
+// through container/heap's `any` interface — means the slice's backing
+// array is its own free-list: a pop leaves a slot that the next push
+// reuses, so steady-state scheduling allocates nothing per event.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx, h[j].idx = i, j
+
+// push inserts e, sifting it up to its ordered position.
+func (h *eventHeap) push(e event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the closure and name it held can be collected.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
 }
 
 // Kernel is a deterministic discrete-event simulator. All simulated
@@ -58,6 +91,13 @@ type Kernel struct {
 	tracer  func(t Time, what string)
 	stopped bool
 	running bool
+
+	// stalledCache is the memoized Stalled() result; it is invalidated
+	// whenever a proc is spawned, parks, wakes, finishes or becomes a
+	// daemon, so assertion loops that call Stalled() after every quiescent
+	// run don't re-scan and re-sort the proc set each time.
+	stalledCache []string
+	stalledDirty bool
 }
 
 // NewKernel returns an empty kernel at time zero with a fixed-seed
@@ -91,7 +131,7 @@ func (k *Kernel) At(t Time, name string, fn func()) {
 		panic(fmt.Sprintf("simtime: scheduling %q at %v before now %v", name, t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.queue, &event{at: t, seq: k.seq, name: name, fn: fn})
+	k.queue.push(event{at: t, seq: k.seq, name: name, fn: fn})
 }
 
 // After schedules fn to run d from now. Negative durations are clamped to
@@ -101,6 +141,18 @@ func (k *Kernel) After(d Duration, name string, fn func()) {
 		d = 0
 	}
 	k.At(k.now.Add(d), name, fn)
+}
+
+// wakeAt schedules the resumption of a parked proc d from now. It is
+// After specialized for wakes: the event carries the proc pointer and the
+// bare reason, so the hot path allocates neither a closure nor a
+// concatenated name.
+func (k *Kernel) wakeAt(d Duration, p *Proc, why string) {
+	if d < 0 {
+		d = 0
+	}
+	k.seq++
+	k.queue.push(event{at: k.now.Add(d), seq: k.seq, name: why, proc: p})
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -136,13 +188,25 @@ func (k *Kernel) run(until Time) int64 {
 		if until >= 0 && k.queue[0].at > until {
 			break
 		}
-		e := heap.Pop(&k.queue).(*event)
+		e := k.queue.pop()
 		if e.at < k.now {
 			panic("simtime: event time went backwards")
 		}
 		k.now = e.at
 		k.steps++
 		n++
+		if p := e.proc; p != nil {
+			if k.tracer != nil {
+				k.tracer(k.now, "wake:"+p.name+":"+e.name)
+			}
+			if p.state != procParked {
+				panic(fmt.Sprintf("simtime: wake of %q which is not parked", p.name))
+			}
+			p.wakePending = false
+			p.state = procRunning
+			k.step(p)
+			continue
+		}
 		if k.tracer != nil {
 			k.tracer(k.now, e.name)
 		}
@@ -158,14 +222,24 @@ func (k *Kernel) Idle() bool { return len(k.queue) == 0 }
 
 // Stalled returns the names of processes that are parked with no pending
 // event that could wake them, i.e. the participants of a deadlock. It is
-// only meaningful when Idle reports true.
+// only meaningful when Idle reports true. The result is a cached snapshot
+// recomputed only after proc activity; callers must not modify it.
 func (k *Kernel) Stalled() []string {
-	var out []string
+	if !k.stalledDirty {
+		return k.stalledCache
+	}
+	out := k.stalledCache[:0]
 	for p := range k.procs {
 		if p.state == procParked && !p.daemon {
 			out = append(out, p.name)
 		}
 	}
 	sort.Strings(out)
+	k.stalledCache = out
+	k.stalledDirty = false
 	return out
 }
+
+// invalidateStalled marks the Stalled snapshot stale; called on every proc
+// lifecycle or park-state transition.
+func (k *Kernel) invalidateStalled() { k.stalledDirty = true }

@@ -38,7 +38,10 @@ type Proc struct {
 // Service loops that legitimately block forever (NIC engines, progress
 // threads) mark themselves so an idle kernel with only daemons parked is
 // not misreported as a deadlock.
-func (p *Proc) MarkDaemon() { p.daemon = true }
+func (p *Proc) MarkDaemon() {
+	p.daemon = true
+	p.k.invalidateStalled()
+}
 
 // Spawn creates a simulated process named name running fn, scheduled to
 // start at the current time (after already-queued events at this instant).
@@ -52,12 +55,14 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		yield:  make(chan struct{}),
 	}
 	k.procs[p] = struct{}{}
+	k.invalidateStalled()
 	k.After(0, "spawn:"+name, func() {
 		go func() {
 			<-p.resume
 			fn(p)
 			p.state = procDone
 			delete(k.procs, p)
+			k.invalidateStalled()
 			p.yield <- struct{}{}
 		}()
 		p.state = procRunning
@@ -80,9 +85,11 @@ func (p *Proc) park() {
 		panic(fmt.Sprintf("simtime: park of %q in state %d", p.name, p.state))
 	}
 	p.state = procParked
+	p.k.invalidateStalled()
 	p.yield <- struct{}{}
 	<-p.resume
 	p.state = procRunning
+	p.k.invalidateStalled()
 }
 
 // ready schedules a parked proc to resume at the current time. Readying a
@@ -97,14 +104,7 @@ func (p *Proc) readyAt(d Duration, why string) {
 		panic(fmt.Sprintf("simtime: double wake of proc %q (%s)", p.name, why))
 	}
 	p.wakePending = true
-	p.k.After(d, "wake:"+p.name+":"+why, func() {
-		if p.state != procParked {
-			panic(fmt.Sprintf("simtime: wake of %q which is not parked", p.name))
-		}
-		p.wakePending = false
-		p.state = procRunning
-		p.k.step(p)
-	})
+	p.k.wakeAt(d, p, why)
 }
 
 // Kernel returns the kernel this proc belongs to.
