@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench figures perfbench
+.PHONY: all build test check bench figures perfbench report-par
 
 all: build test
 
@@ -14,10 +14,23 @@ test:
 # kernel and matching-engine suites under the race detector. The kernel's
 # lockstep discipline (exactly one simulated entity runs at a time) is
 # what lets every pool and cache in the stack go lock-free, so these two
-# packages are the ones that must stay race-clean.
+# packages are the ones that must stay race-clean. The experiments and
+# parsweep suites run under -race too: they are where whole simulations
+# execute concurrently, so any state shared between two kernels shows up
+# there.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/simtime/... ./internal/pml/...
+	$(GO) test -race ./internal/experiments ./internal/parsweep
+
+# report-par proves the parallel sweep engine's determinism invariant
+# end to end: the replication report must be byte-identical at -j 1 and
+# -j (one worker per core).
+report-par:
+	$(GO) run ./cmd/report -j 1 > /tmp/qsmpi-report-j1.md
+	$(GO) run ./cmd/report > /tmp/qsmpi-report-jN.md
+	diff /tmp/qsmpi-report-j1.md /tmp/qsmpi-report-jN.md
+	@echo "report output identical at -j 1 and -j N"
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

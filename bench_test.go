@@ -20,6 +20,14 @@ import (
 // benchIters is the per-point timing iteration count used inside benches.
 const benchIters = 20
 
+// benchCfg is the reduced-sweep config the benches share. Workers is 1
+// so wall numbers measure the simulator, not the sweep engine's fan-out.
+func benchCfg() experiments.Config {
+	cfg := experiments.DefaultConfig().WithIters(benchIters)
+	cfg.Workers = 1
+	return cfg
+}
+
 func reportSeries(b *testing.B, r *experiments.Result, unit string) {
 	b.Helper()
 	for _, s := range r.Series {
@@ -30,111 +38,91 @@ func reportSeries(b *testing.B, r *experiments.Result, unit string) {
 }
 
 func BenchmarkFig7BasicRDMA(b *testing.B) {
-	old := experiments.Iters
-	experiments.Iters = benchIters
-	defer func() { experiments.Iters = old }()
+	cfg := benchCfg()
 	var r *experiments.Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.Fig7([]int{4, 2048, 4096}, "bench")
+		r = experiments.Fig7(cfg, []int{4, 2048, 4096}, "bench")
 	}
 	reportSeries(b, r, "sim-us")
 }
 
 func BenchmarkFig8ChainedDMAAndCQ(b *testing.B) {
-	old := experiments.Iters
-	experiments.Iters = benchIters
-	defer func() { experiments.Iters = old }()
+	cfg := benchCfg()
 	var r *experiments.Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.Fig8()
+		r = experiments.Fig8(cfg, experiments.Fig8Sizes)
 	}
 	reportSeries(b, r, "sim-us")
 }
 
 func BenchmarkFig9LayerCosts(b *testing.B) {
-	old := experiments.Iters
-	experiments.Iters = benchIters
-	defer func() { experiments.Iters = old }()
+	cfg := benchCfg()
 	var r *experiments.Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.Fig9()
+		r = experiments.Fig9(cfg, experiments.Fig9Sizes)
 	}
 	reportSeries(b, r, "sim-us")
 }
 
 func BenchmarkTable1AsyncProgress(b *testing.B) {
-	old := experiments.Iters
-	experiments.Iters = benchIters
-	defer func() { experiments.Iters = old }()
+	cfg := benchCfg()
 	var r *experiments.Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.Table1()
+		r = experiments.Table1(cfg)
 	}
 	reportSeries(b, r, "sim-us")
 }
 
 func BenchmarkFig10Latency(b *testing.B) {
-	old := experiments.Iters
-	experiments.Iters = benchIters
-	defer func() { experiments.Iters = old }()
+	cfg := benchCfg()
 	var r *experiments.Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.Fig10([]int{0, 4, 1024}, "bench", false)
+		r = experiments.Fig10(cfg, []int{0, 4, 1024}, "bench", false)
 	}
 	reportSeries(b, r, "sim-us")
 }
 
 func BenchmarkFig10Bandwidth(b *testing.B) {
-	old := experiments.Iters
-	experiments.Iters = benchIters
-	defer func() { experiments.Iters = old }()
+	cfg := benchCfg()
 	var r *experiments.Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.Fig10([]int{16384, 262144, 1048576}, "bench", true)
+		r = experiments.Fig10(cfg, []int{16384, 262144, 1048576}, "bench", true)
 	}
 	reportSeries(b, r, "sim-MB/s")
 }
 
 func BenchmarkAblationMultirail(b *testing.B) {
-	old := experiments.Iters
-	experiments.Iters = benchIters
-	defer func() { experiments.Iters = old }()
+	cfg := benchCfg()
 	var r *experiments.Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.AblationMultirail()
+		r = experiments.AblationMultirail(cfg)
 	}
 	reportSeries(b, r, "sim-MB/s")
 }
 
 func BenchmarkAblationHWBcast(b *testing.B) {
-	old := experiments.Iters
-	experiments.Iters = benchIters
-	defer func() { experiments.Iters = old }()
+	cfg := benchCfg()
 	var r *experiments.Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.AblationHWBcast()
+		r = experiments.AblationHWBcast(cfg)
 	}
 	reportSeries(b, r, "sim-us")
 }
 
 func BenchmarkAblationEagerThreshold(b *testing.B) {
-	old := experiments.Iters
-	experiments.Iters = benchIters
-	defer func() { experiments.Iters = old }()
+	cfg := benchCfg()
 	var r *experiments.Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.AblationEagerThreshold()
+		r = experiments.AblationEagerThreshold(cfg)
 	}
 	reportSeries(b, r, "sim-us")
 }
 
 func BenchmarkAblationFatTreeScale(b *testing.B) {
-	old := experiments.Iters
-	experiments.Iters = benchIters
-	defer func() { experiments.Iters = old }()
+	cfg := benchCfg()
 	var r *experiments.Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.AblationFatTreeScale()
+		r = experiments.AblationFatTreeScale(cfg)
 	}
 	reportSeries(b, r, "sim-us")
 }

@@ -10,6 +10,7 @@
 //	elan4bench -fig 7     # one figure (7, 8 or 9)
 //	elan4bench -table 1   # table 1
 //	elan4bench -iters 200 # more timing iterations per point
+//	elan4bench -j 8       # eight sweep workers (output identical at any -j)
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	"qsmpi/internal/experiments"
+	"qsmpi/internal/parsweep"
 )
 
 func main() {
@@ -26,8 +28,13 @@ func main() {
 	ablate := flag.Bool("ablate", false, "run the ablation sweeps instead of the paper figures")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	iters := flag.Int("iters", 100, "timing iterations per point")
+	workers := flag.Int("j", 0, "parallel sweep workers (0 = one per core)")
+	stats := flag.Bool("stats", false, "print sweep-engine worker stats to stderr")
 	flag.Parse()
-	experiments.Iters = *iters
+	var st parsweep.Stats
+	cfg := experiments.DefaultConfig().WithIters(*iters)
+	cfg.Workers = *workers
+	cfg.Stats = &st
 	emit := func(r *experiments.Result) {
 		if *csv {
 			fmt.Printf("# %s: %s\n%s\n", r.ID, r.Title, r.CSV())
@@ -35,9 +42,14 @@ func main() {
 		}
 		fmt.Println(r.Render())
 	}
+	defer func() {
+		if *stats {
+			fmt.Fprint(os.Stderr, st.String())
+		}
+	}()
 
 	if *ablate {
-		for _, r := range experiments.Ablations() {
+		for _, r := range experiments.Ablations(cfg) {
 			emit(r)
 		}
 		return
@@ -46,22 +58,22 @@ func main() {
 	var results []*experiments.Result
 	switch {
 	case *table == 1:
-		results = append(results, experiments.Table1())
+		results = append(results, experiments.Table1(cfg))
 	case *fig == 7:
 		results = append(results,
-			experiments.Fig7(experiments.Fig7SmallSizes, "a"),
-			experiments.Fig7(experiments.Fig7LargeSizes, "b"))
+			experiments.Fig7(cfg, experiments.Fig7SmallSizes, "a"),
+			experiments.Fig7(cfg, experiments.Fig7LargeSizes, "b"))
 	case *fig == 8:
-		results = append(results, experiments.Fig8())
+		results = append(results, experiments.Fig8(cfg, experiments.Fig8Sizes))
 	case *fig == 9:
-		results = append(results, experiments.Fig9())
+		results = append(results, experiments.Fig9(cfg, experiments.Fig9Sizes))
 	case *fig == 0 && *table == 0:
 		results = append(results,
-			experiments.Fig7(experiments.Fig7SmallSizes, "a"),
-			experiments.Fig7(experiments.Fig7LargeSizes, "b"),
-			experiments.Fig8(),
-			experiments.Fig9(),
-			experiments.Table1())
+			experiments.Fig7(cfg, experiments.Fig7SmallSizes, "a"),
+			experiments.Fig7(cfg, experiments.Fig7LargeSizes, "b"),
+			experiments.Fig8(cfg, experiments.Fig8Sizes),
+			experiments.Fig9(cfg, experiments.Fig9Sizes),
+			experiments.Table1(cfg))
 	default:
 		fmt.Fprintf(os.Stderr, "elan4bench: unknown figure %d / table %d\n", *fig, *table)
 		os.Exit(2)

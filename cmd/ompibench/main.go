@@ -7,6 +7,7 @@
 //	ompibench             # all four panels
 //	ompibench -panel a    # one of a (small latency), b (large latency),
 //	                      # c (small bandwidth), d (large bandwidth)
+//	ompibench -j 8        # eight sweep workers (output identical at any -j)
 package main
 
 import (
@@ -15,14 +16,20 @@ import (
 	"os"
 
 	"qsmpi/internal/experiments"
+	"qsmpi/internal/parsweep"
 )
 
 func main() {
 	panel := flag.String("panel", "", "panel to regenerate (a, b, c, d; empty = all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	iters := flag.Int("iters", 100, "timing iterations per point")
+	workers := flag.Int("j", 0, "parallel sweep workers (0 = one per core)")
+	stats := flag.Bool("stats", false, "print sweep-engine worker stats to stderr")
 	flag.Parse()
-	experiments.Iters = *iters
+	var st parsweep.Stats
+	cfg := experiments.DefaultConfig().WithIters(*iters)
+	cfg.Workers = *workers
+	cfg.Stats = &st
 
 	type p struct {
 		name  string
@@ -39,12 +46,15 @@ func main() {
 		if *panel != "" && pp.name[0] != (*panel)[0] {
 			continue
 		}
-		r := experiments.Fig10(pp.sizes, pp.name, pp.bw)
+		r := experiments.Fig10(cfg, pp.sizes, pp.name, pp.bw)
 		if *csv {
 			fmt.Printf("# %s: %s\n%s\n", r.ID, r.Title, r.CSV())
 		} else {
 			fmt.Println(r.Render())
 		}
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, st.String())
 	}
 	if *panel != "" && len(*panel) > 0 {
 		switch (*panel)[0] {

@@ -10,6 +10,10 @@
 //	osu -bench bibw
 //	osu -bench mr -size 8
 //	osu -bench latency -scheme write -threads 1
+//	osu -bench bw -j 8                # shard the size sweep over 8 workers
+//
+// Each message size is an independent simulation, so -j shards the sweep
+// across cores; the printed table is identical at any -j.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 
 	"qsmpi"
+	"qsmpi/internal/parsweep"
 )
 
 var sizes = []int{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048,
@@ -47,25 +52,29 @@ func main() {
 	mrSize := flag.Int("size", 8, "message size for mr")
 	scheme := flag.String("scheme", "read", "rendezvous scheme: read | write")
 	threads := flag.Int("threads", 0, "progress threads (0, 1, 2)")
+	workers := flag.Int("j", 0, "parallel sweep workers (0 = one per core)")
 	flag.Parse()
 	cfg := config(*scheme, *threads)
+
+	// sweep measures every size as an independent job across the worker
+	// pool and prints the rows in size order.
+	sweep := func(sz []int, measure func(n int) float64) {
+		vals := parsweep.Map(*workers, len(sz), func(i int) float64 { return measure(sz[i]) })
+		for i, n := range sz {
+			fmt.Printf("%-10d %12.2f\n", n, vals[i])
+		}
+	}
 
 	switch *bench {
 	case "latency":
 		fmt.Printf("# OSU-style latency (us), scheme=%s threads=%d\n%-10s %12s\n", *scheme, *threads, "bytes", "latency")
-		for _, n := range sizes {
-			fmt.Printf("%-10d %12.2f\n", n, latency(cfg, n, pickIters(*iters, n)))
-		}
+		sweep(sizes, func(n int) float64 { return latency(cfg, n, pickIters(*iters, n)) })
 	case "bw":
 		fmt.Printf("# OSU-style bandwidth (MB/s), window=%d\n%-10s %12s\n", *window, "bytes", "MB/s")
-		for _, n := range sizes[1:] {
-			fmt.Printf("%-10d %12.2f\n", n, bandwidth(cfg, n, *window, pickIters(*iters/4+1, n), false))
-		}
+		sweep(sizes[1:], func(n int) float64 { return bandwidth(cfg, n, *window, pickIters(*iters/4+1, n), false) })
 	case "bibw":
 		fmt.Printf("# OSU-style bidirectional bandwidth (MB/s), window=%d\n%-10s %12s\n", *window, "bytes", "MB/s")
-		for _, n := range sizes[1:] {
-			fmt.Printf("%-10d %12.2f\n", n, bandwidth(cfg, n, *window, pickIters(*iters/4+1, n), true))
-		}
+		sweep(sizes[1:], func(n int) float64 { return bandwidth(cfg, n, *window, pickIters(*iters/4+1, n), true) })
 	case "mr":
 		rate := messageRate(cfg, *mrSize, *iters*10)
 		fmt.Printf("# OSU-style message rate: %.0f msgs/s at %d bytes\n", rate, *mrSize)

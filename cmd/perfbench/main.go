@@ -10,11 +10,15 @@
 //	perfbench -out BENCH_wallclock.json   # also write the JSON report
 //	perfbench -reps 5                     # best-of-5 wall times
 //	perfbench -before seed.txt -after new.txt -out BENCH_wallclock.json
+//	perfbench -j 8                        # sweep-engine workers for -sweeps
+//	perfbench -sweeps=false               # skip the parallel-sweep comparison
 //
 // The -before/-after flags take saved `go test -bench` outputs (the same
 // benchmark set run on two trees) and embed per-benchmark wall-clock
 // speedups in the report, which is how the fast-path overhaul's ≥1.5×
-// target is recorded.
+// target is recorded. The -sweeps comparison runs the figure and claim
+// sweeps sequentially and through the parallel sweep engine, verifies the
+// outputs are byte-identical, and records the wall-clock speedup.
 package main
 
 import (
@@ -27,11 +31,13 @@ import (
 	"regexp"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"qsmpi/internal/cluster"
 	"qsmpi/internal/datatype"
 	"qsmpi/internal/experiments"
+	"qsmpi/internal/parsweep"
 	"qsmpi/internal/pml"
 	"qsmpi/internal/ptlelan4"
 	"qsmpi/internal/ptltcp"
@@ -54,6 +60,18 @@ type workloadResult struct {
 	NSPerEvent float64 `json:"ns_per_event"`
 }
 
+// sweepResult records one workload's sequential-vs-parallel sweep
+// comparison: the same jobs run at one worker and at `workers` workers,
+// with byte-identical output verified before timing is trusted.
+type sweepResult struct {
+	Name      string  `json:"name"`
+	Workers   int     `json:"workers"`
+	Jobs      int64   `json:"jobs"`
+	SeqWallMS float64 `json:"seq_wall_ms"`
+	ParWallMS float64 `json:"par_wall_ms"`
+	Speedup   float64 `json:"speedup"`
+}
+
 // speedupEntry compares one `go test -bench` benchmark across two trees.
 type speedupEntry struct {
 	Benchmark string  `json:"benchmark"`
@@ -64,14 +82,85 @@ type speedupEntry struct {
 
 // report is the BENCH_wallclock.json schema.
 type report struct {
-	Generated   string           `json:"generated"`
-	GoVersion   string           `json:"go_version"`
-	GOMAXPROCS  int              `json:"gomaxprocs"`
-	Reps        int              `json:"reps"`
-	Workloads   []workloadResult `json:"workloads"`
-	Speedups    []speedupEntry   `json:"speedups,omitempty"`
-	MinSpeedup  float64          `json:"min_speedup,omitempty"`
-	MeanSpeedup float64          `json:"mean_speedup,omitempty"`
+	Generated  string           `json:"generated"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Reps       int              `json:"reps"`
+	Workloads  []workloadResult `json:"workloads"`
+	Sweeps     []sweepResult    `json:"sweeps,omitempty"`
+	// SweepGeomean is the geometric-mean parallel-sweep speedup across
+	// the sweep workloads.
+	SweepGeomean float64        `json:"sweep_geomean,omitempty"`
+	Speedups     []speedupEntry `json:"speedups,omitempty"`
+	MinSpeedup   float64        `json:"min_speedup,omitempty"`
+	MeanSpeedup  float64        `json:"mean_speedup,omitempty"`
+}
+
+// sweepWorkload is one figure/claim sweep run under a worker count; it
+// returns its rendered output (for the byte-identical check) and the
+// engine stats.
+type sweepWorkload struct {
+	name string
+	run  func(workers int) (string, parsweep.Stats)
+}
+
+// sweepWorkloads mirrors the two evaluation drivers: cmd/report's claim
+// sweep and the figure set behind cmd/elan4bench + cmd/ompibench.
+func sweepWorkloads() []sweepWorkload {
+	mkCfg := func(iters, workers int, st *parsweep.Stats) experiments.Config {
+		cfg := experiments.DefaultConfig().WithIters(iters)
+		cfg.Workers = workers
+		cfg.Stats = st
+		return cfg
+	}
+	return []sweepWorkload{
+		{"report-claims", func(workers int) (string, parsweep.Stats) {
+			var st parsweep.Stats
+			var sb strings.Builder
+			for _, c := range experiments.Claims(mkCfg(30, workers, &st)) {
+				fmt.Fprintf(&sb, "%s|%s|%v\n", c.ID, c.Measured, c.Pass)
+			}
+			return sb.String(), st
+		}},
+		{"figures-all", func(workers int) (string, parsweep.Stats) {
+			var st parsweep.Stats
+			var sb strings.Builder
+			for _, r := range experiments.All(mkCfg(20, workers, &st)) {
+				sb.WriteString(r.Render())
+			}
+			return sb.String(), st
+		}},
+	}
+}
+
+// measureSweep times one workload at 1 worker and at `workers` workers
+// (best of reps each) and verifies the outputs match byte for byte.
+func measureSweep(w sweepWorkload, workers, reps int) sweepResult {
+	res := sweepResult{Name: w.name, Workers: workers}
+	time1, timeN := time.Duration(1<<63-1), time.Duration(1<<63-1)
+	var out1, outN string
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		seq, st := w.run(1)
+		if d := time.Since(start); d < time1 {
+			time1 = d
+		}
+		res.Jobs = st.Jobs()
+		start = time.Now()
+		par, _ := w.run(workers)
+		if d := time.Since(start); d < timeN {
+			timeN = d
+		}
+		out1, outN = seq, par
+		if out1 != outN {
+			log.Fatalf("perfbench: %s output differs between -j 1 and -j %d:\n%s\nvs\n%s",
+				w.name, workers, out1, outN)
+		}
+	}
+	res.SeqWallMS = float64(time1.Nanoseconds()) / 1e6
+	res.ParWallMS = float64(timeN.Nanoseconds()) / 1e6
+	res.Speedup = float64(time1.Nanoseconds()) / float64(timeN.Nanoseconds())
+	return res
 }
 
 // workload is a named simulator run returning its simulated time and
@@ -241,6 +330,8 @@ func main() {
 	out := flag.String("out", "", "write the JSON report to this file")
 	before := flag.String("before", "", "saved `go test -bench` output from the baseline tree")
 	after := flag.String("after", "", "saved `go test -bench` output from the optimized tree")
+	workers := flag.Int("j", 0, "sweep-engine workers for -sweeps (0 = one per core)")
+	sweeps := flag.Bool("sweeps", true, "measure the sequential-vs-parallel sweep speedup")
 	flag.Parse()
 
 	rep := report{
@@ -256,6 +347,20 @@ func main() {
 		rep.Workloads = append(rep.Workloads, r)
 		fmt.Printf("%-22s %14.1f %12d %12.2f %14.0f %10.1f\n",
 			r.Name, r.SimUS, r.Events, r.WallMS, r.EventsPerSec, r.NSPerEvent)
+	}
+
+	if *sweeps {
+		w := parsweep.Resolve(*workers)
+		fmt.Printf("\n%-22s %8s %12s %12s %10s\n", "sweep workload", "jobs", "j=1 ms", fmt.Sprintf("j=%d ms", w), "speedup")
+		prod := 1.0
+		for _, sw := range sweepWorkloads() {
+			r := measureSweep(sw, w, *reps)
+			rep.Sweeps = append(rep.Sweeps, r)
+			prod *= r.Speedup
+			fmt.Printf("%-22s %8d %12.2f %12.2f %9.2fx\n", r.Name, r.Jobs, r.SeqWallMS, r.ParWallMS, r.Speedup)
+		}
+		rep.SweepGeomean = math.Pow(prod, 1/float64(len(rep.Sweeps)))
+		fmt.Printf("parallel sweep geomean %.2fx at %d workers\n", rep.SweepGeomean, w)
 	}
 
 	if (*before == "") != (*after == "") {

@@ -5,6 +5,11 @@
 //
 //	go run ./cmd/report
 //	go run ./cmd/report -iters 200   # tighter sweeps
+//	go run ./cmd/report -j 8         # eight sweep workers
+//	go run ./cmd/report -stats       # engine counters on stderr
+//
+// The report body is byte-identical at any -j: the parallel sweep
+// engine only changes wall-clock time.
 package main
 
 import (
@@ -13,14 +18,20 @@ import (
 	"os"
 
 	"qsmpi/internal/experiments"
+	"qsmpi/internal/parsweep"
 )
 
 func main() {
 	iters := flag.Int("iters", 60, "timing iterations per measured point")
+	workers := flag.Int("j", 0, "parallel sweep workers (0 = one per core)")
+	stats := flag.Bool("stats", false, "print sweep-engine worker stats to stderr")
 	flag.Parse()
-	experiments.Iters = *iters
+	var st parsweep.Stats
+	cfg := experiments.DefaultConfig().WithIters(*iters)
+	cfg.Workers = *workers
+	cfg.Stats = &st
 
-	claims := experiments.Claims()
+	claims := experiments.Claims(cfg)
 	fmt.Println("# Replication report: Open MPI over Quadrics/Elan4")
 	fmt.Println()
 	fmt.Println("| claim | paper | measured | verdict |")
@@ -35,6 +46,9 @@ func main() {
 		fmt.Printf("| %s | %s | %s | %s |\n", c.ID, c.Paper, c.Measured, verdict)
 	}
 	fmt.Printf("\n%d/%d claims reproduced.\n", len(claims)-failed, len(claims))
+	if *stats {
+		fmt.Fprint(os.Stderr, st.String())
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

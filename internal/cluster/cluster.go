@@ -248,3 +248,7 @@ func (c *Cluster) Run() error {
 
 // Now returns the current virtual time.
 func (c *Cluster) Now() simtime.Time { return c.K.Now() }
+
+// Procs returns every process brought up so far (initial job and
+// dynamically spawned), in bringup order.
+func (c *Cluster) Procs() []*Proc { return c.procs }

@@ -218,6 +218,9 @@ func (n *NIC) Host() *simtime.Host { return n.host }
 // Stats returns a copy of the activity counters.
 func (n *NIC) Stats() Stats { return n.stats }
 
+// PoolStats returns a copy of the payload buffer-pool counters.
+func (n *NIC) PoolStats() bufpool.Stats { return n.pool.Stats() }
+
 // OpenContext claims context id on this NIC. Claiming a context that is
 // already open panics: the capability allocator (RTE) must hand out
 // distinct contexts.

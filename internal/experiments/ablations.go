@@ -10,6 +10,7 @@ import (
 	"qsmpi/internal/libelan"
 	"qsmpi/internal/model"
 	"qsmpi/internal/mpi"
+	"qsmpi/internal/parsweep"
 	"qsmpi/internal/pml"
 	"qsmpi/internal/ptlelan4"
 	"qsmpi/internal/simtime"
@@ -23,81 +24,94 @@ import (
 // AblationEagerThreshold sweeps the eager/rendezvous switch point. The
 // paper fixes it at 1984 (one QDMA slot minus the header); the sweep shows
 // the latency cliff a too-small threshold creates.
-func AblationEagerThreshold() *Result {
+func AblationEagerThreshold(cfg Config) *Result {
 	thresholds := []int{256, 512, 1024, 1984}
 	sizes := []int{512, 1024, 1984}
-	r := &Result{
+	var specs []seriesSpec
+	for _, th := range thresholds {
+		opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
+		opts.EagerLimit = th
+		specs = append(specs, seriesSpec{
+			name:  fmt.Sprintf("eager=%d", th),
+			sizes: sizes,
+			measure: func(n int) (float64, parsweep.Metrics) {
+				return cfg.openMPIPingPong(elanSpec(opts, false, pml.Polling), n, cfg.Iters)
+			},
+		})
+	}
+	return &Result{
 		ID:     "ablate-eager",
 		Title:  "Eager threshold vs latency",
 		XLabel: "bytes",
 		YLabel: "latency us",
+		Series: cfg.sweep(specs),
 	}
-	for _, th := range thresholds {
-		th := th
-		opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
-		opts.EagerLimit = th
-		r.Series = append(r.Series, sweep(fmt.Sprintf("eager=%d", th), sizes, func(n int) float64 {
-			return OpenMPIPingPong(elanSpec(opts, false, pml.Polling), n, Iters)
-		}))
-	}
-	return r
 }
 
 // AblationMultirail compares one and two Quadrics rails (the paper's
 // future-work item) on large-message bandwidth under the write scheme.
-func AblationMultirail() *Result {
+func AblationMultirail(cfg Config) *Result {
 	sizes := []int{16384, 65536, 262144, 1048576}
-	r := &Result{
+	var specs []seriesSpec
+	for _, rails := range []int{1, 2} {
+		rails := rails
+		specs = append(specs, seriesSpec{
+			name:  fmt.Sprintf("%d-rail", rails),
+			sizes: sizes,
+			measure: func(n int) (float64, parsweep.Metrics) {
+				opts := ptlelan4.BestOptions(ptlelan4.RDMAWrite)
+				spec := cluster.Spec{Elan: &opts, ElanRails: rails, Progress: pml.Polling}
+				lat, m := cfg.openMPIPingPong(spec, n, cfg.itersFor(n))
+				return toBW(n, lat), m
+			},
+		})
+	}
+	return &Result{
 		ID:     "ablate-multirail",
 		Title:  "Multirail Quadrics bandwidth (RDMA write)",
 		XLabel: "bytes",
 		YLabel: "MB/s",
+		Series: cfg.sweep(specs),
 	}
-	for _, rails := range []int{1, 2} {
-		rails := rails
-		r.Series = append(r.Series, sweep(fmt.Sprintf("%d-rail", rails), sizes, func(n int) float64 {
-			opts := ptlelan4.BestOptions(ptlelan4.RDMAWrite)
-			spec := cluster.Spec{Elan: &opts, ElanRails: rails, Progress: pml.Polling}
-			lat := OpenMPIPingPong(spec, n, fig10Iters(n))
-			return toBW(n, lat)
-		}))
-	}
-	return r
 }
 
 // AblationFatTreeScale measures zero-byte and 4 KB latency between the
 // most distant nodes as the fat tree grows (1, 2 and 3 switch levels with
 // the radix-8 Elite-4 building block).
-func AblationFatTreeScale() *Result {
+func AblationFatTreeScale(cfg Config) *Result {
 	nodesList := []int{2, 8, 64}
-	r := &Result{
+	var specs []seriesSpec
+	for _, size := range []int{0, 4096} {
+		size := size
+		specs = append(specs, seriesSpec{
+			name:  fmt.Sprintf("%dB", size),
+			sizes: nodesList,
+			measure: func(nodes int) (float64, parsweep.Metrics) {
+				return farCornerLatency(cfg, nodes, size)
+			},
+		})
+	}
+	return &Result{
 		ID:     "ablate-fattree",
 		Title:  "Fat-tree scale vs far-corner latency",
 		XLabel: "nodes",
 		YLabel: "latency us",
+		Series: cfg.sweep(specs),
 	}
-	for _, size := range []int{0, 4096} {
-		size := size
-		s := Series{Name: fmt.Sprintf("%dB", size)}
-		for _, nodes := range nodesList {
-			s.Points = append(s.Points, Point{Size: nodes, Value: farCornerLatency(nodes, size)})
-		}
-		r.Series = append(r.Series, s)
-	}
-	return r
 }
 
 // farCornerLatency runs a ping-pong between node 0 and node n-1 of an
 // n-node cluster.
-func farCornerLatency(nodes, size int) float64 {
+func farCornerLatency(cfg Config, nodes, size int) (float64, parsweep.Metrics) {
 	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
 	spec := cluster.Spec{Elan: &opts, Nodes: nodes, Progress: pml.Polling}
 	c := cluster.New(spec, nodes)
 	var total simtime.Duration
-	iters := Iters / 2
+	iters := cfg.Iters / 2
 	if iters < 10 {
 		iters = 10
 	}
+	warmup := cfg.Warmup
 	c.Launch(func(p *cluster.Proc) {
 		far := nodes - 1
 		if p.Rank != 0 && p.Rank != far {
@@ -106,16 +120,16 @@ func farCornerLatency(nodes, size int) float64 {
 		dt := datatype.Contiguous(size)
 		buf := make([]byte, size)
 		if p.Rank == 0 {
-			for i := 0; i < Warmup+iters; i++ {
+			for i := 0; i < warmup+iters; i++ {
 				start := p.Th.Now()
 				p.Stack.Send(p.Th, far, 1, 0, buf, dt).Wait(p.Th)
 				p.Stack.Recv(p.Th, far, 2, 0, buf, dt).Wait(p.Th)
-				if i >= Warmup {
+				if i >= warmup {
 					total += p.Th.Now().Sub(start)
 				}
 			}
 		} else {
-			for i := 0; i < Warmup+iters; i++ {
+			for i := 0; i < warmup+iters; i++ {
 				p.Stack.Recv(p.Th, 0, 1, 0, buf, dt).Wait(p.Th)
 				p.Stack.Send(p.Th, 0, 2, 0, buf, dt).Wait(p.Th)
 			}
@@ -124,30 +138,39 @@ func farCornerLatency(nodes, size int) float64 {
 	if err := c.Run(); err != nil {
 		panic(err)
 	}
-	return total.Micros() / float64(iters) / 2
+	return total.Micros() / float64(iters) / 2, clusterMetrics(c)
 }
 
 // AblationQueueSlots measures QDMA retries as the receive-queue depth
 // (QSLOTS) shrinks under an incast burst: 7 senders, one slow receiver.
-func AblationQueueSlots() *Result {
+// One simulation yields both curves, so each depth is one engine job.
+func AblationQueueSlots(cfg Config) *Result {
 	r := &Result{
 		ID:     "ablate-qslots",
 		Title:  "Receive-queue depth vs NACK retries (7-to-1 incast)",
 		XLabel: "slots",
 		YLabel: "retries",
 	}
+	slotsList := []int{2, 4, 16, 64}
+	rows, st := parsweep.Run(cfg.Workers, len(slotsList), func(ctx *parsweep.Ctx, i int) [2]float64 {
+		retries, drain, m := incastRetries(slotsList[i])
+		ctx.Report(m)
+		return [2]float64{float64(retries), drain}
+	})
+	if cfg.Stats != nil {
+		cfg.Stats.Merge(st)
+	}
 	s := Series{Name: "retries"}
 	d := Series{Name: "drain-time-us"}
-	for _, slots := range []int{2, 4, 16, 64} {
-		retries, drain := incastRetries(slots)
-		s.Points = append(s.Points, Point{Size: slots, Value: float64(retries)})
-		d.Points = append(d.Points, Point{Size: slots, Value: drain})
+	for i, slots := range slotsList {
+		s.Points = append(s.Points, Point{Size: slots, Value: rows[i][0]})
+		d.Points = append(d.Points, Point{Size: slots, Value: rows[i][1]})
 	}
 	r.Series = append(r.Series, s, d)
 	return r
 }
 
-func incastRetries(slots int) (int64, float64) {
+func incastRetries(slots int) (int64, float64, parsweep.Metrics) {
 	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
 	opts.QueueSlots = slots
 	const nodes = 8
@@ -188,34 +211,36 @@ func incastRetries(slots int) (int64, float64) {
 	for _, nic := range c.NICs {
 		retries += nic.Stats().Retries
 	}
-	return retries, drainAt.Micros()
+	return retries, drainAt.Micros(), clusterMetrics(c)
 }
 
 // AblationHWBcast compares QsNet hardware broadcast (switch-replicated
 // QDMA multicast) against the software binomial-tree broadcast for 1 KB
 // payloads across group sizes — the benefit §4.1 says dynamically joined
 // processes must forgo.
-func AblationHWBcast() *Result {
-	r := &Result{
+func AblationHWBcast(cfg Config) *Result {
+	nodesList := []int{2, 4, 8, 16}
+	series := cfg.sweep([]seriesSpec{
+		{"hardware", nodesList, func(nodes int) (float64, parsweep.Metrics) {
+			return hwBcastLatency(nodes, 1024)
+		}},
+		{"software-binomial", nodesList, func(nodes int) (float64, parsweep.Metrics) {
+			return swBcastLatency(nodes, 1024)
+		}},
+	})
+	return &Result{
 		ID:     "ablate-hwbcast",
 		Title:  "Hardware vs software broadcast (1KB)",
 		XLabel: "nodes",
 		YLabel: "latency us",
+		Series: series,
 	}
-	hw := Series{Name: "hardware"}
-	sw := Series{Name: "software-binomial"}
-	for _, nodes := range []int{2, 4, 8, 16} {
-		hw.Points = append(hw.Points, Point{Size: nodes, Value: hwBcastLatency(nodes, 1024)})
-		sw.Points = append(sw.Points, Point{Size: nodes, Value: swBcastLatency(nodes, 1024)})
-	}
-	r.Series = append(r.Series, hw, sw)
-	return r
 }
 
 // hwBcastLatency measures a root's hardware broadcast until every leaf
 // has consumed its copy, using libelan directly (a static, synchronized
 // group — the precondition the paper states).
-func hwBcastLatency(nodes, size int) float64 {
+func hwBcastLatency(nodes, size int) (float64, parsweep.Metrics) {
 	cfg := model.Default()
 	k := simtime.NewKernel()
 	net := fabric.New(k, fabric.Params{
@@ -258,11 +283,11 @@ func hwBcastLatency(nodes, size int) float64 {
 		})
 	}
 	k.Run()
-	return last.Micros()
+	return last.Micros(), parsweep.Metrics{SimEvents: k.Steps()}
 }
 
 // swBcastLatency measures the binomial-tree mpi.Bcast over the full stack.
-func swBcastLatency(nodes, size int) float64 {
+func swBcastLatency(nodes, size int) (float64, parsweep.Metrics) {
 	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
 	c := cluster.New(cluster.Spec{Elan: &opts, Progress: pml.Polling}, nodes)
 	uni := mpi.NewUniverse()
@@ -283,16 +308,16 @@ func swBcastLatency(nodes, size int) float64 {
 	if err := c.Run(); err != nil {
 		panic(err)
 	}
-	return (last - startAt).Micros()
+	return (last - startAt).Micros(), clusterMetrics(c)
 }
 
 // Ablations runs every ablation.
-func Ablations() []*Result {
+func Ablations(cfg Config) []*Result {
 	return []*Result{
-		AblationEagerThreshold(),
-		AblationMultirail(),
-		AblationFatTreeScale(),
-		AblationQueueSlots(),
-		AblationHWBcast(),
+		AblationEagerThreshold(cfg),
+		AblationMultirail(cfg),
+		AblationFatTreeScale(cfg),
+		AblationQueueSlots(cfg),
+		AblationHWBcast(cfg),
 	}
 }

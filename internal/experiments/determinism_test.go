@@ -11,10 +11,7 @@ import (
 // measurement with full float64 precision (hex mantissa), so two runs
 // compare byte-for-byte rather than through rounded output.
 func fig7Fingerprint() string {
-	old := Iters
-	Iters = 10
-	defer func() { Iters = old }()
-	r := Fig7([]int{0, 4, 512, 2048, 4096}, "det")
+	r := Fig7(DefaultConfig().WithIters(10), []int{0, 4, 512, 2048, 4096}, "det")
 	var sb strings.Builder
 	for _, s := range r.Series {
 		for _, p := range s.Points {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"qsmpi/internal/bufpool"
 	"qsmpi/internal/cluster"
 	"qsmpi/internal/datatype"
 	"qsmpi/internal/elan4"
@@ -17,6 +18,7 @@ import (
 	"qsmpi/internal/libelan"
 	"qsmpi/internal/model"
 	"qsmpi/internal/mpichq"
+	"qsmpi/internal/parsweep"
 	"qsmpi/internal/pml"
 	"qsmpi/internal/ptlelan4"
 	"qsmpi/internal/simtime"
@@ -95,10 +97,37 @@ func (r *Result) Render() string {
 
 // ---- measurement harnesses ----
 
+// clusterMetrics aggregates a finished cluster's kernel event count and
+// the buffer-pool counters of every component (PML stacks, PTL modules,
+// NICs) into sweep-engine metrics.
+func clusterMetrics(c *cluster.Cluster) parsweep.Metrics {
+	m := parsweep.Metrics{SimEvents: c.K.Steps()}
+	addPool := func(s bufpool.Stats) {
+		m.PoolGets += s.Gets
+		m.PoolHits += s.Hits
+		m.PoolPuts += s.Puts
+	}
+	for _, p := range c.Procs() {
+		addPool(p.Stack.PoolStats())
+		for _, mod := range p.Elans {
+			addPool(mod.PoolStats())
+		}
+		if p.TCP != nil {
+			addPool(p.TCP.PoolStats())
+		}
+	}
+	for _, rail := range c.RailNICs {
+		for _, nic := range rail {
+			addPool(nic.PoolStats())
+		}
+	}
+	return m
+}
+
 // OpenMPIPingPong measures mean half-round-trip latency (µs) of the Open
 // MPI stack for one size under a spec.
 func OpenMPIPingPong(spec cluster.Spec, size, iters int) float64 {
-	lat, _, _ := openMPITraced(spec, size, iters, false)
+	lat, _, _ := openMPITraced(spec, size, iters, Warmup, false)
 	return lat
 }
 
@@ -106,18 +135,30 @@ func OpenMPIPingPong(spec cluster.Spec, size, iters int) float64 {
 // events the run executed, for wall-clock throughput (events/sec)
 // measurement by the benchmark harness.
 func OpenMPIPingPongEvents(spec cluster.Spec, size, iters int) (latUS float64, events int64) {
-	lat, _, steps := openMPITraced(spec, size, iters, false)
-	return lat, steps
+	lat, _, m := openMPITraced(spec, size, iters, Warmup, false)
+	return lat, m.SimEvents
 }
 
 // OpenMPILayered measures both the half-round-trip latency and the mean
 // PML-layer cost (§6.3) for one size.
 func OpenMPILayered(spec cluster.Spec, size, iters int) (total, pmlCost float64) {
-	total, pmlCost, _ = openMPITraced(spec, size, iters, true)
+	total, pmlCost, _ = openMPITraced(spec, size, iters, Warmup, true)
 	return total, pmlCost
 }
 
-func openMPITraced(spec cluster.Spec, size, iters int, trace bool) (float64, float64, int64) {
+// openMPIPingPong is the Config-aware harness the parallel sweeps use:
+// warmup comes from the config and the engine metrics are reported.
+func (c Config) openMPIPingPong(spec cluster.Spec, size, iters int) (float64, parsweep.Metrics) {
+	lat, _, m := openMPITraced(spec, size, iters, c.Warmup, false)
+	return lat, m
+}
+
+// openMPILayered is OpenMPILayered plus engine metrics.
+func (c Config) openMPILayered(spec cluster.Spec, size int) (total, pmlCost float64, m parsweep.Metrics) {
+	return openMPITraced(spec, size, c.Iters, c.Warmup, true)
+}
+
+func openMPITraced(spec cluster.Spec, size, iters, warmup int, trace bool) (float64, float64, parsweep.Metrics) {
 	c := cluster.New(spec, 2)
 	var total simtime.Duration
 	var traces []*pml.LayerTrace
@@ -130,16 +171,16 @@ func openMPITraced(spec cluster.Spec, size, iters int, trace bool) (float64, flo
 		buf := make([]byte, size)
 		scratch := make([]byte, size)
 		if p.Rank == 0 {
-			for i := 0; i < Warmup+iters; i++ {
+			for i := 0; i < warmup+iters; i++ {
 				start := p.Th.Now()
 				p.Stack.Send(p.Th, 1, 1, 0, buf, dt).Wait(p.Th)
 				p.Stack.Recv(p.Th, 1, 2, 0, scratch, dt).Wait(p.Th)
-				if i >= Warmup {
+				if i >= warmup {
 					total += p.Th.Now().Sub(start)
 				}
 			}
 		} else {
-			for i := 0; i < Warmup+iters; i++ {
+			for i := 0; i < warmup+iters; i++ {
 				p.Stack.Recv(p.Th, 0, 1, 0, scratch, dt).Wait(p.Th)
 				p.Stack.Send(p.Th, 0, 2, 0, buf, dt).Wait(p.Th)
 			}
@@ -150,7 +191,7 @@ func openMPITraced(spec cluster.Spec, size, iters int, trace bool) (float64, flo
 	}
 	lat := total.Micros() / float64(iters) / 2
 	if !trace {
-		return lat, 0, c.K.Steps()
+		return lat, 0, clusterMetrics(c)
 	}
 	var pmlSum float64
 	var n int
@@ -163,28 +204,38 @@ func openMPITraced(spec cluster.Spec, size, iters int, trace bool) (float64, flo
 	if n > 0 {
 		pmlSum /= float64(n)
 	}
-	return lat, pmlSum, c.K.Steps()
+	return lat, pmlSum, clusterMetrics(c)
 }
 
 // TportPingPong measures mean half-round-trip latency (µs) of the
 // MPICH-QsNetII baseline.
 func TportPingPong(size, iters int) float64 {
+	lat, _ := tportPingPong(size, iters, Warmup)
+	return lat
+}
+
+// tportPingPong is the Config-aware MPICH-QsNetII harness.
+func (c Config) tportPingPong(size, iters int) (float64, parsweep.Metrics) {
+	return tportPingPong(size, iters, c.Warmup)
+}
+
+func tportPingPong(size, iters, warmup int) (float64, parsweep.Metrics) {
 	j := mpichq.NewJob(2, nil)
 	var total simtime.Duration
 	j.Launch(func(rank int, th *simtime.Thread, c *mpichq.Comm) {
 		buf := make([]byte, size)
 		scratch := make([]byte, size)
 		if rank == 0 {
-			for i := 0; i < Warmup+iters; i++ {
+			for i := 0; i < warmup+iters; i++ {
 				start := th.Now()
 				c.Send(th, 1, 1, buf)
 				c.Recv(th, 1, 2, scratch)
-				if i >= Warmup {
+				if i >= warmup {
 					total += th.Now().Sub(start)
 				}
 			}
 		} else {
-			for i := 0; i < Warmup+iters; i++ {
+			for i := 0; i < warmup+iters; i++ {
 				c.Recv(th, 0, 1, scratch)
 				c.Send(th, 0, 2, buf)
 			}
@@ -193,12 +244,22 @@ func TportPingPong(size, iters int) float64 {
 	if err := j.Run(); err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	return total.Micros() / float64(iters) / 2
+	return total.Micros() / float64(iters) / 2, parsweep.Metrics{SimEvents: j.K.Steps()}
 }
 
 // QDMAPingPong measures native Quadrics QDMA half-round-trip latency (µs):
 // the Fig. 9 baseline the PTL is compared against.
 func QDMAPingPong(size, iters int) float64 {
+	lat, _ := qdmaPingPong(size, iters, Warmup)
+	return lat
+}
+
+// qdmaPingPong is the Config-aware native-QDMA harness.
+func (c Config) qdmaPingPong(size, iters int) (float64, parsweep.Metrics) {
+	return qdmaPingPong(size, iters, c.Warmup)
+}
+
+func qdmaPingPong(size, iters, warmup int) (float64, parsweep.Metrics) {
 	cfg := model.Default()
 	if size > cfg.QDMAMaxPayload {
 		panic("experiments: QDMA size above hardware limit")
@@ -226,23 +287,23 @@ func QDMAPingPong(size, iters int) float64 {
 	payload := make([]byte, size)
 	var total simtime.Duration
 	hosts[0].Spawn("ping", func(th *simtime.Thread) {
-		for i := 0; i < Warmup+iters; i++ {
+		for i := 0; i < warmup+iters; i++ {
 			start := th.Now()
 			states[0].QDMA(th, 1, 1, payload, nil, nil)
 			q0.Recv(th, libelan.Poll)
-			if i >= Warmup {
+			if i >= warmup {
 				total += th.Now().Sub(start)
 			}
 		}
 	})
 	hosts[1].Spawn("pong", func(th *simtime.Thread) {
-		for i := 0; i < Warmup+iters; i++ {
+		for i := 0; i < warmup+iters; i++ {
 			q1.Recv(th, libelan.Poll)
 			states[1].QDMA(th, 0, 1, payload, nil, nil)
 		}
 	})
 	k.Run()
-	return total.Micros() / float64(iters) / 2
+	return total.Micros() / float64(iters) / 2, parsweep.Metrics{SimEvents: k.Steps()}
 }
 
 type staticResolver map[int][2]int

@@ -12,12 +12,13 @@ import (
 // reports — into regression checks, on reduced sweeps so the suite stays
 // fast.
 
-func init() {
-	Iters = 30
+// testCfg is the reduced-sweep config the claim tests share.
+func testCfg() Config {
+	return DefaultConfig().WithIters(30)
 }
 
 func TestFig7Claims(t *testing.T) {
-	r := Fig7([]int{4, 4096}, "test")
+	r := Fig7(testCfg(), []int{4, 4096}, "test")
 	read := byName(r, "RDMA-Read")
 	readNI := byName(r, "Read-NoInline")
 	readDTP := byName(r, "Read-DTP")
@@ -47,10 +48,7 @@ func TestFig7Claims(t *testing.T) {
 }
 
 func TestFig8Claims(t *testing.T) {
-	old := Fig8Sizes
-	Fig8Sizes = []int{4, 4096, 16384}
-	defer func() { Fig8Sizes = old }()
-	r := Fig8()
+	r := Fig8(testCfg(), []int{4, 4096, 16384})
 	chained := byName(r, "RDMA-Read")
 	noChain := byName(r, "Read-NoChain")
 	oneQ := byName(r, "One-Queue")
@@ -74,10 +72,7 @@ func TestFig8Claims(t *testing.T) {
 }
 
 func TestFig9Claims(t *testing.T) {
-	old := Fig9Sizes
-	Fig9Sizes = []int{0, 64, 1024}
-	defer func() { Fig9Sizes = old }()
-	r := Fig9()
+	r := Fig9(testCfg(), []int{0, 64, 1024})
 	qdma := byName(r, "QDMA latency")
 	ptlL := byName(r, "PTL Latency")
 	pmlC := byName(r, "PML Layer Cost")
@@ -100,7 +95,7 @@ func TestFig9Claims(t *testing.T) {
 }
 
 func TestTable1Claims(t *testing.T) {
-	r := Table1()
+	r := Table1(testCfg())
 	basic := byName(r, "Basic")
 	intr := byName(r, "Interrupt")
 	one := byName(r, "One Thread")
@@ -118,7 +113,7 @@ func TestTable1Claims(t *testing.T) {
 }
 
 func TestFig10Claims(t *testing.T) {
-	lat := Fig10([]int{0, 1024, 8192}, "test", false)
+	lat := Fig10(testCfg(), []int{0, 1024, 8192}, "test", false)
 	mpich := byName(lat, "MPICH-QsNetII")
 	read := byName(lat, "PTL/Elan4-RDMA-Read")
 	write := byName(lat, "PTL/Elan4-RDMA-Write")
@@ -135,7 +130,7 @@ func TestFig10Claims(t *testing.T) {
 		t.Error("read should beat write in the rendezvous range")
 	}
 
-	bw := Fig10([]int{8192, 1048576}, "test", true)
+	bw := Fig10(testCfg(), []int{8192, 1048576}, "test", true)
 	mpichBW := byName(bw, "MPICH-QsNetII")
 	readBW := byName(bw, "PTL/Elan4-RDMA-Read")
 	// Mid-range: Tport's NIC-side pipelined rendezvous wins.
@@ -175,7 +170,7 @@ func TestQDMAHarnessRejectsOversize(t *testing.T) {
 }
 
 func TestAllPaperClaimsPass(t *testing.T) {
-	for _, c := range Claims() {
+	for _, c := range Claims(testCfg()) {
 		if !c.Pass {
 			t.Errorf("%s: %s — measured %s", c.ID, c.Paper, c.Measured)
 		}

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"qsmpi/internal/parsweep"
 	"qsmpi/internal/pml"
 	"qsmpi/internal/ptlelan4"
 )
 
-// Sweep sizes matching the figures' x-axes.
+// Sweep sizes matching the figures' x-axes. These are canonical defaults
+// passed by value into the generators; they are never mutated (a sweep
+// that wants different sizes passes its own slice).
 var (
 	// Fig7SmallSizes: panel (a), very small messages.
 	Fig7SmallSizes = []int{0, 2, 4, 8, 16, 32, 64, 128, 256, 512}
@@ -20,23 +23,12 @@ var (
 	Fig10LargeSizes = []int{2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288, 1048576}
 )
 
-// Iters is the per-size timing iteration count used by the figure sweeps.
-var Iters = 100
-
-func sweep(name string, sizes []int, measure func(size int) float64) Series {
-	s := Series{Name: name}
-	for _, n := range sizes {
-		s.Points = append(s.Points, Point{Size: n, Value: measure(n)})
-	}
-	return s
-}
-
 // Fig7 reproduces "Performance Analysis of Basic RDMA Read and Write":
 // the six series over the two panels' size ranges.
-func Fig7(sizes []int, panel string) *Result {
-	mk := func(opts ptlelan4.Options, dtp bool) func(int) float64 {
-		return func(n int) float64 {
-			return OpenMPIPingPong(elanSpec(opts, dtp, pml.Polling), n, Iters)
+func Fig7(cfg Config, sizes []int, panel string) *Result {
+	mk := func(opts ptlelan4.Options, dtp bool) pointFn {
+		return func(n int) (float64, parsweep.Metrics) {
+			return cfg.openMPIPingPong(elanSpec(opts, dtp, pml.Polling), n, cfg.Iters)
 		}
 	}
 	read := base(ptlelan4.RDMARead)
@@ -48,23 +40,23 @@ func Fig7(sizes []int, panel string) *Result {
 		Title:  "Performance Analysis of Basic RDMA Read and Write (" + panel + ")",
 		XLabel: "bytes",
 		YLabel: "latency us",
-		Series: []Series{
-			sweep("RDMA-Read", sizes, mk(read, false)),
-			sweep("Read-NoInline", sizes, mk(readNoInline, false)),
-			sweep("Read-DTP", sizes, mk(read, true)),
-			sweep("RDMA-Write", sizes, mk(write, false)),
-			sweep("Write-NoInline", sizes, mk(writeNoInline, false)),
-			sweep("Write-DTP", sizes, mk(write, true)),
-		},
+		Series: cfg.sweep([]seriesSpec{
+			{"RDMA-Read", sizes, mk(read, false)},
+			{"Read-NoInline", sizes, mk(readNoInline, false)},
+			{"Read-DTP", sizes, mk(read, true)},
+			{"RDMA-Write", sizes, mk(write, false)},
+			{"Write-NoInline", sizes, mk(writeNoInline, false)},
+			{"Write-DTP", sizes, mk(write, true)},
+		}),
 	}
 }
 
 // Fig8 reproduces "Performance Analysis with Chained DMA and Shared
 // Completion Queue" (RDMA read based, per §6.2).
-func Fig8() *Result {
-	mk := func(opts ptlelan4.Options) func(int) float64 {
-		return func(n int) float64 {
-			return OpenMPIPingPong(elanSpec(opts, false, pml.Polling), n, Iters)
+func Fig8(cfg Config, sizes []int) *Result {
+	mk := func(opts ptlelan4.Options) pointFn {
+		return func(n int) (float64, parsweep.Metrics) {
+			return cfg.openMPIPingPong(elanSpec(opts, false, pml.Polling), n, cfg.Iters)
 		}
 	}
 	chained := ptlelan4.BestOptions(ptlelan4.RDMARead)
@@ -79,28 +71,38 @@ func Fig8() *Result {
 		Title:  "Chained DMA and Shared Completion Queue",
 		XLabel: "bytes",
 		YLabel: "latency us",
-		Series: []Series{
-			sweep("RDMA-Read", Fig8Sizes, mk(chained)),
-			sweep("Read-NoChain", Fig8Sizes, mk(noChain)),
-			sweep("One-Queue", Fig8Sizes, mk(oneQ)),
-			sweep("Two-Queue", Fig8Sizes, mk(twoQ)),
-		},
+		Series: cfg.sweep([]seriesSpec{
+			{"RDMA-Read", sizes, mk(chained)},
+			{"Read-NoChain", sizes, mk(noChain)},
+			{"One-Queue", sizes, mk(oneQ)},
+			{"Two-Queue", sizes, mk(twoQ)},
+		}),
 	}
 }
 
 // Fig9 reproduces "Analysis of Communication Overhead in Different
 // Layers": native QDMA latency, the PTL-layer latency and the PML-layer
-// cost, all per half round trip.
-func Fig9() *Result {
+// cost, all per half round trip. The layered measurements produce two
+// curves from one simulation, so each size is one job returning both.
+func Fig9(cfg Config, sizes []int) *Result {
 	spec := elanSpec(ptlelan4.BestOptions(ptlelan4.RDMARead), false, pml.Polling)
-	qdma := sweep("QDMA latency", Fig9Sizes, func(n int) float64 {
-		return QDMAPingPong(n, Iters)
+	qdma := cfg.sweep([]seriesSpec{
+		{"QDMA latency", sizes, func(n int) (float64, parsweep.Metrics) {
+			return cfg.qdmaPingPong(n, cfg.Iters)
+		}},
+	})[0]
+	layered, st := parsweep.Run(cfg.Workers, len(sizes), func(ctx *parsweep.Ctx, i int) [2]float64 {
+		total, pmlc, m := cfg.openMPILayered(spec, sizes[i])
+		ctx.Report(m)
+		return [2]float64{total, pmlc}
 	})
-	var ptlLat, pmlCost Series
-	ptlLat.Name = "PTL Latency"
-	pmlCost.Name = "PML Layer Cost"
-	for _, n := range Fig9Sizes {
-		total, pmlc := OpenMPILayered(spec, n, Iters)
+	if cfg.Stats != nil {
+		cfg.Stats.Merge(st)
+	}
+	ptlLat := Series{Name: "PTL Latency"}
+	pmlCost := Series{Name: "PML Layer Cost"}
+	for i, n := range sizes {
+		total, pmlc := layered[i][0], layered[i][1]
 		ptlLat.Points = append(ptlLat.Points, Point{Size: n, Value: total - pmlc})
 		pmlCost.Points = append(pmlCost.Points, Point{Size: n, Value: pmlc})
 	}
@@ -116,26 +118,26 @@ func Fig9() *Result {
 // Table1 reproduces "Performance Analysis of Thread-Based Asynchronous
 // Progress": Basic / Interrupt / One Thread / Two Threads at 4 B and
 // 4 KB over the RDMA-read scheme.
-func Table1() *Result {
-	basic := func(n int) float64 {
-		return OpenMPIPingPong(elanSpec(ptlelan4.BestOptions(ptlelan4.RDMARead), false, pml.Polling), n, Iters)
+func Table1(cfg Config) *Result {
+	basic := func(n int) (float64, parsweep.Metrics) {
+		return cfg.openMPIPingPong(elanSpec(ptlelan4.BestOptions(ptlelan4.RDMARead), false, pml.Polling), n, cfg.Iters)
 	}
-	interrupt := func(n int) float64 {
+	interrupt := func(n int) (float64, parsweep.Metrics) {
 		o := ptlelan4.BestOptions(ptlelan4.RDMARead)
 		o.CQ = ptlelan4.OneQueue
-		return OpenMPIPingPong(elanSpec(o, false, pml.InterruptWait), n, Iters)
+		return cfg.openMPIPingPong(elanSpec(o, false, pml.InterruptWait), n, cfg.Iters)
 	}
-	oneThread := func(n int) float64 {
+	oneThread := func(n int) (float64, parsweep.Metrics) {
 		o := ptlelan4.BestOptions(ptlelan4.RDMARead)
 		o.CQ = ptlelan4.OneQueue
 		o.Threads = 1
-		return OpenMPIPingPong(elanSpec(o, false, pml.Threaded), n, Iters)
+		return cfg.openMPIPingPong(elanSpec(o, false, pml.Threaded), n, cfg.Iters)
 	}
-	twoThreads := func(n int) float64 {
+	twoThreads := func(n int) (float64, parsweep.Metrics) {
 		o := ptlelan4.BestOptions(ptlelan4.RDMARead)
 		o.CQ = ptlelan4.TwoQueue
 		o.Threads = 2
-		return OpenMPIPingPong(elanSpec(o, false, pml.Threaded), n, Iters)
+		return cfg.openMPIPingPong(elanSpec(o, false, pml.Threaded), n, cfg.Iters)
 	}
 	sizes := []int{4, 4096}
 	return &Result{
@@ -143,25 +145,12 @@ func Table1() *Result {
 		Title:  "Thread-Based Asynchronous Progress (RDMA-Read)",
 		XLabel: "bytes",
 		YLabel: "latency us",
-		Series: []Series{
-			sweep("Basic", sizes, basic),
-			sweep("Interrupt", sizes, interrupt),
-			sweep("One Thread", sizes, oneThread),
-			sweep("Two Threads", sizes, twoThreads),
-		},
-	}
-}
-
-// fig10Iters shrinks iteration counts for the big-message sweep to keep
-// event counts reasonable.
-func fig10Iters(n int) int {
-	switch {
-	case n >= 1<<19:
-		return 20
-	case n >= 1<<16:
-		return 40
-	default:
-		return Iters
+		Series: cfg.sweep([]seriesSpec{
+			{"Basic", sizes, basic},
+			{"Interrupt", sizes, interrupt},
+			{"One Thread", sizes, oneThread},
+			{"Two Threads", sizes, twoThreads},
+		}),
 	}
 }
 
@@ -169,21 +158,21 @@ func fig10Iters(n int) int {
 // latency and bandwidth versus MPICH-QsNetII, small and large panels. The
 // best PTL options of §6.5 are used: chained completion, polling without a
 // shared completion queue, rendezvous without inlined data.
-func Fig10(sizes []int, panel string, bandwidth bool) *Result {
-	mpich := func(n int) float64 {
-		l := TportPingPong(n, fig10Iters(n))
+func Fig10(cfg Config, sizes []int, panel string, bandwidth bool) *Result {
+	mpich := func(n int) (float64, parsweep.Metrics) {
+		l, m := cfg.tportPingPong(n, cfg.itersFor(n))
 		if bandwidth {
-			return toBW(n, l)
+			return toBW(n, l), m
 		}
-		return l
+		return l, m
 	}
-	openmpi := func(scheme ptlelan4.Scheme) func(int) float64 {
-		return func(n int) float64 {
-			l := OpenMPIPingPong(elanSpec(ptlelan4.BestOptions(scheme), false, pml.Polling), n, fig10Iters(n))
+	openmpi := func(scheme ptlelan4.Scheme) pointFn {
+		return func(n int) (float64, parsweep.Metrics) {
+			l, m := cfg.openMPIPingPong(elanSpec(ptlelan4.BestOptions(scheme), false, pml.Polling), n, cfg.itersFor(n))
 			if bandwidth {
-				return toBW(n, l)
+				return toBW(n, l), m
 			}
-			return l
+			return l, m
 		}
 	}
 	metric := "latency us"
@@ -195,11 +184,11 @@ func Fig10(sizes []int, panel string, bandwidth bool) *Result {
 		Title:  "Open MPI over Quadrics/Elan4 vs MPICH-QsNetII (" + panel + ")",
 		XLabel: "bytes",
 		YLabel: metric,
-		Series: []Series{
-			sweep("MPICH-QsNetII", sizes, mpich),
-			sweep("PTL/Elan4-RDMA-Read", sizes, openmpi(ptlelan4.RDMARead)),
-			sweep("PTL/Elan4-RDMA-Write", sizes, openmpi(ptlelan4.RDMAWrite)),
-		},
+		Series: cfg.sweep([]seriesSpec{
+			{"MPICH-QsNetII", sizes, mpich},
+			{"PTL/Elan4-RDMA-Read", sizes, openmpi(ptlelan4.RDMARead)},
+			{"PTL/Elan4-RDMA-Write", sizes, openmpi(ptlelan4.RDMAWrite)},
+		}),
 	}
 }
 
@@ -212,16 +201,16 @@ func toBW(n int, halfRTus float64) float64 {
 }
 
 // All regenerates every figure and table in paper order.
-func All() []*Result {
+func All(cfg Config) []*Result {
 	return []*Result{
-		Fig7(Fig7SmallSizes, "a"),
-		Fig7(Fig7LargeSizes, "b"),
-		Fig8(),
-		Fig9(),
-		Table1(),
-		Fig10(Fig10SmallSizes, "a-latency", false),
-		Fig10(Fig10LargeSizes, "b-latency", false),
-		Fig10(Fig10SmallSizes, "c-bandwidth", true),
-		Fig10(Fig10LargeSizes, "d-bandwidth", true),
+		Fig7(cfg, Fig7SmallSizes, "a"),
+		Fig7(cfg, Fig7LargeSizes, "b"),
+		Fig8(cfg, Fig8Sizes),
+		Fig9(cfg, Fig9Sizes),
+		Table1(cfg),
+		Fig10(cfg, Fig10SmallSizes, "a-latency", false),
+		Fig10(cfg, Fig10LargeSizes, "b-latency", false),
+		Fig10(cfg, Fig10SmallSizes, "c-bandwidth", true),
+		Fig10(cfg, Fig10LargeSizes, "d-bandwidth", true),
 	}
 }

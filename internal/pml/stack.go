@@ -153,6 +153,9 @@ func (s *Stack) SetBlocker(b Blocker) { s.blocker = b }
 // Stats returns a copy of the PML counters.
 func (s *Stack) Stats() Stats { return s.stats }
 
+// PoolStats returns a copy of the staging buffer-pool counters.
+func (s *Stack) PoolStats() bufpool.Stats { return s.pool.Stats() }
+
 // AddModule appends a PTL module to the stack, in scheduling priority
 // order (first module gets first fragments).
 func (s *Stack) AddModule(m ptl.Module) { s.mods = append(s.mods, m) }

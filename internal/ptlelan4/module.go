@@ -268,6 +268,9 @@ func (m *Module) Init(th *simtime.Thread) {
 // Stats returns a copy of the activity counters.
 func (m *Module) Stats() Stats { return m.stats }
 
+// PoolStats returns a copy of the staging buffer-pool counters.
+func (m *Module) PoolStats() bufpool.Stats { return m.pool.Stats() }
+
 // Lifecycle exposes the component stage for tests.
 func (m *Module) Lifecycle() *ptl.Lifecycle { return m.lc }
 
