@@ -17,11 +17,14 @@ test:
 # packages are the ones that must stay race-clean. The experiments and
 # parsweep suites run under -race too: they are where whole simulations
 # execute concurrently, so any state shared between two kernels shows up
-# there.
+# there. The obs and trace suites carry the observability invariants: the
+# golden cross-layer timelines and the proof that an attached tracer
+# never moves virtual time.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/simtime/... ./internal/pml/...
 	$(GO) test -race ./internal/experiments ./internal/parsweep
+	$(GO) test -race -count=1 ./internal/obs ./internal/trace
 
 # report-par proves the parallel sweep engine's determinism invariant
 # end to end: the replication report must be byte-identical at -j 1 and

@@ -20,8 +20,10 @@ import (
 	"qsmpi/internal/cluster"
 	"qsmpi/internal/datatype"
 	"qsmpi/internal/model"
+	"qsmpi/internal/obs"
 	"qsmpi/internal/pml"
 	"qsmpi/internal/ptlelan4"
+	"qsmpi/internal/trace"
 )
 
 func main() {
@@ -33,6 +35,8 @@ func main() {
 	threads := flag.Int("threads", 0, "asynchronous progress threads (0, 1 or 2)")
 	rails := flag.Int("rails", 1, "Quadrics rails")
 	lossRate := flag.Float64("lossrate", 0, "per-packet CRC loss probability")
+	traceOut := flag.String("trace", "", "write a cross-layer Chrome trace-event JSON (Perfetto) to this file")
+	metrics := flag.Bool("metrics", false, "print the unified metrics table after the summaries")
 	flag.Parse()
 
 	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
@@ -53,7 +57,18 @@ func main() {
 
 	m := model.Default()
 	m.LinkLossRate = *lossRate
-	c := cluster.New(cluster.Spec{Elan: &opts, Progress: progress, ElanRails: *rails, Model: &m}, *procs)
+	spec := cluster.Spec{Elan: &opts, Progress: progress, ElanRails: *rails, Model: &m}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(0)
+		spec.Tracer = rec
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.New()
+		spec.Metrics = reg
+	}
+	c := cluster.New(spec, *procs)
 	var mods []*ptlelan4.Module
 	var stacks []*pml.Stack
 	c.Launch(func(p *cluster.Proc) {
@@ -93,6 +108,23 @@ func main() {
 		fmt.Printf("rank %d PML match: attempts=%d bucket=%d wildcard=%d unexpected=%d unexp-highwater=%d reordered=%d\n",
 			i, s.MatchAttempts, s.BucketHits, s.WildcardHits,
 			s.UnexpectedMsgs, s.UnexpectedHighWater, s.ReorderedMsgs)
+	}
+	if reg != nil {
+		fmt.Println()
+		fmt.Print(reg.Snapshot().Render())
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WritePerfetto(f, rec.Events()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d trace events to %s (load at ui.perfetto.dev)\n", rec.Len(), *traceOut)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"qsmpi/internal/experiments"
+	"qsmpi/internal/obs"
 	"qsmpi/internal/parsweep"
 )
 
@@ -30,6 +31,9 @@ func main() {
 	iters := flag.Int("iters", 100, "timing iterations per point")
 	workers := flag.Int("j", 0, "parallel sweep workers (0 = one per core)")
 	stats := flag.Bool("stats", false, "print sweep-engine worker stats to stderr")
+	traceOut := flag.String("trace", "", "also write a Perfetto trace of one representative exchange to this file")
+	metrics := flag.Bool("metrics", false, "also print cross-layer metrics of one representative exchange")
+	traceSize := flag.Int("tracesize", 4096, "message size for the -trace/-metrics representative exchange")
 	flag.Parse()
 	var st parsweep.Stats
 	cfg := experiments.DefaultConfig().WithIters(*iters)
@@ -52,6 +56,7 @@ func main() {
 		for _, r := range experiments.Ablations(cfg) {
 			emit(r)
 		}
+		observe(*traceOut, *metrics, *traceSize)
 		return
 	}
 
@@ -80,5 +85,37 @@ func main() {
 	}
 	for _, r := range results {
 		emit(r)
+	}
+	observe(*traceOut, *metrics, *traceSize)
+}
+
+// observe runs one representative best-RDMA-read exchange with full-stack
+// instrumentation attached. The sweeps above never see the tracer (a
+// recorder must not be shared across sweep workers), so their figures are
+// untouched by these flags.
+func observe(traceOut string, metrics bool, size int) {
+	if traceOut == "" && !metrics {
+		return
+	}
+	ob := experiments.ObservedBestRead(size, 1, 0, 0)
+	if metrics {
+		fmt.Printf("\n# representative exchange (%d B, best RDMA-read): cross-layer metrics\n", size)
+		fmt.Print(ob.Metrics.Render())
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elan4bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WritePerfetto(f, ob.Recorder.Events()); err != nil {
+			fmt.Fprintf(os.Stderr, "elan4bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "elan4bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d trace events to %s (load at ui.perfetto.dev)\n", ob.Recorder.Len(), traceOut)
 	}
 }

@@ -1,24 +1,31 @@
 // Command msgtrace runs a single message exchange and prints the merged
-// per-event protocol timeline: request postings, matching, ACKs and
-// progress on both ranks, in virtual time. It makes the rendezvous
-// protocols of Figs. 3 and 4 directly observable.
+// cross-layer protocol timeline: request postings, matching, PTL control
+// traffic, NIC DMA descriptors and fabric packets on both ranks, in
+// virtual time. It makes the rendezvous protocols of Figs. 3 and 4
+// directly observable.
 //
 // Usage:
 //
 //	msgtrace -size 100000 -scheme read
 //	msgtrace -size 100000 -scheme write -inline
 //	msgtrace -size 512                       # eager path
+//	msgtrace -size 512 -unexpected           # eager into the unexpected queue
+//	msgtrace -size 100000 -o trace.json      # open in ui.perfetto.dev
+//	msgtrace -size 100000 -metrics           # cross-layer counter table
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"qsmpi/internal/cluster"
 	"qsmpi/internal/datatype"
+	"qsmpi/internal/obs"
 	"qsmpi/internal/pml"
 	"qsmpi/internal/ptlelan4"
+	"qsmpi/internal/simtime"
 	"qsmpi/internal/trace"
 )
 
@@ -26,6 +33,9 @@ func main() {
 	size := flag.Int("size", 100000, "message size in bytes")
 	scheme := flag.String("scheme", "read", "rendezvous scheme: read | write")
 	inline := flag.Bool("inline", false, "inline data with the rendezvous fragment")
+	unexpected := flag.Bool("unexpected", false, "delay the receive posting so the message lands unexpected")
+	out := flag.String("o", "", "write the timeline as Chrome trace-event JSON (Perfetto) to this file")
+	metrics := flag.Bool("metrics", false, "print the cross-layer metrics table after the timeline")
 	flag.Parse()
 
 	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
@@ -34,14 +44,24 @@ func main() {
 	}
 	opts.InlineRndv = *inline
 
-	c := cluster.New(cluster.Spec{Elan: &opts, Progress: pml.Polling}, 2)
 	rec := trace.NewRecorder(0)
+	spec := cluster.Spec{Elan: &opts, Progress: pml.Polling, Tracer: rec}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.New()
+		spec.Metrics = reg
+	}
+	c := cluster.New(spec, 2)
 	c.Launch(func(p *cluster.Proc) {
-		p.Stack.Tracer = rec
 		dt := datatype.Contiguous(*size)
 		if p.Rank == 0 {
 			p.Stack.Send(p.Th, 1, 0, 0, make([]byte, *size), dt).Wait(p.Th)
 		} else {
+			if *unexpected {
+				// Arrive late: the message must traverse the unexpected
+				// queue before this posting matches it.
+				p.Th.Proc().Sleep(simtime.Micros(50))
+			}
 			buf := make([]byte, *size)
 			p.Stack.Recv(p.Th, 0, 0, 0, buf, dt).Wait(p.Th)
 		}
@@ -49,6 +69,24 @@ func main() {
 	if err := c.Run(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("message of %d bytes, scheme %s, inline=%v:\n\n", *size, *scheme, *inline)
+	fmt.Printf("message of %d bytes, scheme %s, inline=%v, unexpected=%v:\n\n",
+		*size, *scheme, *inline, *unexpected)
 	fmt.Print(rec.Render())
+	if *metrics {
+		fmt.Printf("\n")
+		fmt.Print(reg.Snapshot().Render())
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WritePerfetto(f, rec.Events()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d events to %s (load at ui.perfetto.dev)\n", rec.Len(), *out)
+	}
 }

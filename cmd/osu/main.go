@@ -49,10 +49,12 @@ func main() {
 	bench := flag.String("bench", "latency", "latency | bw | bibw | mr")
 	window := flag.Int("window", 64, "outstanding messages for bw/bibw")
 	iters := flag.Int("iters", 100, "iterations per size")
-	mrSize := flag.Int("size", 8, "message size for mr")
+	mrSize := flag.Int("size", 8, "message size for mr and for the -trace/-metrics instrumented exchange")
 	scheme := flag.String("scheme", "read", "rendezvous scheme: read | write")
 	threads := flag.Int("threads", 0, "progress threads (0, 1, 2)")
 	workers := flag.Int("j", 0, "parallel sweep workers (0 = one per core)")
+	traceOut := flag.String("trace", "", "also write a Perfetto trace of one instrumented exchange (at -size bytes) to this file")
+	metrics := flag.Bool("metrics", false, "also print cross-layer metrics of one instrumented exchange (at -size bytes)")
 	flag.Parse()
 	cfg := config(*scheme, *threads)
 
@@ -81,6 +83,35 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "osu: unknown bench %q\n", *bench)
 		os.Exit(2)
+	}
+
+	if *traceOut != "" || *metrics {
+		// One additional sequential exchange with full-stack observability;
+		// the benchmark numbers above are measured without any tracer.
+		ob, err := qsmpi.RunObserved(cfg, 0, func(w *qsmpi.World) {
+			c := w.Comm()
+			buf := make([]byte, *mrSize)
+			dt := qsmpi.Contiguous(*mrSize)
+			if w.Rank() == 0 {
+				c.Send(1, 0, buf, dt)
+				c.Recv(1, 1, buf, dt)
+			} else {
+				c.Recv(0, 0, buf, dt)
+				c.Send(0, 1, buf, dt)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *metrics {
+			fmt.Printf("\n# instrumented exchange (%d bytes): cross-layer metrics\n%s", *mrSize, ob.Metrics)
+		}
+		if *traceOut != "" {
+			if err := os.WriteFile(*traceOut, ob.Perfetto, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nwrote Perfetto trace to %s (load at ui.perfetto.dev)\n", *traceOut)
+		}
 	}
 }
 

@@ -12,6 +12,12 @@
 //	perfbench -before seed.txt -after new.txt -out BENCH_wallclock.json
 //	perfbench -j 8                        # sweep-engine workers for -sweeps
 //	perfbench -sweeps=false               # skip the parallel-sweep comparison
+//	perfbench -baseline old.json -out BENCH_wallclock.json
+//
+// The -baseline flag takes a previously written report and records the
+// per-workload instrumentation-off overhead against it (the observability
+// layer's disabled-path cost: every workload runs with no tracer or
+// metrics registry attached).
 //
 // The -before/-after flags take saved `go test -bench` outputs (the same
 // benchmark set run on two trees) and embed per-benchmark wall-clock
@@ -72,6 +78,19 @@ type sweepResult struct {
 	Speedup   float64 `json:"speedup"`
 }
 
+// overheadEntry compares one workload's per-event wall cost against a
+// prior report's run of the same workload. It records the observability
+// instrumentation's disabled-path overhead: the workloads run with no
+// tracer or registry attached, so any ratio above 1.0 is the price of the
+// nil checks compiled into the hot paths.
+type overheadEntry struct {
+	Name       string  `json:"name"`
+	BaselineNS float64 `json:"baseline_ns_per_event"`
+	CurrentNS  float64 `json:"current_ns_per_event"`
+	// Overhead is current/baseline ns-per-event; 1.02 means +2%.
+	Overhead float64 `json:"overhead"`
+}
+
 // speedupEntry compares one `go test -bench` benchmark across two trees.
 type speedupEntry struct {
 	Benchmark string  `json:"benchmark"`
@@ -94,6 +113,12 @@ type report struct {
 	Speedups     []speedupEntry `json:"speedups,omitempty"`
 	MinSpeedup   float64        `json:"min_speedup,omitempty"`
 	MeanSpeedup  float64        `json:"mean_speedup,omitempty"`
+	// Baseline names the prior report -baseline compared against, and
+	// ObsOverhead/ObsOverheadGeomean record the per-workload and mean
+	// instrumentation-off overhead relative to it.
+	Baseline           string          `json:"baseline,omitempty"`
+	ObsOverhead        []overheadEntry `json:"obs_overhead,omitempty"`
+	ObsOverheadGeomean float64         `json:"obs_overhead_geomean,omitempty"`
 }
 
 // sweepWorkload is one figure/claim sweep run under a worker count; it
@@ -332,7 +357,21 @@ func main() {
 	after := flag.String("after", "", "saved `go test -bench` output from the optimized tree")
 	workers := flag.Int("j", 0, "sweep-engine workers for -sweeps (0 = one per core)")
 	sweeps := flag.Bool("sweeps", true, "measure the sequential-vs-parallel sweep speedup")
+	baseline := flag.String("baseline", "", "prior BENCH_wallclock.json: record per-workload instrumentation-off overhead against it")
 	flag.Parse()
+
+	// Read the baseline up front so -out may safely overwrite the same file.
+	var base *report
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			log.Fatalf("perfbench: %v", err)
+		}
+		base = &report{}
+		if err := json.Unmarshal(data, base); err != nil {
+			log.Fatalf("perfbench: %s: %v", *baseline, err)
+		}
+	}
 
 	rep := report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -361,6 +400,34 @@ func main() {
 		}
 		rep.SweepGeomean = math.Pow(prod, 1/float64(len(rep.Sweeps)))
 		fmt.Printf("parallel sweep geomean %.2fx at %d workers\n", rep.SweepGeomean, w)
+	}
+
+	if base != nil {
+		rep.Baseline = *baseline
+		prod, n := 1.0, 0
+		fmt.Printf("\n%-22s %12s %12s %10s\n", "overhead vs baseline", "base ns/ev", "now ns/ev", "ratio")
+		for _, cur := range rep.Workloads {
+			for _, b := range base.Workloads {
+				if b.Name != cur.Name || b.NSPerEvent <= 0 {
+					continue
+				}
+				if cur.SimUS != b.SimUS || cur.Events != b.Events {
+					fmt.Fprintf(os.Stderr,
+						"perfbench: %s simulated result changed vs baseline (%.3fus/%d events, was %.3fus/%d) — ratio compares different work\n",
+						cur.Name, cur.SimUS, cur.Events, b.SimUS, b.Events)
+				}
+				e := overheadEntry{Name: cur.Name, BaselineNS: b.NSPerEvent,
+					CurrentNS: cur.NSPerEvent, Overhead: cur.NSPerEvent / b.NSPerEvent}
+				rep.ObsOverhead = append(rep.ObsOverhead, e)
+				prod *= e.Overhead
+				n++
+				fmt.Printf("%-22s %12.1f %12.1f %9.3fx\n", e.Name, e.BaselineNS, e.CurrentNS, e.Overhead)
+			}
+		}
+		if n > 0 {
+			rep.ObsOverheadGeomean = math.Pow(prod, 1/float64(n))
+			fmt.Printf("instrumentation-off overhead geomean %.3fx (vs %s)\n", rep.ObsOverheadGeomean, *baseline)
+		}
 	}
 
 	if (*before == "") != (*after == "") {

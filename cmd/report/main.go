@@ -7,6 +7,7 @@
 //	go run ./cmd/report -iters 200   # tighter sweeps
 //	go run ./cmd/report -j 8         # eight sweep workers
 //	go run ./cmd/report -stats       # engine counters on stderr
+//	go run ./cmd/report -metrics     # per-figure cross-layer metrics
 //
 // The report body is byte-identical at any -j: the parallel sweep
 // engine only changes wall-clock time.
@@ -25,6 +26,7 @@ func main() {
 	iters := flag.Int("iters", 60, "timing iterations per measured point")
 	workers := flag.Int("j", 0, "parallel sweep workers (0 = one per core)")
 	stats := flag.Bool("stats", false, "print sweep-engine worker stats to stderr")
+	metrics := flag.Bool("metrics", false, "append per-figure cross-layer metrics tables (representative instrumented reruns)")
 	flag.Parse()
 	var st parsweep.Stats
 	cfg := experiments.DefaultConfig().WithIters(*iters)
@@ -46,6 +48,16 @@ func main() {
 		fmt.Printf("| %s | %s | %s | %s |\n", c.ID, c.Paper, c.Measured, verdict)
 	}
 	fmt.Printf("\n%d/%d claims reproduced.\n", len(claims)-failed, len(claims))
+	if *metrics {
+		// The figure sweeps above run untraced (the report body stays
+		// byte-identical); each table below is one representative point
+		// rerun sequentially with a metrics registry attached.
+		fmt.Println()
+		fmt.Println("## Per-figure metrics (representative points)")
+		for _, fm := range experiments.FigureMetrics(cfg) {
+			fmt.Printf("\n### %s — %s\n\n```\n%s```\n", fm.ID, fm.Note, fm.Snap.Render())
+		}
+	}
 	if *stats {
 		fmt.Fprint(os.Stderr, st.String())
 	}

@@ -12,12 +12,14 @@ import (
 	"qsmpi/internal/fabric"
 	"qsmpi/internal/libelan"
 	"qsmpi/internal/model"
+	"qsmpi/internal/obs"
 	"qsmpi/internal/pml"
 	"qsmpi/internal/ptl"
 	"qsmpi/internal/ptlelan4"
 	"qsmpi/internal/ptltcp"
 	"qsmpi/internal/rte"
 	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
 )
 
 // Spec configures a cluster and the communication stack of each process.
@@ -41,6 +43,17 @@ type Spec struct {
 	DTP bool
 	// Progress selects the PML progress mode.
 	Progress pml.ProgressMode
+
+	// Tracer, when non-nil, receives the cross-layer event stream of every
+	// rank: PML, PTL modules, Elan4 NICs and the fabrics all record into
+	// it. The simulation is cooperative, so one recorder serves all layers
+	// without locking. Never share one tracer across concurrently running
+	// kernels (the parsweep ownership rule).
+	Tracer *trace.Recorder
+	// Metrics, when non-nil, is populated with collectors for every layer
+	// at bringup (see Cluster.RegisterMetrics) and provides the per-rank
+	// send/recv latency histograms.
+	Metrics *obs.Registry
 }
 
 // Proc is one launched MPI process with its full stack.
@@ -132,6 +145,22 @@ func New(spec Spec, nprocs int) *Cluster {
 	if spec.Elan != nil {
 		c.NICs = c.RailNICs[0]
 	}
+	if spec.Tracer != nil {
+		for _, net := range c.RailNets {
+			net.SetTracer(spec.Tracer)
+		}
+		if c.EthNet != nil {
+			c.EthNet.SetTracer(spec.Tracer)
+		}
+		for _, rail := range c.RailNICs {
+			for _, nic := range rail {
+				nic.SetTracer(spec.Tracer)
+			}
+		}
+	}
+	if spec.Metrics != nil {
+		c.RegisterMetrics(spec.Metrics)
+	}
 	return c
 }
 
@@ -167,6 +196,13 @@ func (c *Cluster) Launch(main func(p *Proc)) {
 func (c *Cluster) bringup(th *simtime.Thread, rank, node int, name string) *Proc {
 	p := &Proc{Rank: rank, Th: th}
 	p.Stack = pml.NewStack(c.K, c.Hosts[node], c.Cfg, rank, c.spec.DTP, c.spec.Progress)
+	if c.spec.Tracer != nil {
+		p.Stack.Tracer = c.spec.Tracer
+	}
+	if c.spec.Metrics != nil {
+		p.Stack.SendLatency = c.spec.Metrics.Histogram("pml", "send_latency", rank)
+		p.Stack.RecvLatency = c.spec.Metrics.Histogram("pml", "recv_latency", rank)
+	}
 
 	if c.spec.Elan != nil {
 		ctxID := c.Registry.AllocContext(node)
@@ -177,6 +213,9 @@ func (c *Cluster) bringup(th *simtime.Thread, rank, node int, name string) *Proc
 			ctx.SetVPID(p.RTE.VPID())
 			st := libelan.Attach(ctx, c.Cfg)
 			mod := ptlelan4.New(c.K, c.Hosts[node], st, p.RTE, p.Stack, p.Stack.Activity(), c.Cfg, *c.spec.Elan)
+			if c.spec.Tracer != nil {
+				mod.SetTracer(c.spec.Tracer)
+			}
 			mod.Init(th)
 			p.Stack.AddModule(mod)
 			p.Elans = append(p.Elans, mod)
@@ -191,6 +230,9 @@ func (c *Cluster) bringup(th *simtime.Thread, rank, node int, name string) *Proc
 	}
 	if c.spec.TCP != nil {
 		p.TCP = ptltcp.New(c.K, c.Hosts[node], c.EthNet, node, p.RTE, p.Stack, p.Stack.Activity(), c.Cfg, *c.spec.TCP)
+		if c.spec.Tracer != nil {
+			p.TCP.SetTracer(c.spec.Tracer)
+		}
 		p.TCP.Init(th)
 		p.Stack.AddModule(p.TCP)
 	}
@@ -248,6 +290,88 @@ func (c *Cluster) Run() error {
 
 // Now returns the current virtual time.
 func (c *Cluster) Now() simtime.Time { return c.K.Now() }
+
+// RegisterMetrics installs collectors for every layer of the cluster into
+// r. The collectors read the live component slices at Snapshot time, so
+// processes brought up after registration (Launch runs inside Run) and
+// dynamically spawned ranks are all included. Collection never runs on a
+// communication path and charges no virtual time.
+func (c *Cluster) RegisterMetrics(r *obs.Registry) {
+	r.Collect(func(emit obs.EmitFn) {
+		// Elan4 NICs, per node (rails sum).
+		for _, rail := range c.RailNICs {
+			for node, nic := range rail {
+				st := nic.Stats()
+				emit("elan4", "qdmas", node, float64(st.QDMAs))
+				emit("elan4", "rdma_writes", node, float64(st.RDMAWrites))
+				emit("elan4", "rdma_reads", node, float64(st.RDMAReads))
+				emit("elan4", "dma_completed", node, float64(st.DMACompleted))
+				emit("elan4", "chain_fires", node, float64(st.ChainFires))
+				emit("elan4", "bytes_sent", node, float64(st.BytesSent))
+				emit("elan4", "retries", node, float64(st.Retries))
+				emit("elan4", "interrupts", node, float64(st.Interrupts))
+			}
+		}
+		// Fabrics (all Quadrics rails plus the Ethernet, cluster-global).
+		nets := append([]*fabric.Network(nil), c.RailNets...)
+		if c.EthNet != nil {
+			nets = append(nets, c.EthNet)
+		}
+		for _, net := range nets {
+			sent, delivered := net.Stats()
+			hits, misses := net.RouteCacheStats()
+			emit("fabric", "pkts_sent", -1, float64(sent))
+			emit("fabric", "pkts_delivered", -1, float64(delivered))
+			emit("fabric", "payload_bytes", -1, float64(net.BytesSent()))
+			emit("fabric", "retransmits", -1, float64(net.Retransmits()))
+			emit("fabric", "route_cache_hits", -1, float64(hits))
+			emit("fabric", "route_cache_misses", -1, float64(misses))
+		}
+		// Per-process stacks and PTL modules.
+		for _, p := range c.procs {
+			ps := p.Stack.Stats()
+			emit("pml", "sends", p.Rank, float64(ps.Sends))
+			emit("pml", "recvs", p.Rank, float64(ps.Recvs))
+			emit("pml", "eager_sends", p.Rank, float64(ps.EagerSends))
+			emit("pml", "rndv_sends", p.Rank, float64(ps.RndvSends))
+			emit("pml", "unexpected", p.Rank, float64(ps.UnexpectedMsgs))
+			emit("pml", "unexpected_high_water", p.Rank, float64(ps.UnexpectedHighWater))
+			emit("pml", "reordered", p.Rank, float64(ps.ReorderedMsgs))
+			emit("pml", "match_attempts", p.Rank, float64(ps.MatchAttempts))
+			emit("pml", "match_bucket_hits", p.Rank, float64(ps.BucketHits))
+			emit("pml", "match_wildcard_hits", p.Rank, float64(ps.WildcardHits))
+			for _, m := range p.Elans {
+				es := m.Stats()
+				emit("ptl", "eager_tx", p.Rank, float64(es.EagerTx))
+				emit("ptl", "rndv_tx", p.Rank, float64(es.RndvTx))
+				emit("ptl", "ack_tx", p.Rank, float64(es.AckTx))
+				emit("ptl", "fin_tx", p.Rank, float64(es.FinTx))
+				emit("ptl", "fin_ack_tx", p.Rank, float64(es.FinAckTx))
+				emit("ptl", "put_ops", p.Rank, float64(es.PutOps))
+				emit("ptl", "get_ops", p.Rank, float64(es.GetOps))
+				emit("ptl", "cq_records", p.Rank, float64(es.CQRecords))
+				emit("ptl", "host_issued_fins", p.Rank, float64(es.HostIssuedFins))
+				emit("ptl", "sendbuf_high_water", p.Rank, float64(es.SendBufHighWater))
+				emit("ptl", "sendbuf_stalls", p.Rank, float64(es.SendBufStalls))
+				recvHW, compHW := m.QueueHighWater()
+				emit("ptl", "recvq_high_water", p.Rank, float64(recvHW))
+				emit("ptl", "cq_high_water", p.Rank, float64(compHW))
+			}
+			if p.TCP != nil {
+				ts := p.TCP.Stats()
+				emit("ptl", "tcp_msgs_tx", p.Rank, float64(ts.MsgsTx))
+				emit("ptl", "tcp_msgs_rx", p.Rank, float64(ts.MsgsRx))
+				emit("ptl", "tcp_segs_tx", p.Rank, float64(ts.SegsTx))
+				emit("ptl", "tcp_segs_rx", p.Rank, float64(ts.SegsRx))
+				emit("ptl", "tcp_bytes_tx", p.Rank, float64(ts.BytesTx))
+			}
+		}
+		// Cluster-level shape and clock.
+		emit("cluster", "procs", -1, float64(len(c.procs)))
+		emit("cluster", "nodes", -1, float64(len(c.Hosts)))
+		emit("cluster", "now_us", -1, c.K.Now().Micros())
+	})
+}
 
 // Procs returns every process brought up so far (initial job and
 // dynamically spawned), in bringup order.

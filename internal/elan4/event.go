@@ -2,6 +2,7 @@ package elan4
 
 import (
 	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
 )
 
 // Event is an Elan event: a NIC-resident word with a count that DMA
@@ -119,6 +120,13 @@ func (e *Event) fire() {
 		e.nic.raiseInterrupt(sig)
 	}
 	if e.chain != nil {
+		e.nic.stats.ChainFires++
+		if e.nic.tracer != nil && e.ctx != nil {
+			e.nic.tracer.Record(trace.Event{
+				At: e.nic.k.Now(), Rank: e.ctx.vpid, Layer: trace.LayerElan4,
+				Kind: trace.ChainFired,
+			})
+		}
 		fn := e.chain
 		fn()
 	}

@@ -7,6 +7,7 @@ import (
 	"qsmpi/internal/fabric"
 	"qsmpi/internal/model"
 	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
 )
 
 // Resolver maps a Quadrics virtual process id (VPID) to its current
@@ -20,13 +21,15 @@ type Resolver interface {
 
 // Stats counts NIC activity for tests and reports.
 type Stats struct {
-	QDMAs      int64
-	RDMAWrites int64
-	RDMAReads  int64
-	BytesSent  int64
-	Retries    int64
-	Interrupts int64
-	Errors     int64
+	QDMAs        int64
+	RDMAWrites   int64
+	RDMAReads    int64
+	BytesSent    int64
+	Retries      int64
+	Interrupts   int64
+	Errors       int64
+	DMACompleted int64
+	ChainFires   int64
 }
 
 // NIC is one Elan4 adapter attached to a fabric port. Multiple process
@@ -55,6 +58,26 @@ type NIC struct {
 	rxPCIFree simtime.Time
 
 	stats Stats
+
+	// tracer, when attached, receives descriptor-lifecycle events. All
+	// recording is host-side bookkeeping with no virtual-time cost, so an
+	// attached tracer cannot perturb the simulation.
+	tracer   *trace.Recorder
+	traceSeq uint64
+}
+
+// SetTracer attaches a cross-layer event recorder (nil detaches it).
+func (n *NIC) SetTracer(r *trace.Recorder) { n.tracer = r }
+
+// traceOp records one descriptor-lifecycle event for op at rank.
+func (n *NIC) traceOp(rank int, kind trace.Kind, op *dmaOp, peer, bytes int) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.Record(trace.Event{
+		At: n.k.Now(), Rank: rank, Layer: trace.LayerElan4, Kind: kind,
+		ReqID: op.tid, Peer: peer, Bytes: bytes,
+	})
 }
 
 // afterRxPCI schedules fn once nbytes have been written to host memory
@@ -115,6 +138,10 @@ type dmaOp struct {
 	onError func(error)
 	attempt int
 
+	// tid identifies this descriptor in the trace stream; assigned only
+	// when a tracer is attached.
+	tid uint64
+
 	// bcast fan-out: remaining acks before the op completes (1 for
 	// unicast).
 	pending int
@@ -128,7 +155,13 @@ func (op *dmaOp) fail(n *NIC, err error) {
 	}
 }
 
-func (op *dmaOp) complete() {
+// complete retires the descriptor's completion side on NIC n (the NIC the
+// terminal ack or final data chunk arrived at — the issuing side's NIC).
+func (op *dmaOp) complete(n *NIC) {
+	n.stats.DMACompleted++
+	if op.srcCtx != nil {
+		n.traceOp(op.srcCtx.vpid, trace.DMACompleted, op, op.dstVPID, op.n)
+	}
 	if op.done != nil {
 		op.done.trigger()
 	}
@@ -403,6 +436,21 @@ func (n *NIC) engineLoop(p *simtime.Proc) {
 	for {
 		op := n.engineQ.Recv(p)
 		p.Sleep(n.cfg.DMAStartup)
+		if n.tracer != nil && op.kind != opReadReply {
+			n.traceSeq++
+			op.tid = n.traceSeq
+			var k trace.Kind
+			bytes := op.n
+			switch op.kind {
+			case opQDMA, opQDMABcast:
+				k, bytes = trace.QDMAIssued, len(op.data)
+			case opRDMAWrite:
+				k = trace.RDMAWriteIssued
+			case opRDMARead:
+				k = trace.RDMAReadIssued
+			}
+			n.traceOp(op.srcCtx.vpid, k, op, op.dstVPID, bytes)
+		}
 		switch op.kind {
 		case opQDMA:
 			n.stats.QDMAs++
@@ -570,6 +618,7 @@ func (n *NIC) handlePacket(pkt *fabric.Packet) {
 				n.reply(m.srcPort, &nackPkt{orig: m})
 				return
 			}
+			n.traceOp(m.dstVPID, trace.QDMADeposited, m.op, m.srcVPID, len(m.data))
 			n.reply(m.srcPort, &ackPkt{op: m.op})
 		})
 
@@ -620,7 +669,7 @@ func (n *NIC) handlePacket(pkt *fabric.Packet) {
 			}
 			copy(dst, m.data)
 			if m.last {
-				m.op.complete()
+				m.op.complete(n)
 			}
 		})
 
@@ -632,7 +681,7 @@ func (n *NIC) handlePacket(pkt *fabric.Packet) {
 		}
 		m.op.pending--
 		if m.op.pending <= 0 {
-			m.op.complete()
+			m.op.complete(n)
 			m.op.retire(n)
 		}
 
@@ -644,6 +693,9 @@ func (n *NIC) handlePacket(pkt *fabric.Packet) {
 			return
 		}
 		n.stats.Retries++
+		if m.orig.op.srcCtx != nil {
+			n.traceOp(m.orig.op.srcCtx.vpid, trace.QDMARetried, m.orig.op, m.orig.dstVPID, len(m.orig.data))
+		}
 		backoff := 10 * n.cfg.WireLatency
 		if backoff < simtime.Microsecond {
 			backoff = simtime.Microsecond

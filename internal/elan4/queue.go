@@ -36,8 +36,9 @@ type RecvQueue struct {
 	irqArmed  bool
 	irqSignal *simtime.Signal
 
-	deposits int64
-	rejects  int64
+	deposits  int64
+	rejects   int64
+	highWater int // deepest occupancy ever seen
 }
 
 // CreateQueue allocates receive queue id with nslots slots of the
@@ -87,6 +88,10 @@ func (q *RecvQueue) Deposits() int64 { return q.deposits }
 // sender-side NACK and retry).
 func (q *RecvQueue) Rejects() int64 { return q.rejects }
 
+// HighWater returns the deepest slot occupancy the ring has reached — the
+// CQ-depth metric for queues used as completion queues.
+func (q *RecvQueue) HighWater() int { return q.highWater }
+
 // Poll consumes the oldest deposited message, if any. The returned data
 // aliases the slot; callers must copy or finish with it before Free-ing
 // enough slots for the ring to wrap (the transport layers copy).
@@ -135,6 +140,9 @@ func (q *RecvQueue) deposit(src int, data []byte) bool {
 	copy(cp, data)
 	q.slots[idx] = QueuedMsg{SrcVPID: src, Data: cp}
 	q.count++
+	if q.count > q.highWater {
+		q.highWater = q.count
+	}
 	q.deposits++
 	q.hostWord.Add(1)
 	for _, c := range q.notify {

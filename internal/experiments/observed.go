@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qsmpi/internal/cluster"
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/mpichq"
+	"qsmpi/internal/obs"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptlelan4"
+	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
+)
+
+// Observed is one fully instrumented run: the half-round-trip latency,
+// the cross-layer event stream and the metrics snapshot at quiescence.
+type Observed struct {
+	LatencyUS float64
+	Recorder  *trace.Recorder
+	Metrics   obs.Snapshot
+}
+
+// ObservedPingPong runs one instrumented sequential ping-pong of the Open
+// MPI stack: a cluster-wide tracer and a metrics registry are attached via
+// the Spec, so every layer (PML, PTL, libelan/elan4, fabric) records.
+//
+// A recorder must never be shared across parsweep workers, so this harness
+// is strictly sequential: figure sweeps run untraced, and callers wanting
+// observability for a figure rerun one representative point through here.
+func ObservedPingPong(spec cluster.Spec, size, iters, warmup, limit int) Observed {
+	if iters < 1 {
+		iters = 1
+	}
+	rec := trace.NewRecorder(limit)
+	reg := obs.New()
+	spec.Tracer = rec
+	spec.Metrics = reg
+	c := cluster.New(spec, 2)
+	var total simtime.Duration
+	c.Launch(func(p *cluster.Proc) {
+		dt := datatype.Contiguous(size)
+		buf := make([]byte, size)
+		scratch := make([]byte, size)
+		if p.Rank == 0 {
+			for i := 0; i < warmup+iters; i++ {
+				start := p.Th.Now()
+				p.Stack.Send(p.Th, 1, 1, 0, buf, dt).Wait(p.Th)
+				p.Stack.Recv(p.Th, 1, 2, 0, scratch, dt).Wait(p.Th)
+				if i >= warmup {
+					total += p.Th.Now().Sub(start)
+				}
+			}
+		} else {
+			for i := 0; i < warmup+iters; i++ {
+				p.Stack.Recv(p.Th, 0, 1, 0, scratch, dt).Wait(p.Th)
+				p.Stack.Send(p.Th, 0, 2, 0, buf, dt).Wait(p.Th)
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return Observed{
+		LatencyUS: total.Micros() / float64(iters) / 2,
+		Recorder:  rec,
+		Metrics:   reg.Snapshot(),
+	}
+}
+
+// ObservedBestRead is ObservedPingPong over the paper's best RDMA-read
+// configuration — the representative run the benchmark tools instrument
+// when asked for a trace or a metrics table alongside their sweeps.
+func ObservedBestRead(size, iters, warmup, limit int) Observed {
+	return ObservedPingPong(
+		elanSpec(ptlelan4.BestOptions(ptlelan4.RDMARead), false, pml.Polling),
+		size, iters, warmup, limit)
+}
+
+// observedTport is ObservedPingPong for the MPICH-QsNetII baseline stack.
+func observedTport(size, iters, warmup int) Observed {
+	if iters < 1 {
+		iters = 1
+	}
+	j := mpichq.NewJob(2, nil)
+	reg := obs.New()
+	j.RegisterMetrics(reg)
+	var total simtime.Duration
+	j.Launch(func(rank int, th *simtime.Thread, c *mpichq.Comm) {
+		buf := make([]byte, size)
+		scratch := make([]byte, size)
+		if rank == 0 {
+			for i := 0; i < warmup+iters; i++ {
+				start := th.Now()
+				c.Send(th, 1, 1, buf)
+				c.Recv(th, 1, 2, scratch)
+				if i >= warmup {
+					total += th.Now().Sub(start)
+				}
+			}
+		} else {
+			for i := 0; i < warmup+iters; i++ {
+				c.Recv(th, 0, 1, scratch)
+				c.Send(th, 0, 2, buf)
+			}
+		}
+	})
+	if err := j.Run(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return Observed{
+		LatencyUS: total.Micros() / float64(iters) / 2,
+		Metrics:   reg.Snapshot(),
+	}
+}
+
+// FigureMetric is the metrics table of one representative instrumented
+// point of a figure: the sweep itself runs untraced (figure numbers stay
+// byte-identical), and this names the configuration that was rerun with a
+// registry attached.
+type FigureMetric struct {
+	ID   string // figure the point represents
+	Note string // configuration and size of the representative point
+	Snap obs.Snapshot
+}
+
+// figureMetricIters keeps the instrumented reruns cheap: the counters they
+// feed are protocol-shape metrics (eager vs rendezvous, DMA mix, packet
+// counts), which a handful of iterations already exhibits.
+const figureMetricIters = 4
+
+// FigureMetrics reruns one representative point per figure with a metrics
+// registry attached and returns the snapshots in paper order. Sequential
+// by design — see ObservedPingPong.
+func FigureMetrics(cfg Config) []FigureMetric {
+	iters, warmup := figureMetricIters, 2
+	pp := func(spec cluster.Spec, size int) obs.Snapshot {
+		return ObservedPingPong(spec, size, iters, warmup, 1).Metrics
+	}
+	read := base(ptlelan4.RDMARead)
+	write := base(ptlelan4.RDMAWrite)
+	noChain := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	noChain.ChainFin = false
+	oneThread := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	oneThread.CQ = ptlelan4.OneQueue
+	oneThread.Threads = 1
+	return []FigureMetric{
+		{"fig7a", "RDMA-Read, 256 B (eager path)",
+			pp(elanSpec(read, false, pml.Polling), 256)},
+		{"fig7b", "RDMA-Write, 4 KiB (rendezvous)",
+			pp(elanSpec(write, false, pml.Polling), 4096)},
+		{"fig8", "Read-NoChain, 4 KiB",
+			pp(elanSpec(noChain, false, pml.Polling), 4096)},
+		{"fig9", "RDMA-Read best options, 1984 B (eager limit)",
+			pp(elanSpec(ptlelan4.BestOptions(ptlelan4.RDMARead), false, pml.Polling), 1984)},
+		{"table1", "One progress thread, 4 KiB",
+			pp(elanSpec(oneThread, false, pml.Threaded), 4096)},
+		{"fig10", "MPICH-QsNetII baseline, 4 KiB",
+			observedTport(4096, iters, warmup).Metrics},
+		{"fig10", "PTL/Elan4-RDMA-Read, 64 KiB",
+			pp(elanSpec(ptlelan4.BestOptions(ptlelan4.RDMARead), false, pml.Polling), 65536)},
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
 )
 
 // Params describes one fabric's physical characteristics.
@@ -116,6 +117,31 @@ type Network struct {
 	sent        int64
 	delivered   int64
 	retransmits int64
+	bytesSent   int64
+	routeHits   int64
+	routeMisses int64
+
+	// tracer, when attached, receives pkt-sent/pkt-delivered instants.
+	// Recording is pure host-side bookkeeping — no virtual-time cost.
+	tracer *trace.Recorder
+}
+
+// SetTracer attaches a cross-layer event recorder (nil detaches it).
+func (n *Network) SetTracer(r *trace.Recorder) { n.tracer = r }
+
+func (n *Network) tracePkt(kind trace.Kind, src, dst, size int) {
+	if n.tracer == nil {
+		return
+	}
+	// Rank is the port acting; Peer the far end from its point of view.
+	rank, peer := src, dst
+	if kind == trace.PktDelivered {
+		rank, peer = dst, src
+	}
+	n.tracer.Record(trace.Event{
+		At: n.k.Now(), Rank: rank, Layer: trace.LayerFabric, Kind: kind,
+		Peer: peer, Bytes: size,
+	})
 }
 
 // New builds a fabric with nports ports. The tree has as many levels as
@@ -204,8 +230,10 @@ func (n *Network) linkFor(m map[linkKey]*link, l, sw int, dir string) *link {
 func (n *Network) pathLinks(src, dst int) (links []*link, switches int) {
 	key := int64(src)<<32 | int64(uint32(dst))
 	if r, ok := n.routes[key]; ok {
+		n.routeHits++
 		return r.links, r.switches
 	}
+	n.routeMisses++
 	links, switches = n.computePath(src, dst)
 	n.routes[key] = &route{links: links, switches: switches}
 	return links, switches
@@ -255,6 +283,8 @@ func (n *Network) Send(pkt *Packet, onWire func()) {
 		panic(fmt.Sprintf("fabric: bad ports %d->%d", pkt.Src, pkt.Dst))
 	}
 	n.sent++
+	n.bytesSent += int64(pkt.Size)
+	n.tracePkt(trace.PktSent, pkt.Src, pkt.Dst, pkt.Size)
 	wire := pkt.Size + n.p.PacketOverhead
 	now := n.k.Now()
 
@@ -331,6 +361,8 @@ func (n *Network) SendMulti(src, size int, dsts []int, payload func(dst int) any
 	for _, dst := range dsts {
 		if dst == src {
 			n.sent++
+			n.bytesSent += int64(size)
+			n.tracePkt(trace.PktSent, src, dst, size)
 			q := n.getPacket()
 			*q = Packet{Src: src, Dst: dst, Size: size, Payload: payload(dst)}
 			n.deliverAt(now.Add(n.p.SwitchLatency), q)
@@ -360,6 +392,8 @@ func (n *Network) SendMulti(src, size int, dsts []int, payload func(dst int) any
 			}
 		}
 		n.sent++
+		n.bytesSent += int64(size)
+		n.tracePkt(trace.PktSent, src, dst, size)
 		q := n.getPacket()
 		*q = Packet{Src: src, Dst: dst, Size: size, Payload: payload(dst)}
 		n.deliverAt(tail.Add(simtime.Duration(switches)*n.p.SwitchLatency), q)
@@ -394,6 +428,7 @@ func (n *Network) deliverAt(t simtime.Time, pkt *Packet) {
 			d.pkt = nil
 			nn := d.n
 			nn.delivered++
+			nn.tracePkt(trace.PktDelivered, p.Src, p.Dst, p.Size)
 			h := nn.handlers[p.Dst]
 			if h == nil {
 				panic(fmt.Sprintf("fabric: no handler attached to port %d", p.Dst))
@@ -415,6 +450,15 @@ func (n *Network) Stats() (sent, delivered int64) { return n.sent, n.delivered }
 
 // Retransmits reports link-level CRC retransmissions.
 func (n *Network) Retransmits() int64 { return n.retransmits }
+
+// BytesSent reports total payload bytes injected (excluding overhead).
+func (n *Network) BytesSent() int64 { return n.bytesSent }
+
+// RouteCacheStats reports memoized-route lookups: hits reused a cached
+// up-down path, misses paid the tree walk.
+func (n *Network) RouteCacheStats() (hits, misses int64) {
+	return n.routeHits, n.routeMisses
+}
 
 // ZeroByteLatency returns the modelled latency of a minimal packet between
 // two distinct ports under no contention: per-hop wire latency plus switch

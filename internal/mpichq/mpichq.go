@@ -12,6 +12,7 @@ import (
 	"qsmpi/internal/elan4"
 	"qsmpi/internal/fabric"
 	"qsmpi/internal/model"
+	"qsmpi/internal/obs"
 	"qsmpi/internal/simtime"
 	"qsmpi/internal/tport"
 )
@@ -64,6 +65,33 @@ func NewJob(nprocs int, override *model.Config) *Job {
 		j.Eps = append(j.Eps, tport.New(k, h, nic, cfg, i, ports))
 	}
 	return j
+}
+
+// RegisterMetrics installs collectors for the tport layer (and the
+// underlying NICs and fabric) into r, mirroring cluster.RegisterMetrics
+// for the MPICH-QsNetII baseline stack.
+func (j *Job) RegisterMetrics(r *obs.Registry) {
+	r.Collect(func(emit obs.EmitFn) {
+		for rank, ep := range j.Eps {
+			st := ep.Stats()
+			emit("tport", "nic_matches", rank, float64(st.NICMatches))
+			emit("tport", "unexpected", rank, float64(st.Unexpected))
+			emit("tport", "eager_tx", rank, float64(st.EagerTx))
+			emit("tport", "rndv_tx", rank, float64(st.RndvTx))
+			emit("tport", "pull_chunks", rank, float64(st.PullChunks))
+		}
+		for node, nic := range j.NICs {
+			st := nic.Stats()
+			emit("elan4", "qdmas", node, float64(st.QDMAs))
+			emit("elan4", "rdma_reads", node, float64(st.RDMAReads))
+			emit("elan4", "dma_completed", node, float64(st.DMACompleted))
+			emit("elan4", "bytes_sent", node, float64(st.BytesSent))
+		}
+		sent, delivered := j.Net.Stats()
+		emit("fabric", "pkts_sent", -1, float64(sent))
+		emit("fabric", "pkts_delivered", -1, float64(delivered))
+		emit("fabric", "payload_bytes", -1, float64(j.Net.BytesSent()))
+	})
 }
 
 // Comm is the per-rank communication handle.

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
+)
+
+func TestRegistrySnapshotSortsAndSumsDuplicates(t *testing.T) {
+	r := New()
+	r.Collect(func(emit EmitFn) {
+		emit("elan4", "qdmas", 1, 3)
+		emit("elan4", "qdmas", 0, 2)
+	})
+	// A second rail reporting under the same keys must merge, not shadow.
+	r.Collect(func(emit EmitFn) {
+		emit("elan4", "qdmas", 0, 5)
+		emit("fabric", "pkts", -1, 9)
+	})
+	s := r.Snapshot()
+	if got := s.Get("elan4", "qdmas", 0); got != 7 {
+		t.Errorf("duplicate keys not summed: got %v, want 7", got)
+	}
+	if got := s.Total("elan4", "qdmas"); got != 10 {
+		t.Errorf("Total = %v, want 10", got)
+	}
+	// Sorted by (layer, name, rank), with rank -1 ahead of rank 0.
+	var keys []string
+	for _, x := range s.Samples {
+		keys = append(keys, x.Layer+"/"+x.Name)
+	}
+	want := []string{"elan4/qdmas", "elan4/qdmas", "fabric/pkts"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("sample order %v", keys)
+		}
+	}
+	if s.Samples[0].Rank != 0 || s.Samples[1].Rank != 1 {
+		t.Fatalf("rank order: %+v", s.Samples[:2])
+	}
+}
+
+func TestSnapshotDiffOmitsZeroDeltas(t *testing.T) {
+	var v float64 = 1
+	r := New()
+	r.Collect(func(emit EmitFn) {
+		emit("pml", "sends", 0, v)
+		emit("pml", "recvs", 0, 4)
+	})
+	before := r.Snapshot()
+	v = 6
+	d := r.Snapshot().Diff(before)
+	if len(d.Samples) != 1 {
+		t.Fatalf("diff = %+v, want only the changed sample", d.Samples)
+	}
+	if d.Samples[0].Name != "sends" || d.Samples[0].Value != 5 {
+		t.Fatalf("diff sample = %+v", d.Samples[0])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("pml", "send_latency", 2)
+	h.Observe(simtime.Micros(0.5)) // le_1us
+	h.Observe(simtime.Micros(3))   // le_4us
+	h.Observe(simtime.Micros(3.5)) // le_4us
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got < 2.3 || got > 2.4 {
+		t.Fatalf("Mean = %v", got)
+	}
+	s := r.Snapshot()
+	if got := s.Get("pml", "send_latency.count", 2); got != 3 {
+		t.Errorf("count sample = %v", got)
+	}
+	if got := s.Get("pml", "send_latency.le_4us", 2); got != 2 {
+		t.Errorf("le_4us bucket = %v", got)
+	}
+	if got := s.Get("pml", "send_latency.le_1us", 2); got != 1 {
+		t.Errorf("le_1us bucket = %v", got)
+	}
+	// An overflow observation lands in le_inf.
+	h.Observe(simtime.Micros(1e6))
+	if got := r.Snapshot().Get("pml", "send_latency.le_inf", 2); got != 1 {
+		t.Errorf("le_inf bucket = %v", got)
+	}
+}
+
+func TestEmptyHistogramEmitsNothing(t *testing.T) {
+	r := New()
+	r.Histogram("pml", "recv_latency", 0)
+	if s := r.Snapshot(); len(s.Samples) != 0 {
+		t.Fatalf("empty histogram emitted %+v", s.Samples)
+	}
+}
+
+func TestRenderFormatsRanksAndValues(t *testing.T) {
+	r := New()
+	r.Collect(func(emit EmitFn) {
+		emit("fabric", "pkts", -1, 12)
+		emit("pml", "mean_us", 0, 1.5)
+	})
+	out := r.Snapshot().Render()
+	if !strings.Contains(out, "layer") || !strings.Contains(out, "metric") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows:\n%s", out)
+	}
+	if !strings.Contains(lines[1], " - ") || !strings.Contains(lines[1], "12") {
+		t.Errorf("global rank not rendered as '-': %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "1.500") {
+		t.Errorf("float not rendered with decimals: %q", lines[2])
+	}
+}
+
+// perfetto returns the decoded trace-event file for hand-built events.
+func perfetto(t *testing.T, events []trace.Event) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	return doc
+}
+
+func TestWritePerfettoPairsSpans(t *testing.T) {
+	doc := perfetto(t, []trace.Event{
+		{At: simtime.Time(simtime.Micros(10)), Rank: 0, Layer: trace.LayerPML,
+			Kind: trace.SendPosted, ReqID: 1, Peer: 1, Bytes: 64},
+		{At: simtime.Time(simtime.Micros(25)), Rank: 0, Layer: trace.LayerPML,
+			Kind: trace.SendCompleted, ReqID: 1, Peer: 1, Bytes: 64},
+	})
+	evs := doc["traceEvents"].([]any)
+	var span map[string]any
+	for _, e := range evs {
+		m := e.(map[string]any)
+		if m["ph"] == "X" {
+			span = m
+		}
+	}
+	if span == nil {
+		t.Fatalf("no X span emitted: %v", evs)
+	}
+	if span["name"] != "send" {
+		t.Errorf("span name = %v", span["name"])
+	}
+	if ts, dur := span["ts"].(float64), span["dur"].(float64); ts != 10 || dur != 15 {
+		t.Errorf("span ts=%v dur=%v, want 10/15", ts, dur)
+	}
+}
+
+func TestWritePerfettoDanglingOpenBecomesInstant(t *testing.T) {
+	doc := perfetto(t, []trace.Event{
+		{At: simtime.Time(simtime.Micros(5)), Rank: 1, Layer: trace.LayerElan4,
+			Kind: trace.QDMAIssued, ReqID: 7},
+	})
+	evs := doc["traceEvents"].([]any)
+	sawInstant := false
+	for _, e := range evs {
+		m := e.(map[string]any)
+		switch m["ph"] {
+		case "X":
+			t.Fatalf("dangling open paired into a span: %v", m)
+		case "i":
+			sawInstant = true
+		}
+	}
+	if !sawInstant {
+		t.Fatal("dangling open lost entirely")
+	}
+}
+
+func TestWritePerfettoMetadata(t *testing.T) {
+	doc := perfetto(t, []trace.Event{
+		{At: simtime.Time(simtime.Micros(1)), Rank: 0, Layer: trace.LayerFabric, Kind: trace.PktSent},
+		{At: simtime.Time(simtime.Micros(2)), Rank: 1, Layer: trace.LayerPML, Kind: trace.RecvPosted, ReqID: 1},
+	})
+	if doc["displayTimeUnit"] != "ns" {
+		t.Errorf("displayTimeUnit = %v", doc["displayTimeUnit"])
+	}
+	procs := map[float64]string{}
+	threads := map[string]bool{}
+	for _, e := range doc["traceEvents"].([]any) {
+		m := e.(map[string]any)
+		if m["ph"] != "M" {
+			continue
+		}
+		name := m["args"].(map[string]any)["name"].(string)
+		switch m["name"] {
+		case "process_name":
+			procs[m["pid"].(float64)] = name
+		case "thread_name":
+			threads[name] = true
+		}
+	}
+	if procs[0] != "rank 0" || procs[1] != "rank 1" {
+		t.Errorf("process metadata = %v", procs)
+	}
+	if !threads["fabric"] || !threads["pml"] {
+		t.Errorf("thread metadata = %v", threads)
+	}
+}

@@ -1,0 +1,177 @@
+// Chrome trace-event JSON export of the cross-layer event stream, in the
+// format Perfetto and chrome://tracing load directly. The mapping from
+// the simulator's virtual time:
+//
+//   - pid  = MPI rank (one Perfetto "process" per rank)
+//   - tid  = layer (one track per rank×layer: pml, ptl, elan4, fabric…)
+//   - ts   = virtual microseconds since time zero (float, ps precision)
+//   - "X" complete events for paired lifetimes — send-posted→send-completed
+//     and recv-posted→recv-completed on the PML track, DMA issued→completed
+//     on the elan4 track — paired by (rank, layer, ReqID)
+//   - "i" instant events for everything unpaired (matching, control
+//     traffic, deposits, packets)
+//   - "M" metadata events naming each process/thread
+//
+// Virtual time is deterministic, so the exported JSON is byte-identical
+// across runs of the same scenario.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"qsmpi/internal/trace"
+)
+
+// perfEvent is one Chrome trace-event object. Dur and Args are omitted
+// where meaningless so instants stay compact.
+type perfEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfFile struct {
+	TraceEvents     []perfEvent `json:"traceEvents"`
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+}
+
+// spanPairs maps a span-opening kind to its closing kind. Events of these
+// kinds become "X" complete slices; everything else is an instant.
+var spanPairs = map[trace.Kind]trace.Kind{
+	trace.SendPosted:      trace.SendCompleted,
+	trace.RecvPosted:      trace.RecvCompleted,
+	trace.QDMAIssued:      trace.DMACompleted,
+	trace.RDMAWriteIssued: trace.DMACompleted,
+	trace.RDMAReadIssued:  trace.DMACompleted,
+}
+
+var spanNames = map[trace.Kind]string{
+	trace.SendPosted:      "send",
+	trace.RecvPosted:      "recv",
+	trace.QDMAIssued:      "qdma",
+	trace.RDMAWriteIssued: "rdma-write",
+	trace.RDMAReadIssued:  "rdma-read",
+}
+
+func isSpanClose(k trace.Kind) bool {
+	return k == trace.SendCompleted || k == trace.RecvCompleted || k == trace.DMACompleted
+}
+
+// WritePerfetto writes the recorded events as Chrome trace-event JSON.
+func WritePerfetto(w io.Writer, events []trace.Event) error {
+	evs := append([]trace.Event(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+
+	type spanKey struct {
+		rank  int
+		layer trace.Layer
+		kind  trace.Kind // closing kind
+		req   uint64
+	}
+	open := make(map[spanKey]trace.Event)
+
+	var out []perfEvent
+	seenTrack := make(map[[2]int]bool)
+	seenProc := make(map[int]bool)
+	track := func(rank int, layer trace.Layer) {
+		if !seenProc[rank] {
+			seenProc[rank] = true
+			out = append(out, perfEvent{
+				Name: "process_name", Ph: "M", PID: rank, TID: 0,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+			})
+		}
+		tk := [2]int{rank, int(layer)}
+		if !seenTrack[tk] {
+			seenTrack[tk] = true
+			out = append(out, perfEvent{
+				Name: "thread_name", Ph: "M", PID: rank, TID: int(layer),
+				Args: map[string]any{"name": layer.String()},
+			})
+		}
+	}
+
+	args := func(e trace.Event) map[string]any {
+		a := map[string]any{"req": e.ReqID, "peer": e.Peer}
+		if e.Tag != 0 {
+			a["tag"] = e.Tag
+		}
+		if e.Bytes != 0 {
+			a["bytes"] = e.Bytes
+		}
+		return a
+	}
+
+	for _, e := range evs {
+		track(e.Rank, e.Layer)
+		if close, ok := spanPairs[e.Kind]; ok {
+			// Span open: remember it; if an earlier open with the same key
+			// never closed, flush it as an instant so nothing is lost.
+			k := spanKey{e.Rank, e.Layer, close, e.ReqID}
+			if prev, dup := open[k]; dup {
+				out = append(out, perfEvent{
+					Name: prev.Kind.String(), Ph: "i",
+					TS: prev.At.Micros(), PID: prev.Rank, TID: int(prev.Layer),
+					Args: args(prev),
+				})
+			}
+			open[k] = e
+			continue
+		}
+		if isSpanClose(e.Kind) {
+			k := spanKey{e.Rank, e.Layer, e.Kind, e.ReqID}
+			if start, ok := open[k]; ok {
+				delete(open, k)
+				dur := e.At.Sub(start.At).Micros()
+				a := args(start)
+				if e.Bytes != 0 {
+					a["bytes"] = e.Bytes
+				}
+				out = append(out, perfEvent{
+					Name: spanNames[start.Kind], Ph: "X",
+					TS: start.At.Micros(), Dur: &dur,
+					PID: e.Rank, TID: int(e.Layer), Args: a,
+				})
+				continue
+			}
+			// Close with no open: fall through to an instant.
+		}
+		out = append(out, perfEvent{
+			Name: e.Kind.String(), Ph: "i",
+			TS: e.At.Micros(), PID: e.Rank, TID: int(e.Layer),
+			Args: args(e),
+		})
+	}
+
+	// Unclosed spans (e.g. recorder limit hit mid-run) become instants.
+	var dangling []trace.Event
+	for _, s := range open {
+		dangling = append(dangling, s)
+	}
+	sort.SliceStable(dangling, func(i, j int) bool {
+		if dangling[i].At != dangling[j].At {
+			return dangling[i].At < dangling[j].At
+		}
+		if dangling[i].Rank != dangling[j].Rank {
+			return dangling[i].Rank < dangling[j].Rank
+		}
+		return dangling[i].ReqID < dangling[j].ReqID
+	})
+	for _, s := range dangling {
+		out = append(out, perfEvent{
+			Name: s.Kind.String(), Ph: "i",
+			TS: s.At.Micros(), PID: s.Rank, TID: int(s.Layer),
+			Args: args(s),
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfFile{TraceEvents: out, DisplayTimeUnit: "ns"})
+}

@@ -49,6 +49,7 @@ type SendReq struct {
 	progressed int
 	inlineLen  int // bytes inlined with the first fragment
 	acked      bool
+	postedAt   simtime.Time // for completion-latency histograms
 	done       simtime.Signal
 }
 
@@ -86,6 +87,7 @@ type RecvReq struct {
 	msgLen    int
 	got       int
 	status    Status
+	postedAt  simtime.Time // for completion-latency histograms
 	done      simtime.Signal
 	cancelled bool
 }

@@ -6,6 +6,7 @@ import (
 	"qsmpi/internal/bufpool"
 	"qsmpi/internal/datatype"
 	"qsmpi/internal/model"
+	"qsmpi/internal/obs"
 	"qsmpi/internal/ptl"
 	"qsmpi/internal/simtime"
 	"qsmpi/internal/trace"
@@ -106,6 +107,10 @@ type Stack struct {
 	Trace *LayerTrace
 	// Tracer, when non-nil, records per-message protocol timelines.
 	Tracer *trace.Recorder
+	// SendLatency/RecvLatency, when non-nil, observe post→completion
+	// latency per request. Nil-checked on the completion path only.
+	SendLatency *obs.Histogram
+	RecvLatency *obs.Histogram
 
 	// pool recycles pack/unpack staging and unexpected-message copies.
 	pool *bufpool.Pool
@@ -253,6 +258,7 @@ func (s *Stack) send(th *simtime.Thread, dst, tag int, comm uint16, buf []byte, 
 	s.nextID++
 	s.sendReqs[req.id] = req
 	s.stats.Sends++
+	req.postedAt = s.k.Now()
 	s.trace(trace.SendPosted, req.id, dst, tag, n)
 
 	// Contiguous data is used in place (zero copy); non-contiguous data
@@ -316,6 +322,7 @@ func (s *Stack) sendSelf(th *simtime.Thread, tag int, comm uint16, buf []byte, d
 	s.nextID++
 	s.sendReqs[req.id] = req
 	s.stats.Sends++
+	req.postedAt = s.k.Now()
 	if dt.Contig() {
 		req.packed = buf[:n]
 	} else {
@@ -429,6 +436,9 @@ func (s *Stack) SendProgress(th *simtime.Thread, sendReq uint64, bytes int) {
 			req.packed = nil
 		}
 		s.trace(trace.SendCompleted, req.id, req.dst, req.tag, req.n)
+		if s.SendLatency != nil {
+			s.SendLatency.Observe(s.k.Now().Sub(req.postedAt))
+		}
 		req.done.Fire()
 	}
 }
@@ -446,6 +456,7 @@ func (s *Stack) Recv(th *simtime.Thread, src, tag int, comm uint16, buf []byte, 
 	s.nextID++
 	s.recvReqs[req.id] = req
 	s.stats.Recvs++
+	req.postedAt = s.k.Now()
 	s.trace(trace.RecvPosted, req.id, src, tag, dt.Size())
 
 	cs := s.comm(comm)
@@ -643,6 +654,9 @@ func (s *Stack) finishRecv(th *simtime.Thread, req *RecvReq) {
 	}
 	delete(s.recvReqs, req.id)
 	s.trace(trace.RecvCompleted, req.id, req.status.Source, req.status.Tag, req.msgLen)
+	if s.RecvLatency != nil {
+		s.RecvLatency.Observe(s.k.Now().Sub(req.postedAt))
+	}
 	req.done.Fire()
 }
 

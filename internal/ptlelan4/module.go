@@ -36,6 +36,7 @@ import (
 	"qsmpi/internal/ptl"
 	"qsmpi/internal/rte"
 	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
 )
 
 // Scheme selects the long-message protocol.
@@ -200,6 +201,32 @@ type Module struct {
 	threadsUp   int
 
 	stats Stats
+
+	// tracer, when attached, receives PTL-layer protocol events; nil-check
+	// cheap when detached and adds no virtual-time cost.
+	tracer *trace.Recorder
+}
+
+// SetTracer attaches a cross-layer event recorder (nil detaches it).
+func (m *Module) SetTracer(r *trace.Recorder) { m.tracer = r }
+
+// rank reports the owning process's MPI rank when the PML exposes it,
+// falling back to the context's VPID (identical outside migration runs).
+func (m *Module) rank() int {
+	if r, ok := m.pml.(interface{ Rank() int }); ok {
+		return r.Rank()
+	}
+	return m.st.Ctx.VPID()
+}
+
+func (m *Module) trace(kind trace.Kind, reqID uint64, peer, tag, bytes int) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.Record(trace.Event{
+		At: m.k.Now(), Rank: m.rank(), Layer: trace.LayerPTL, Kind: kind,
+		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes,
+	})
 }
 
 // New creates (and opens) a PTL/Elan4 module bound to a libelan state, an
@@ -267,6 +294,18 @@ func (m *Module) Init(th *simtime.Thread) {
 
 // Stats returns a copy of the activity counters.
 func (m *Module) Stats() Stats { return m.stats }
+
+// QueueHighWater reports the deepest occupancy the receive queue and (when
+// configured) the completion queue have reached — the CQ-depth metric.
+func (m *Module) QueueHighWater() (recv, comp int) {
+	if m.recvQ != nil {
+		recv = m.recvQ.Raw().HighWater()
+	}
+	if m.compQ != nil {
+		comp = m.compQ.Raw().HighWater()
+	}
+	return recv, comp
+}
 
 // PoolStats returns a copy of the staging buffer-pool counters.
 func (m *Module) PoolStats() bufpool.Stats { return m.pool.Stats() }
@@ -358,11 +397,13 @@ func (m *Module) SendFirst(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc) {
 	m.pool.Put(payload)
 	if sd.Hdr.Type == ptl.TypeMatch {
 		m.stats.EagerTx++
+		m.trace(trace.PTLEagerTx, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), inline)
 		// Eager data is buffered; the request's bytes are locally complete
 		// (send-side completion is off the critical path, §6.3).
 		m.pml.SendProgress(th, sd.Hdr.SendReq, inline)
 	} else {
 		m.stats.RndvTx++
+		m.trace(trace.PTLRndvTx, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), int(sd.Hdr.MsgLen))
 	}
 }
 
@@ -377,6 +418,7 @@ func (m *Module) SendFrag(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc, off
 func (m *Module) Put(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc, remote ptl.RemoteMem, off, ln int, fin bool) {
 	m.lc.RequireActive("Put")
 	m.stats.PutOps++
+	m.trace(trace.PTLPutIssued, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), ln)
 	vpid := m.peerVPID(p)
 
 	var finHdr *ptl.Header
@@ -441,11 +483,13 @@ func (m *Module) Matched(th *simtime.Thread, p *ptl.Peer, rd *ptl.RecvDesc) {
 		m.st.QDMA(th, vpid, qidRecv, payload, buf, m.onSendError)
 		m.pool.Put(payload)
 		m.stats.AckTx++
+		m.trace(trace.PTLAckTx, rd.ReqID, p.Rank, int(rd.Hdr.Tag), int(rd.Hdr.MsgLen))
 		return
 	}
 
 	// Fig. 4: RDMA-read the remainder, then FIN_ACK.
 	m.stats.GetOps++
+	m.trace(trace.PTLGetIssued, rd.ReqID, p.Rank, int(rd.Hdr.Tag), rest)
 	h := rd.Hdr
 	h.Type = ptl.TypeFinAck
 	h.RecvReq = rd.ReqID

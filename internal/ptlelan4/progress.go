@@ -7,6 +7,7 @@ import (
 	"qsmpi/internal/libelan"
 	"qsmpi/internal/ptl"
 	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
 )
 
 // recStop is the poison completion record Finalize uses to unblock
@@ -61,10 +62,12 @@ func (m *Module) handleMsg(th *simtime.Thread, qm elan4.QueuedMsg) {
 		}
 		m.pml.AckArrived(th, hdr, ptl.RemoteMem{E4: decodeE4(body), VPID: qm.SrcVPID})
 	case ptl.TypeFin:
+		m.trace(trace.PTLFinRx, hdr.RecvReq, int(hdr.SrcRank), int(hdr.Tag), int(hdr.FragLen))
 		m.pml.RecvProgress(th, hdr.RecvReq, int(hdr.FragLen))
 	case ptl.TypeFinAck:
 		// Fig. 4: one control message acknowledges the rendezvous and
 		// completes the whole send.
+		m.trace(trace.PTLFinAckRx, hdr.SendReq, int(hdr.SrcRank), int(hdr.Tag), int(hdr.MsgLen))
 		m.pml.SendProgress(th, hdr.SendReq, int(hdr.MsgLen))
 	default:
 		panic(fmt.Sprintf("ptlelan4: unexpected %v in receive queue", hdr.Type))
@@ -85,9 +88,11 @@ func (m *Module) handleRecord(th *simtime.Thread, kind byte, reqID uint64, bytes
 	case recStop:
 		return
 	case recPutDone:
+		m.trace(trace.PTLCQRecord, reqID, -1, 0, bytes)
 		m.issuePendingFin(th, kind, reqID)
 		m.pml.SendProgress(th, reqID, bytes)
 	case recGetDone:
+		m.trace(trace.PTLCQRecord, reqID, -1, 0, bytes)
 		m.issuePendingFin(th, kind, reqID)
 		m.pml.RecvProgress(th, reqID, bytes)
 	default:

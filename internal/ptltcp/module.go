@@ -23,6 +23,7 @@ import (
 	"qsmpi/internal/ptl"
 	"qsmpi/internal/rte"
 	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
 )
 
 // Options configures the TCP PTL.
@@ -91,6 +92,22 @@ type Module struct {
 	pool *bufpool.Pool
 
 	stats Stats
+
+	// tracer, when attached, receives PTL-layer protocol events.
+	tracer *trace.Recorder
+}
+
+// SetTracer attaches a cross-layer event recorder (nil detaches it).
+func (m *Module) SetTracer(r *trace.Recorder) { m.tracer = r }
+
+func (m *Module) trace(kind trace.Kind, reqID uint64, peer, tag, bytes int) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.Record(trace.Event{
+		At: m.k.Now(), Rank: m.rank(), Layer: trace.LayerPTL, Kind: kind,
+		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes,
+	})
 }
 
 // New creates a TCP PTL on the node's Ethernet port. One TCP module per
@@ -190,8 +207,11 @@ func (m *Module) SendFirst(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc) {
 	m.write(th, p, payload)
 	m.pool.Put(payload)
 	if sd.Hdr.Type == ptl.TypeMatch {
+		m.trace(trace.PTLEagerTx, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), inline)
 		// Buffered by the kernel: locally complete.
 		m.pml.SendProgress(th, sd.Hdr.SendReq, inline)
+	} else {
+		m.trace(trace.PTLRndvTx, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), int(sd.Hdr.MsgLen))
 	}
 }
 
@@ -226,6 +246,7 @@ func (m *Module) Matched(th *simtime.Thread, p *ptl.Peer, rd *ptl.RecvDesc) {
 	h.EncodeTo(payload)
 	m.write(th, p, payload)
 	m.pool.Put(payload)
+	m.trace(trace.PTLAckTx, rd.ReqID, p.Rank, int(rd.Hdr.Tag), int(rd.Hdr.MsgLen))
 }
 
 // write models a sendmsg(2): one syscall, per-segment stack processing and

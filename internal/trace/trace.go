@@ -1,8 +1,13 @@
-// Package trace records per-message protocol timelines: when requests are
-// posted, matched, progressed and completed, on which rank, and with how
-// many bytes. A Recorder is attached to a PML stack (Stack.Tracer); the
-// cmd/msgtrace tool renders the merged timeline of a run, which is how the
-// §6.3-style layering analyses were debugged.
+// Package trace records cross-layer protocol timelines: a single
+// layer-tagged event stream fed by the PML (request posting, matching,
+// progress), the PTL modules (eager/rendezvous/control traffic), the Elan4
+// NIC model (DMA descriptors, deposits, chained events) and the fabric
+// (packet send/deliver), all in virtual time. A Recorder is attached to a
+// whole cluster (cluster.Spec.Tracer) or to a single PML stack
+// (Stack.Tracer); the cmd/msgtrace tool renders the merged timeline of a
+// run, and internal/obs exports it as Chrome trace-event JSON viewable in
+// Perfetto. This is how the §6.3-style layering analyses and the §5.3
+// completion-queue race were debugged.
 package trace
 
 import (
@@ -13,10 +18,42 @@ import (
 	"qsmpi/internal/simtime"
 )
 
+// Layer identifies which layer of the stack emitted an event.
+type Layer uint8
+
+// Layers, top of the stack first. LayerPML is the zero value so the
+// original PML-only recording sites need no tagging.
+const (
+	LayerPML Layer = iota
+	LayerPTL
+	LayerElan4
+	LayerFabric
+	LayerTport
+	LayerCluster
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerPML:
+		return "pml"
+	case LayerPTL:
+		return "ptl"
+	case LayerElan4:
+		return "elan4"
+	case LayerFabric:
+		return "fabric"
+	case LayerTport:
+		return "tport"
+	case LayerCluster:
+		return "cluster"
+	}
+	return fmt.Sprintf("Layer(%d)", uint8(l))
+}
+
 // Kind labels one protocol event.
 type Kind uint8
 
-// Event kinds, in rough protocol order.
+// PML-layer event kinds, in rough protocol order.
 const (
 	SendPosted Kind = iota + 1
 	RecvPosted
@@ -28,6 +65,31 @@ const (
 	RecvProgressed
 	SendCompleted
 	RecvCompleted
+
+	// PTL-layer kinds: first fragments, rendezvous control traffic and
+	// completion-queue records as the transport sees them.
+	PTLEagerTx
+	PTLRndvTx
+	PTLAckTx
+	PTLPutIssued
+	PTLGetIssued
+	PTLFinRx
+	PTLFinAckRx
+	PTLCQRecord
+
+	// Elan4 NIC kinds: DMA descriptor lifecycle, queue deposits and the
+	// chained-event mechanism.
+	QDMAIssued
+	RDMAWriteIssued
+	RDMAReadIssued
+	DMACompleted
+	QDMADeposited
+	QDMARetried
+	ChainFired
+
+	// Fabric kinds: wire packets.
+	PktSent
+	PktDelivered
 )
 
 func (k Kind) String() string {
@@ -52,14 +114,52 @@ func (k Kind) String() string {
 		return "send-completed"
 	case RecvCompleted:
 		return "recv-completed"
+	case PTLEagerTx:
+		return "eager-tx"
+	case PTLRndvTx:
+		return "rndv-tx"
+	case PTLAckTx:
+		return "ack-tx"
+	case PTLPutIssued:
+		return "put-issued"
+	case PTLGetIssued:
+		return "get-issued"
+	case PTLFinRx:
+		return "fin-rx"
+	case PTLFinAckRx:
+		return "fin-ack-rx"
+	case PTLCQRecord:
+		return "cq-record"
+	case QDMAIssued:
+		return "qdma-issued"
+	case RDMAWriteIssued:
+		return "rdma-write-issued"
+	case RDMAReadIssued:
+		return "rdma-read-issued"
+	case DMACompleted:
+		return "dma-completed"
+	case QDMADeposited:
+		return "qdma-deposited"
+	case QDMARetried:
+		return "qdma-retried"
+	case ChainFired:
+		return "chain-fired"
+	case PktSent:
+		return "pkt-sent"
+	case PktDelivered:
+		return "pkt-delivered"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
-// Event is one timeline entry.
+// Event is one timeline entry. Rank is the emitting process's rank (for
+// NIC events, the owning context's VPID; for fabric events, the source
+// port). ReqID identifies the request or descriptor the event belongs to
+// within (Rank, Layer) — span exporters pair begin/end kinds through it.
 type Event struct {
 	At    simtime.Time
 	Rank  int
+	Layer Layer
 	Kind  Kind
 	ReqID uint64
 	Peer  int
@@ -67,22 +167,26 @@ type Event struct {
 	Bytes int
 }
 
-// Recorder accumulates events. One Recorder may serve several ranks'
-// stacks (the simulation is cooperative, so appends never race).
+// Recorder accumulates events. One Recorder may serve all layers of all
+// ranks of a simulation (the simulation is cooperative, so appends never
+// race).
 type Recorder struct {
-	events []Event
-	limit  int
+	events  []Event
+	limit   int
+	dropped int64
 }
 
 // NewRecorder returns a recorder keeping at most limit events
-// (0 = unlimited).
+// (0 = unlimited). Events past the limit are counted, not kept.
 func NewRecorder(limit int) *Recorder {
 	return &Recorder{limit: limit}
 }
 
-// Record appends an event unless the limit is reached.
+// Record appends an event unless the limit is reached, in which case the
+// event is counted as dropped.
 func (r *Recorder) Record(e Event) {
 	if r.limit > 0 && len(r.events) >= r.limit {
+		r.dropped++
 		return
 	}
 	r.events = append(r.events, e)
@@ -94,6 +198,9 @@ func (r *Recorder) Events() []Event { return r.events }
 // Len returns the number of recorded events.
 func (r *Recorder) Len() int { return len(r.events) }
 
+// Dropped returns how many events were discarded after the limit filled.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
 // ByKind counts events of each kind.
 func (r *Recorder) ByKind() map[Kind]int {
 	out := make(map[Kind]int)
@@ -103,17 +210,30 @@ func (r *Recorder) ByKind() map[Kind]int {
 	return out
 }
 
+// ByLayer counts events of each layer.
+func (r *Recorder) ByLayer() map[Layer]int {
+	out := make(map[Layer]int)
+	for _, e := range r.events {
+		out[e.Layer]++
+	}
+	return out
+}
+
 // Render formats the timeline sorted by virtual time, one line per event,
-// with per-line deltas.
+// with per-line deltas. A trailing "(+N dropped)" line reports events lost
+// to the recorder limit rather than truncating silently.
 func (r *Recorder) Render() string {
 	evs := append([]Event(nil), r.events...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	var b strings.Builder
 	var prev simtime.Time
 	for _, e := range evs {
-		fmt.Fprintf(&b, "%12.3fus (+%8.3f) rank %d %-16s req=%-4d peer=%-3d tag=%-6d bytes=%d\n",
-			e.At.Micros(), e.At.Sub(prev).Micros(), e.Rank, e.Kind, e.ReqID, e.Peer, e.Tag, e.Bytes)
+		fmt.Fprintf(&b, "%12.3fus (+%8.3f) rank %d %-6s %-17s req=%-4d peer=%-3d tag=%-6d bytes=%d\n",
+			e.At.Micros(), e.At.Sub(prev).Micros(), e.Rank, e.Layer, e.Kind, e.ReqID, e.Peer, e.Tag, e.Bytes)
 		prev = e.At
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "(+%d dropped)\n", r.dropped)
 	}
 	return b.String()
 }

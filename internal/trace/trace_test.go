@@ -119,3 +119,46 @@ func TestRecorderLimit(t *testing.T) {
 		t.Fatalf("limit not enforced: %d", rec.Len())
 	}
 }
+
+func TestRecorderDropped(t *testing.T) {
+	rec := trace.NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		rec.Record(trace.Event{Kind: trace.SendPosted})
+	}
+	if got := rec.Dropped(); got != 7 {
+		t.Fatalf("Dropped() = %d, want 7", got)
+	}
+	if out := rec.Render(); !strings.Contains(out, "(+7 dropped)") {
+		t.Fatalf("render missing dropped trailer:\n%s", out)
+	}
+	unlimited := trace.NewRecorder(0)
+	unlimited.Record(trace.Event{Kind: trace.SendPosted})
+	if unlimited.Dropped() != 0 {
+		t.Fatal("unlimited recorder dropped events")
+	}
+	if strings.Contains(unlimited.Render(), "dropped") {
+		t.Fatal("dropped trailer printed with nothing dropped")
+	}
+}
+
+func TestLayerTags(t *testing.T) {
+	for layer, want := range map[trace.Layer]string{
+		trace.LayerPML:     "pml",
+		trace.LayerPTL:     "ptl",
+		trace.LayerElan4:   "elan4",
+		trace.LayerFabric:  "fabric",
+		trace.LayerTport:   "tport",
+		trace.LayerCluster: "cluster",
+	} {
+		if got := layer.String(); got != want {
+			t.Errorf("Layer(%d).String() = %q, want %q", layer, got, want)
+		}
+	}
+	rec := trace.NewRecorder(0)
+	rec.Record(trace.Event{Layer: trace.LayerFabric, Kind: trace.PktSent})
+	rec.Record(trace.Event{Layer: trace.LayerPML, Kind: trace.SendPosted})
+	by := rec.ByLayer()
+	if by[trace.LayerFabric] != 1 || by[trace.LayerPML] != 1 {
+		t.Fatalf("ByLayer() = %v", by)
+	}
+}

@@ -26,6 +26,7 @@
 package qsmpi
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 
@@ -33,6 +34,7 @@ import (
 	"qsmpi/internal/datatype"
 	"qsmpi/internal/model"
 	"qsmpi/internal/mpi"
+	"qsmpi/internal/obs"
 	"qsmpi/internal/pml"
 	"qsmpi/internal/ptlelan4"
 	"qsmpi/internal/ptltcp"
@@ -336,27 +338,69 @@ func (w *World) Spawn(n int, childMain func(cw *World)) {
 // simulated cluster and runs the simulation to completion. It returns an
 // error if the simulation deadlocks.
 func Run(cfg Config, main func(w *World)) error {
-	_, err := run(cfg, main, nil)
+	_, err := run(cfg, main, nil, nil)
 	return err
 }
 
 // RunTraced is Run with protocol tracing enabled on every process: it
 // additionally returns the merged per-message timeline (see cmd/msgtrace
 // for the format). limit caps the recorded events (0 = unlimited).
+// RunTraced records the PML protocol view only; RunObserved records every
+// layer.
 func RunTraced(cfg Config, limit int, main func(w *World)) (string, error) {
 	rec := trace.NewRecorder(limit)
-	_, err := run(cfg, main, rec)
+	_, err := run(cfg, main, rec, nil)
 	return rec.Render(), err
 }
 
-func run(cfg Config, main func(w *World), rec *trace.Recorder) (*cluster.Cluster, error) {
+// Observation is the observability output of one RunObserved job.
+type Observation struct {
+	// Timeline is the merged cross-layer text timeline in virtual time.
+	Timeline string
+	// Perfetto is the event stream as Chrome trace-event JSON: load it at
+	// ui.perfetto.dev (or chrome://tracing) for one track per rank×layer.
+	Perfetto []byte
+	// Metrics is the rendered layer/name/rank metrics table.
+	Metrics string
+}
+
+// RunObserved is Run with full-stack observability: a cross-layer trace
+// recorder and a metrics registry are attached to every layer of every
+// process — NIC DMA engines, the fabric, the PTLs and the PML — and the
+// collected timeline, Perfetto export and metrics table are returned.
+// limit caps the recorded events (0 = unlimited).
+func RunObserved(cfg Config, limit int, main func(w *World)) (Observation, error) {
+	rec := trace.NewRecorder(limit)
+	reg := obs.New()
+	_, err := run(cfg, main, rec, reg)
+	var buf bytes.Buffer
+	if werr := obs.WritePerfetto(&buf, rec.Events()); werr != nil && err == nil {
+		err = werr
+	}
+	return Observation{
+		Timeline: rec.Render(),
+		Perfetto: buf.Bytes(),
+		Metrics:  reg.Snapshot().Render(),
+	}, err
+}
+
+// run builds and executes the job. With reg == nil, rec (if any) attaches
+// to the PML stacks only — the original protocol timeline. With reg
+// non-nil, both recorder and registry ride the Spec so the cluster wires
+// every layer.
+func run(cfg Config, main func(w *World), rec *trace.Recorder, reg *obs.Registry) (*cluster.Cluster, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("qsmpi: Config.Procs must be ≥ 1")
 	}
-	c := cluster.New(cfg.spec(), cfg.Procs)
+	spec := cfg.spec()
+	if reg != nil {
+		spec.Tracer = rec
+		spec.Metrics = reg
+	}
+	c := cluster.New(spec, cfg.Procs)
 	job := &jobState{c: c, uni: mpi.NewUniverse(), cfg: cfg}
 	c.Launch(func(p *cluster.Proc) {
-		if rec != nil {
+		if rec != nil && reg == nil {
 			p.Stack.Tracer = rec
 		}
 		w := &World{
