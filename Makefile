@@ -17,9 +17,11 @@ test:
 # packages are the ones that must stay race-clean. The experiments and
 # parsweep suites run under -race too: they are where whole simulations
 # execute concurrently, so any state shared between two kernels shows up
-# there. The obs and trace suites carry the observability invariants: the
-# golden cross-layer timelines and the proof that an attached tracer
-# never moves virtual time.
+# there. The obs and trace suites carry the observability invariants:
+# the golden cross-layer timelines, the proof that an attached tracer
+# (or watchdog) never moves virtual time, the profiler's telescoping
+# guarantee (phase durations sum exactly to end-to-end latency) and the
+# watchdog's stall detection.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/simtime/... ./internal/pml/...

@@ -33,7 +33,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print sweep-engine worker stats to stderr")
 	traceOut := flag.String("trace", "", "also write a Perfetto trace of one representative exchange to this file")
 	metrics := flag.Bool("metrics", false, "also print cross-layer metrics of one representative exchange")
-	traceSize := flag.Int("tracesize", 4096, "message size for the -trace/-metrics representative exchange")
+	breakdown := flag.Bool("breakdown", false, "also print the phase decomposition and critical path of one representative exchange")
+	traceSize := flag.Int("tracesize", 4096, "message size for the -trace/-metrics/-breakdown representative exchange")
 	flag.Parse()
 	var st parsweep.Stats
 	cfg := experiments.DefaultConfig().WithIters(*iters)
@@ -56,7 +57,7 @@ func main() {
 		for _, r := range experiments.Ablations(cfg) {
 			emit(r)
 		}
-		observe(*traceOut, *metrics, *traceSize)
+		observe(*traceOut, *metrics, *breakdown, *traceSize)
 		return
 	}
 
@@ -86,15 +87,15 @@ func main() {
 	for _, r := range results {
 		emit(r)
 	}
-	observe(*traceOut, *metrics, *traceSize)
+	observe(*traceOut, *metrics, *breakdown, *traceSize)
 }
 
 // observe runs one representative best-RDMA-read exchange with full-stack
 // instrumentation attached. The sweeps above never see the tracer (a
 // recorder must not be shared across sweep workers), so their figures are
 // untouched by these flags.
-func observe(traceOut string, metrics bool, size int) {
-	if traceOut == "" && !metrics {
+func observe(traceOut string, metrics, breakdown bool, size int) {
+	if traceOut == "" && !metrics && !breakdown {
 		return
 	}
 	ob := experiments.ObservedBestRead(size, 1, 0, 0)
@@ -102,13 +103,20 @@ func observe(traceOut string, metrics bool, size int) {
 		fmt.Printf("\n# representative exchange (%d B, best RDMA-read): cross-layer metrics\n", size)
 		fmt.Print(ob.Metrics.Render())
 	}
+	if breakdown {
+		prof := obs.Analyze(ob.Recorder.Events())
+		fmt.Printf("\n# representative exchange (%d B, best RDMA-read): phase decomposition\n", size)
+		fmt.Print(prof.RenderBreakdown())
+		fmt.Printf("\n")
+		fmt.Print(prof.RenderCritical())
+	}
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "elan4bench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := obs.WritePerfetto(f, ob.Recorder.Events()); err != nil {
+		if err := obs.WritePerfettoFrom(f, ob.Recorder); err != nil {
 			fmt.Fprintf(os.Stderr, "elan4bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -12,6 +12,8 @@
 //	msgtrace -size 512 -unexpected           # eager into the unexpected queue
 //	msgtrace -size 100000 -o trace.json      # open in ui.perfetto.dev
 //	msgtrace -size 100000 -metrics           # cross-layer counter table
+//	msgtrace -size 100000 -breakdown -flows  # phase decomposition + flow table
+//	msgtrace -layer pml,ptl -kind matched    # filter the timeline
 package main
 
 import (
@@ -36,6 +38,11 @@ func main() {
 	unexpected := flag.Bool("unexpected", false, "delay the receive posting so the message lands unexpected")
 	out := flag.String("o", "", "write the timeline as Chrome trace-event JSON (Perfetto) to this file")
 	metrics := flag.Bool("metrics", false, "print the cross-layer metrics table after the timeline")
+	breakdown := flag.Bool("breakdown", false, "print the per-path phase decomposition and critical path")
+	flows := flag.Bool("flows", false, "print the per-(src,dst) flow accounting table")
+	layers := flag.String("layer", "", "only show events of these layers (comma-separated: pml,ptl,elan4,fabric,tport,cluster)")
+	kinds := flag.String("kind", "", "only show events of these kinds (comma-separated, e.g. matched,qdma-issued)")
+	rank := flag.Int("rank", -1, "only show events of this rank (-1 = all)")
 	flag.Parse()
 
 	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
@@ -71,17 +78,34 @@ func main() {
 	}
 	fmt.Printf("message of %d bytes, scheme %s, inline=%v, unexpected=%v:\n\n",
 		*size, *scheme, *inline, *unexpected)
-	fmt.Print(rec.Render())
+	evs, err := trace.Filter(rec.Events(), *layers, *kinds, *rank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trace.RenderEvents(evs, rec.Dropped()))
 	if *metrics {
 		fmt.Printf("\n")
 		fmt.Print(reg.Snapshot().Render())
+	}
+	if *breakdown || *flows {
+		prof := obs.Analyze(rec.Events())
+		if *breakdown {
+			fmt.Printf("\n")
+			fmt.Print(prof.RenderBreakdown())
+			fmt.Printf("\n")
+			fmt.Print(prof.RenderCritical())
+		}
+		if *flows {
+			fmt.Printf("\n")
+			fmt.Print(prof.RenderFlows())
+		}
 	}
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := obs.WritePerfetto(f, rec.Events()); err != nil {
+		if err := obs.WritePerfettoFrom(f, rec); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -55,6 +55,7 @@ func main() {
 	workers := flag.Int("j", 0, "parallel sweep workers (0 = one per core)")
 	traceOut := flag.String("trace", "", "also write a Perfetto trace of one instrumented exchange (at -size bytes) to this file")
 	metrics := flag.Bool("metrics", false, "also print cross-layer metrics of one instrumented exchange (at -size bytes)")
+	breakdown := flag.Bool("breakdown", false, "also print the phase decomposition and critical path of one instrumented exchange (at -size bytes)")
 	flag.Parse()
 	cfg := config(*scheme, *threads)
 
@@ -85,7 +86,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *traceOut != "" || *metrics {
+	if *traceOut != "" || *metrics || *breakdown {
 		// One additional sequential exchange with full-stack observability;
 		// the benchmark numbers above are measured without any tracer.
 		ob, err := qsmpi.RunObserved(cfg, 0, func(w *qsmpi.World) {
@@ -105,6 +106,9 @@ func main() {
 		}
 		if *metrics {
 			fmt.Printf("\n# instrumented exchange (%d bytes): cross-layer metrics\n%s", *mrSize, ob.Metrics)
+		}
+		if *breakdown {
+			fmt.Printf("\n# instrumented exchange (%d bytes): phase decomposition\n%s\n%s", *mrSize, ob.Breakdown, ob.Critical)
 		}
 		if *traceOut != "" {
 			if err := os.WriteFile(*traceOut, ob.Perfetto, 0o644); err != nil {

@@ -27,6 +27,7 @@ func main() {
 	workers := flag.Int("j", 0, "parallel sweep workers (0 = one per core)")
 	stats := flag.Bool("stats", false, "print sweep-engine worker stats to stderr")
 	metrics := flag.Bool("metrics", false, "append per-figure cross-layer metrics tables (representative instrumented reruns)")
+	breakdown := flag.Bool("breakdown", false, "append per-figure phase-decomposition tables (representative instrumented reruns)")
 	flag.Parse()
 	var st parsweep.Stats
 	cfg := experiments.DefaultConfig().WithIters(*iters)
@@ -56,6 +57,16 @@ func main() {
 		fmt.Println("## Per-figure metrics (representative points)")
 		for _, fm := range experiments.FigureMetrics(cfg) {
 			fmt.Printf("\n### %s — %s\n\n```\n%s```\n", fm.ID, fm.Note, fm.Snap.Render())
+		}
+	}
+	if *breakdown {
+		// Like -metrics: the representative points rerun sequentially with a
+		// tracer attached; the report body above is untouched.
+		fmt.Println()
+		fmt.Println("## Per-figure phase decomposition (representative points)")
+		for _, fb := range experiments.FigureBreakdowns(cfg) {
+			fmt.Printf("\n### %s — %s\n\n```\n%s\n%s```\n",
+				fb.ID, fb.Note, fb.Profile.RenderBreakdown(), fb.Profile.RenderCritical())
 		}
 	}
 	if *stats {

@@ -54,6 +54,11 @@ type Spec struct {
 	// at bringup (see Cluster.RegisterMetrics) and provides the per-rank
 	// send/recv latency histograms.
 	Metrics *obs.Registry
+	// Watchdog, when non-nil, monitors per-rank progress in virtual time:
+	// a rank with pending requests whose event stream stays silent for the
+	// watchdog's window is dumped as a structured stall diagnostic, and
+	// Cluster.Run appends the diagnostics to its deadlock error.
+	Watchdog *obs.Watchdog
 }
 
 // Proc is one launched MPI process with its full stack.
@@ -161,6 +166,9 @@ func New(spec Spec, nprocs int) *Cluster {
 	if spec.Metrics != nil {
 		c.RegisterMetrics(spec.Metrics)
 	}
+	if spec.Watchdog != nil {
+		spec.Watchdog.Bind(k, spec.Tracer)
+	}
 	return c
 }
 
@@ -202,6 +210,25 @@ func (c *Cluster) bringup(th *simtime.Thread, rank, node int, name string) *Proc
 	if c.spec.Metrics != nil {
 		p.Stack.SendLatency = c.spec.Metrics.Histogram("pml", "send_latency", rank)
 		p.Stack.RecvLatency = c.spec.Metrics.Histogram("pml", "recv_latency", rank)
+	}
+	if c.spec.Watchdog != nil {
+		p.Stack.Watchdog = c.spec.Watchdog
+		c.spec.Watchdog.Register(rank, obs.Probe{
+			Busy: func() bool {
+				return p.Stack.PendingSends()+p.Stack.PendingRecvs() > 0
+			},
+			Diag: func() obs.StallDiag {
+				d := obs.StallDiag{
+					PendingSends:    p.Stack.PendingSends(),
+					PendingRecvs:    p.Stack.PendingRecvs(),
+					UnexpectedDepth: p.Stack.UnexpectedDepth(),
+				}
+				for _, m := range p.Elans {
+					d.OutstandingDMA += m.OutstandingDMA()
+				}
+				return d
+			},
+		})
 	}
 
 	if c.spec.Elan != nil {
@@ -279,10 +306,17 @@ func (p *Proc) Finalize() {
 	p.RTE.Leave(p.Th)
 }
 
-// Run executes the simulation to quiescence and reports deadlocks.
+// Run executes the simulation to quiescence and reports deadlocks. When a
+// watchdog is attached and has recorded stalls, its diagnostics are
+// appended to the deadlock error.
 func (c *Cluster) Run() error {
 	c.K.Run()
 	if st := c.K.Stalled(); len(st) != 0 {
+		if c.spec.Watchdog != nil {
+			if diag := c.spec.Watchdog.Render(); diag != "" {
+				return fmt.Errorf("cluster: deadlock, stalled procs: %v\n%s", st, diag)
+			}
+		}
 		return fmt.Errorf("cluster: deadlock, stalled procs: %v", st)
 	}
 	return nil

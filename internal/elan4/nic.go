@@ -76,7 +76,7 @@ func (n *NIC) traceOp(rank int, kind trace.Kind, op *dmaOp, peer, bytes int) {
 	}
 	n.tracer.Record(trace.Event{
 		At: n.k.Now(), Rank: rank, Layer: trace.LayerElan4, Kind: kind,
-		ReqID: op.tid, Peer: peer, Bytes: bytes,
+		ReqID: op.tid, Peer: peer, Bytes: bytes, Corr: op.cookie,
 	})
 }
 
@@ -100,6 +100,24 @@ type Context struct {
 	mmu    *MMU
 	queues map[int]*RecvQueue
 	closed bool
+
+	// cookie is the correlator staged by SetCookie for the next descriptor
+	// this context issues; the issue path consumes it (see takeCookie).
+	cookie uint64
+}
+
+// SetCookie stages a cross-rank correlator (trace.Event.Corr) for the next
+// DMA descriptor issued through this context. The simulation is
+// cooperative and the issue follows immediately in the caller, so staging
+// cannot interleave with another issuer. Zero means "uncorrelated".
+func (c *Context) SetCookie(v uint64) { c.cookie = v }
+
+// takeCookie consumes the staged correlator, resetting it so descriptors
+// issued by uninstrumented callers stay uncorrelated.
+func (c *Context) takeCookie() uint64 {
+	v := c.cookie
+	c.cookie = 0
+	return v
 }
 
 type opKind int
@@ -139,8 +157,10 @@ type dmaOp struct {
 	attempt int
 
 	// tid identifies this descriptor in the trace stream; assigned only
-	// when a tracer is attached.
-	tid uint64
+	// when a tracer is attached. cookie is the issuer's staged cross-rank
+	// correlator (trace.Event.Corr), 0 when the issuer is uninstrumented.
+	tid    uint64
+	cookie uint64
 
 	// bcast fan-out: remaining acks before the op completes (1 for
 	// unicast).
@@ -320,6 +340,7 @@ func (c *Context) IssueQDMA(th *simtime.Thread, dstVPID, queue int, data []byte,
 	c.enqueueOp(&dmaOp{
 		kind: opQDMA, srcCtx: c, dstVPID: dstVPID, queue: queue,
 		data: cp, dataPooled: true, done: done, onError: onError, pending: 1,
+		cookie: c.takeCookie(),
 	})
 }
 
@@ -344,6 +365,7 @@ func (c *Context) IssueQDMABcast(th *simtime.Thread, dstVPIDs []int, queue int, 
 		kind: opQDMABcast, srcCtx: c, queue: queue,
 		data: cp, done: done, onError: onError,
 		pending: len(dstVPIDs), dsts: append([]int(nil), dstVPIDs...),
+		cookie: c.takeCookie(),
 	})
 }
 
@@ -355,7 +377,7 @@ func (c *Context) IssueRDMAWrite(th *simtime.Thread, dstVPID int, src, dst E4Add
 	c.enqueueOp(&dmaOp{
 		kind: opRDMAWrite, srcCtx: c, dstVPID: dstVPID,
 		localAddr: src, remoteAddr: dst, n: n, done: done, onError: onError,
-		pending: 1,
+		pending: 1, cookie: c.takeCookie(),
 	})
 }
 
@@ -367,7 +389,7 @@ func (c *Context) IssueRDMARead(th *simtime.Thread, dstVPID int, src, dst E4Addr
 	c.enqueueOp(&dmaOp{
 		kind: opRDMARead, srcCtx: c, dstVPID: dstVPID,
 		remoteAddr: src, localAddr: dst, n: n, done: done, onError: onError,
-		pending: 1,
+		pending: 1, cookie: c.takeCookie(),
 	})
 }
 
@@ -384,6 +406,7 @@ func (c *Context) QDMAFromNIC(dstVPID, queue int, data []byte, done *Event, onEr
 	c.nic.engineQ.Send(&dmaOp{
 		kind: opQDMA, srcCtx: c, dstVPID: dstVPID, queue: queue,
 		data: cp, dataPooled: true, done: done, onError: onError,
+		cookie: c.takeCookie(),
 	})
 }
 
@@ -394,7 +417,7 @@ func (c *Context) IssueRDMAWriteFromNIC(dstVPID int, src, dst E4Addr, n int, don
 	c.nic.engineQ.Send(&dmaOp{
 		kind: opRDMAWrite, srcCtx: c, dstVPID: dstVPID,
 		localAddr: src, remoteAddr: dst, n: n, done: done, onError: onError,
-		pending: 1,
+		pending: 1, cookie: c.takeCookie(),
 	})
 }
 
@@ -406,7 +429,13 @@ func (c *Context) IssueRDMAWriteFromNIC(dstVPID int, src, dst E4Addr, n int, don
 func (c *Context) ChainQDMA(ev *Event, dstVPID, queue int, data []byte, done *Event, onError func(error)) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	ev.Chain(func() { c.QDMAFromNIC(dstVPID, queue, cp, done, onError) })
+	// The correlator is captured now, with the descriptor, so whatever is
+	// staged when the chain fires belongs to the firing context instead.
+	cookie := c.takeCookie()
+	ev.Chain(func() {
+		c.SetCookie(cookie)
+		c.QDMAFromNIC(dstVPID, queue, cp, done, onError)
+	})
 }
 
 // ResetEventCountRacy performs the host-side "reset the count and rearm"

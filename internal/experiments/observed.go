@@ -78,11 +78,13 @@ func ObservedBestRead(size, iters, warmup, limit int) Observed {
 }
 
 // observedTport is ObservedPingPong for the MPICH-QsNetII baseline stack.
-func observedTport(size, iters, warmup int) Observed {
+func observedTport(size, iters, warmup, limit int) Observed {
 	if iters < 1 {
 		iters = 1
 	}
 	j := mpichq.NewJob(2, nil)
+	rec := trace.NewRecorder(limit)
+	j.SetTracer(rec)
 	reg := obs.New()
 	j.RegisterMetrics(reg)
 	var total simtime.Duration
@@ -110,6 +112,7 @@ func observedTport(size, iters, warmup int) Observed {
 	}
 	return Observed{
 		LatencyUS: total.Micros() / float64(iters) / 2,
+		Recorder:  rec,
 		Metrics:   reg.Snapshot(),
 	}
 }
@@ -156,7 +159,51 @@ func FigureMetrics(cfg Config) []FigureMetric {
 		{"table1", "One progress thread, 4 KiB",
 			pp(elanSpec(oneThread, false, pml.Threaded), 4096)},
 		{"fig10", "MPICH-QsNetII baseline, 4 KiB",
-			observedTport(4096, iters, warmup).Metrics},
+			observedTport(4096, iters, warmup, 1).Metrics},
+		{"fig10", "PTL/Elan4-RDMA-Read, 64 KiB",
+			pp(elanSpec(ptlelan4.BestOptions(ptlelan4.RDMARead), false, pml.Polling), 65536)},
+	}
+}
+
+// FigureBreakdown is the critical-path phase decomposition of one
+// representative instrumented point of a figure (see FigureMetric for the
+// sequential-rerun rationale).
+type FigureBreakdown struct {
+	ID      string // figure the point represents
+	Note    string // configuration and size of the representative point
+	Profile obs.Profile
+}
+
+// FigureBreakdowns reruns one representative point per figure with a
+// tracer attached and profiles the event stream: per-path phase
+// decomposition, per-peer flows and the critical path. Sequential by
+// design and fully deterministic — the rendered tables are byte-identical
+// across runs.
+func FigureBreakdowns(cfg Config) []FigureBreakdown {
+	iters, warmup := figureMetricIters, 2
+	pp := func(spec cluster.Spec, size int) obs.Profile {
+		return obs.Analyze(ObservedPingPong(spec, size, iters, warmup, 0).Recorder.Events())
+	}
+	read := base(ptlelan4.RDMARead)
+	write := base(ptlelan4.RDMAWrite)
+	noChain := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	noChain.ChainFin = false
+	oneThread := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	oneThread.CQ = ptlelan4.OneQueue
+	oneThread.Threads = 1
+	return []FigureBreakdown{
+		{"fig7a", "RDMA-Read, 256 B (eager path)",
+			pp(elanSpec(read, false, pml.Polling), 256)},
+		{"fig7b", "RDMA-Write, 4 KiB (rendezvous)",
+			pp(elanSpec(write, false, pml.Polling), 4096)},
+		{"fig8", "Read-NoChain, 4 KiB",
+			pp(elanSpec(noChain, false, pml.Polling), 4096)},
+		{"fig9", "RDMA-Read best options, 1984 B (eager limit)",
+			pp(elanSpec(ptlelan4.BestOptions(ptlelan4.RDMARead), false, pml.Polling), 1984)},
+		{"table1", "One progress thread, 4 KiB",
+			pp(elanSpec(oneThread, false, pml.Threaded), 4096)},
+		{"fig10", "MPICH-QsNetII baseline, 4 KiB",
+			obs.Analyze(observedTport(4096, iters, warmup, 0).Recorder.Events())},
 		{"fig10", "PTL/Elan4-RDMA-Read, 64 KiB",
 			pp(elanSpec(ptlelan4.BestOptions(ptlelan4.RDMARead), false, pml.Polling), 65536)},
 	}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"qsmpi/internal/simtime"
+)
+
+// breakdownFingerprint renders every figure's profile tables into one
+// string for byte-exact comparison.
+func breakdownFingerprint(workers int) string {
+	cfg := DefaultConfig().WithIters(10)
+	cfg.Workers = workers
+	var sb strings.Builder
+	for _, fb := range FigureBreakdowns(cfg) {
+		sb.WriteString("## " + fb.ID + " — " + fb.Note + "\n")
+		sb.WriteString(fb.Profile.RenderBreakdown())
+		sb.WriteString(fb.Profile.RenderFlows())
+		sb.WriteString(fb.Profile.RenderCritical())
+	}
+	return sb.String()
+}
+
+// TestFigureBreakdownsDeterministic pins the property the report tool
+// advertises: the phase-decomposition tables are byte-identical across
+// runs and across worker counts (the instrumented reruns are sequential,
+// so -j can only change wall-clock time).
+func TestFigureBreakdownsDeterministic(t *testing.T) {
+	first := breakdownFingerprint(1)
+	if again := breakdownFingerprint(4); again != first {
+		t.Errorf("breakdown diverged across worker counts:\n-j1:\n%s\n-j4:\n%s", first, again)
+	}
+	if again := breakdownFingerprint(1); again != first {
+		t.Errorf("breakdown diverged across runs:\nfirst:\n%s\nsecond:\n%s", first, again)
+	}
+}
+
+// TestFigureBreakdownsCoverEveryFigure checks each representative point
+// reconstructed at least one message whose phases telescope exactly, and
+// that the expected protocol paths appear (eager for 256 B, rendezvous
+// for 4 KiB, tport for the MPICH baseline).
+func TestFigureBreakdownsCoverEveryFigure(t *testing.T) {
+	fbs := FigureBreakdowns(DefaultConfig())
+	if len(fbs) != 7 {
+		t.Fatalf("%d breakdowns, want 7", len(fbs))
+	}
+	paths := map[string]bool{}
+	for _, fb := range fbs {
+		if len(fb.Profile.Messages) == 0 {
+			t.Errorf("%s (%s): no messages reconstructed", fb.ID, fb.Note)
+			continue
+		}
+		for _, m := range fb.Profile.Messages {
+			paths[m.Path] = true
+			var sum simtime.Duration
+			for _, ph := range m.Phases {
+				sum += ph.Dur
+			}
+			if sum != m.Latency() {
+				t.Errorf("%s (%s): corr %#x phases sum to %v, latency %v",
+					fb.ID, fb.Note, m.Corr, sum, m.Latency())
+			}
+		}
+		if len(fb.Profile.Critical) == 0 {
+			t.Errorf("%s (%s): empty critical path", fb.ID, fb.Note)
+		}
+	}
+	for _, want := range []string{"eager", "rdma-read", "rdma-write", "tport"} {
+		if !paths[want] {
+			t.Errorf("no figure exercised the %q path (saw %v)", want, paths)
+		}
+	}
+}

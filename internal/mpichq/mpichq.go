@@ -15,6 +15,7 @@ import (
 	"qsmpi/internal/obs"
 	"qsmpi/internal/simtime"
 	"qsmpi/internal/tport"
+	"qsmpi/internal/trace"
 )
 
 // emptyResolver: MPICH-QsNetII does not route through the RTE — tport
@@ -65,6 +66,18 @@ func NewJob(nprocs int, override *model.Config) *Job {
 		j.Eps = append(j.Eps, tport.New(k, h, nic, cfg, i, ports))
 	}
 	return j
+}
+
+// SetTracer attaches a cross-layer event recorder to every endpoint, NIC
+// and the fabric — the MPICH-QsNetII counterpart of cluster.Spec.Tracer.
+func (j *Job) SetTracer(rec *trace.Recorder) {
+	j.Net.SetTracer(rec)
+	for _, nic := range j.NICs {
+		nic.SetTracer(rec)
+	}
+	for _, ep := range j.Eps {
+		ep.SetTracer(rec)
+	}
 }
 
 // RegisterMetrics installs collectors for the tport layer (and the

@@ -30,9 +30,28 @@ type Sample struct {
 	Value float64
 }
 
-// key orders samples and aligns Diff.
-func (s Sample) key() string {
-	return fmt.Sprintf("%s\x00%s\x00%011d", s.Layer, s.Name, s.Rank+1)
+// sampleKey identifies a sample for map lookup and ordering. A plain
+// comparable struct: building one is free, unlike the formatted string key
+// it replaced, which dominated Snapshot cost on wide clusters.
+type sampleKey struct {
+	layer, name string
+	rank        int
+}
+
+func (s Sample) key() sampleKey {
+	return sampleKey{layer: s.Layer, name: s.Name, rank: s.Rank}
+}
+
+// less orders keys by (layer, name, rank); rank -1 (cluster-global)
+// sorts before every real rank.
+func (a sampleKey) less(b sampleKey) bool {
+	if a.layer != b.layer {
+		return a.layer < b.layer
+	}
+	if a.name != b.name {
+		return a.name < b.name
+	}
+	return a.rank < b.rank
 }
 
 // EmitFn receives samples from a Collector.
@@ -64,7 +83,7 @@ type Snapshot struct {
 
 // Snapshot captures the current value of every registered metric.
 func (r *Registry) Snapshot() Snapshot {
-	acc := make(map[string]Sample)
+	acc := make(map[sampleKey]Sample)
 	emit := func(layer, name string, rank int, value float64) {
 		s := Sample{Layer: layer, Name: name, Rank: rank, Value: value}
 		k := s.key()
@@ -86,17 +105,20 @@ func (r *Registry) Snapshot() Snapshot {
 		out.Samples = append(out.Samples, s)
 	}
 	sort.Slice(out.Samples, func(i, j int) bool {
-		return out.Samples[i].key() < out.Samples[j].key()
+		return out.Samples[i].key().less(out.Samples[j].key())
 	})
 	return out
 }
 
-// Get returns the value of one metric, or 0 if absent.
+// Get returns the value of one metric, or 0 if absent. Samples are sorted
+// by (layer, name, rank), so this is a binary search.
 func (s Snapshot) Get(layer, name string, rank int) float64 {
-	for _, x := range s.Samples {
-		if x.Layer == layer && x.Name == name && x.Rank == rank {
-			return x.Value
-		}
+	want := sampleKey{layer: layer, name: name, rank: rank}
+	i := sort.Search(len(s.Samples), func(i int) bool {
+		return !s.Samples[i].key().less(want)
+	})
+	if i < len(s.Samples) && s.Samples[i].key() == want {
+		return s.Samples[i].Value
 	}
 	return 0
 }
@@ -112,24 +134,39 @@ func (s Snapshot) Total(layer, name string) float64 {
 	return v
 }
 
-// Diff returns s minus prev, sample by sample (keys missing from prev
-// count as zero). Samples whose delta is zero are omitted, which makes
-// Diff the natural "what did this phase do" view between two snapshots of
-// the same registry.
+// Diff returns s minus prev, sample by sample (keys missing from either
+// side count as zero there, so a metric present only in prev yields a
+// negative delta rather than vanishing). Samples whose delta is zero are
+// omitted, which makes Diff the natural "what did this phase do" view
+// between two snapshots of the same registry.
 func (s Snapshot) Diff(prev Snapshot) Snapshot {
-	old := make(map[string]float64, len(prev.Samples))
+	old := make(map[sampleKey]float64, len(prev.Samples))
 	for _, x := range prev.Samples {
 		old[x.key()] = x.Value
 	}
 	var out Snapshot
 	for _, x := range s.Samples {
-		d := x.Value - old[x.key()]
+		k := x.key()
+		d := x.Value - old[k]
+		delete(old, k)
 		if d == 0 {
 			continue
 		}
 		x.Value = d
 		out.Samples = append(out.Samples, x)
 	}
+	// Whatever is left in old appeared only in prev: emit the negative.
+	for _, x := range prev.Samples {
+		v, only := old[x.key()]
+		if !only || v == 0 {
+			continue
+		}
+		x.Value = -v
+		out.Samples = append(out.Samples, x)
+	}
+	sort.Slice(out.Samples, func(i, j int) bool {
+		return out.Samples[i].key().less(out.Samples[j].key())
+	})
 	return out
 }
 

@@ -62,6 +62,62 @@ func TestSnapshotDiffOmitsZeroDeltas(t *testing.T) {
 	}
 }
 
+func TestSnapshotDiffEmitsNegativeDeltaForVanishedKeys(t *testing.T) {
+	// Regression: a key present in prev but absent from the new snapshot
+	// must appear as a negative delta, not silently vanish — e.g. a
+	// histogram bucket that emptied because the component was replaced.
+	emitGone := true
+	r := New()
+	r.Collect(func(emit EmitFn) {
+		emit("pml", "sends", 0, 3)
+		if emitGone {
+			emit("ptl", "fin_tx", 1, 8)
+		}
+	})
+	before := r.Snapshot()
+	emitGone = false
+	d := r.Snapshot().Diff(before)
+	if len(d.Samples) != 1 {
+		t.Fatalf("diff = %+v, want one negative sample", d.Samples)
+	}
+	got := d.Samples[0]
+	if got.Layer != "ptl" || got.Name != "fin_tx" || got.Rank != 1 || got.Value != -8 {
+		t.Fatalf("vanished key diff = %+v, want ptl/fin_tx/1 = -8", got)
+	}
+	// And the output stays sorted when both directions contribute.
+	emitGone = true
+	after := r.Snapshot()
+	d = before.Diff(after) // same content: empty diff
+	if len(d.Samples) != 0 {
+		t.Fatalf("self-diff = %+v", d.Samples)
+	}
+}
+
+func TestSnapshotGetFindsEverySample(t *testing.T) {
+	r := New()
+	r.Collect(func(emit EmitFn) {
+		for rank := -1; rank < 6; rank++ {
+			emit("pml", "sends", rank, float64(rank)+10)
+			emit("elan4", "qdmas", rank, float64(rank)+20)
+		}
+	})
+	s := r.Snapshot()
+	for rank := -1; rank < 6; rank++ {
+		if got := s.Get("pml", "sends", rank); got != float64(rank)+10 {
+			t.Errorf("Get(pml, sends, %d) = %v", rank, got)
+		}
+		if got := s.Get("elan4", "qdmas", rank); got != float64(rank)+20 {
+			t.Errorf("Get(elan4, qdmas, %d) = %v", rank, got)
+		}
+	}
+	if got := s.Get("pml", "sends", 99); got != 0 {
+		t.Errorf("absent rank = %v, want 0", got)
+	}
+	if got := s.Get("zzz", "nope", 0); got != 0 {
+		t.Errorf("absent key = %v, want 0", got)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	r := New()
 	h := r.Histogram("pml", "send_latency", 2)
@@ -179,6 +235,46 @@ func TestWritePerfettoDanglingOpenBecomesInstant(t *testing.T) {
 	}
 	if !sawInstant {
 		t.Fatal("dangling open lost entirely")
+	}
+}
+
+func TestWritePerfettoFromPreservesDroppedCount(t *testing.T) {
+	rec := trace.NewRecorder(2)
+	for i := 0; i < 7; i++ {
+		rec.Record(trace.Event{At: simtime.Time(simtime.Micros(float64(i))),
+			Rank: 0, Layer: trace.LayerFabric, Kind: trace.PktSent})
+	}
+	var buf bytes.Buffer
+	if err := WritePerfettoFrom(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var droppedMeta map[string]any
+	for _, e := range doc["traceEvents"].([]any) {
+		m := e.(map[string]any)
+		if m["ph"] == "M" && m["name"] == "dropped_events" {
+			droppedMeta = m
+		}
+	}
+	if droppedMeta == nil {
+		t.Fatalf("dropped-event accounting lost in export:\n%s", buf.String())
+	}
+	if got := droppedMeta["args"].(map[string]any)["dropped"].(float64); got != 5 {
+		t.Fatalf("dropped = %v, want 5", got)
+	}
+
+	// No truncation → no metadata record.
+	clean := trace.NewRecorder(0)
+	clean.Record(trace.Event{Rank: 0, Layer: trace.LayerPML, Kind: trace.SendPosted, ReqID: 1})
+	buf.Reset()
+	if err := WritePerfettoFrom(&buf, clean); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "dropped_events") {
+		t.Fatalf("dropped_events emitted with nothing dropped:\n%s", buf.String())
 	}
 }
 

@@ -64,8 +64,21 @@ func isSpanClose(k trace.Kind) bool {
 	return k == trace.SendCompleted || k == trace.RecvCompleted || k == trace.DMACompleted
 }
 
+// WritePerfettoFrom writes a recorder's events as Chrome trace-event
+// JSON. Unlike WritePerfetto it also preserves the recorder's
+// dropped-event count (events discarded once the recorder's limit was
+// hit): when non-zero, a "dropped_events" metadata record is emitted so
+// the truncation is visible in the exported file, not silently lost.
+func WritePerfettoFrom(w io.Writer, rec *trace.Recorder) error {
+	return writePerfetto(w, rec.Events(), rec.Dropped())
+}
+
 // WritePerfetto writes the recorded events as Chrome trace-event JSON.
 func WritePerfetto(w io.Writer, events []trace.Event) error {
+	return writePerfetto(w, events, 0)
+}
+
+func writePerfetto(w io.Writer, events []trace.Event, dropped int64) error {
 	evs := append([]trace.Event(nil), events...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 
@@ -169,6 +182,13 @@ func WritePerfetto(w io.Writer, events []trace.Event) error {
 			Name: s.Kind.String(), Ph: "i",
 			TS: s.At.Micros(), PID: s.Rank, TID: int(s.Layer),
 			Args: args(s),
+		})
+	}
+
+	if dropped > 0 {
+		out = append(out, perfEvent{
+			Name: "dropped_events", Ph: "M", PID: 0, TID: 0,
+			Args: map[string]any{"dropped": dropped},
 		})
 	}
 

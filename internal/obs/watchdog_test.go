@@ -1,0 +1,111 @@
+// Watchdog tests: a seeded stall (a receive that can never match) must be
+// detected and diagnosed, and on clean runs the watchdog must stay silent
+// without moving virtual time.
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"qsmpi/internal/cluster"
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/obs"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptlelan4"
+	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
+)
+
+// TestWatchdogFiresOnSeededStall posts a receive on rank 1 that no send
+// will ever match while rank 0 stays idle: the run deadlocks, and the
+// watchdog must name the stalled rank with its queue state in the error.
+func TestWatchdogFiresOnSeededStall(t *testing.T) {
+	o := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	rec := trace.NewRecorder(0)
+	wd := obs.NewWatchdog(simtime.Millisecond)
+	c := cluster.New(cluster.Spec{Elan: &o, Progress: pml.Polling, Tracer: rec, Watchdog: wd}, 2)
+	c.Launch(func(p *cluster.Proc) {
+		if p.Rank == 1 {
+			buf := make([]byte, 64)
+			p.Stack.Recv(p.Th, 0, 99, 0, buf, datatype.Contiguous(64)).Wait(p.Th)
+		}
+	})
+	err := c.Run()
+	if err == nil {
+		t.Fatal("seeded stall did not deadlock")
+	}
+	if !strings.Contains(err.Error(), "watchdog: rank 1 stalled") {
+		t.Fatalf("deadlock error lacks watchdog diagnostic:\n%v", err)
+	}
+	stalls := wd.Stalls()
+	if len(stalls) != 1 {
+		t.Fatalf("stalls = %+v, want exactly one", stalls)
+	}
+	s := stalls[0]
+	if s.Rank != 1 {
+		t.Errorf("stalled rank = %d, want 1", s.Rank)
+	}
+	if s.Diag.PendingRecvs != 1 || s.Diag.PendingSends != 0 {
+		t.Errorf("diag queues = %+v, want one pending recv", s.Diag)
+	}
+	if s.DetectedAt.Sub(s.LastProgress) < wd.Window() {
+		t.Errorf("reported after only %v of silence, window is %v",
+			s.DetectedAt.Sub(s.LastProgress), wd.Window())
+	}
+	// With a recorder attached the diagnostic names the rank's last event.
+	if len(s.Diag.LastEvents) == 0 {
+		t.Error("diag has no last-event context despite attached recorder")
+	}
+}
+
+// TestWatchdogSilentOnCleanRuns attaches the watchdog to ordinary
+// exchanges on every protocol path: no stalls may be reported, and the
+// run's protocol timeline and final virtual time must be bit-identical to
+// the same run without a watchdog — the zero-perturbation guarantee.
+func TestWatchdogSilentOnCleanRuns(t *testing.T) {
+	run := func(scheme ptlelan4.Scheme, size int, wd *obs.Watchdog) *trace.Recorder {
+		o := ptlelan4.BestOptions(scheme)
+		rec := trace.NewRecorder(0)
+		c := cluster.New(cluster.Spec{Elan: &o, Progress: pml.Polling, Tracer: rec, Watchdog: wd}, 2)
+		c.Launch(func(p *cluster.Proc) {
+			dt := datatype.Contiguous(size)
+			if p.Rank == 0 {
+				p.Stack.Send(p.Th, 1, 0, 0, make([]byte, size), dt).Wait(p.Th)
+			} else {
+				p.Stack.Recv(p.Th, 0, 0, 0, make([]byte, size), dt).Wait(p.Th)
+			}
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	last := func(rec *trace.Recorder) simtime.Time {
+		evs := rec.Events()
+		if len(evs) == 0 {
+			t.Fatal("no events recorded")
+		}
+		return evs[len(evs)-1].At
+	}
+	for _, scheme := range []ptlelan4.Scheme{ptlelan4.RDMARead, ptlelan4.RDMAWrite} {
+		for _, size := range []int{256, 4096, 65536} {
+			wd := obs.NewWatchdog(0)
+			watched := run(scheme, size, wd)
+			plain := run(scheme, size, nil)
+			if got := wd.Stalls(); len(got) != 0 {
+				t.Errorf("scheme %v size %d: spurious stalls %+v", scheme, size, got)
+			}
+			if wd.Render() != "" {
+				t.Errorf("scheme %v size %d: non-empty render on clean run", scheme, size)
+			}
+			if lw, lp := last(watched), last(plain); lw != lp {
+				t.Errorf("scheme %v size %d: watchdog moved virtual time: %v vs %v",
+					scheme, size, lw, lp)
+			}
+			if watched.Len() != plain.Len() {
+				t.Errorf("scheme %v size %d: event count changed: %d vs %d",
+					scheme, size, watched.Len(), plain.Len())
+			}
+		}
+	}
+}

@@ -90,6 +90,9 @@ type RecvReq struct {
 	postedAt  simtime.Time // for completion-latency histograms
 	done      simtime.Signal
 	cancelled bool
+	// corr is the matched message's cross-rank correlator (trace.MsgID of
+	// the sender's request); zero until matched or when untraced.
+	corr uint64
 }
 
 // ID returns the request handle stamped into headers.

@@ -107,6 +107,10 @@ type Stack struct {
 	Trace *LayerTrace
 	// Tracer, when non-nil, records per-message protocol timelines.
 	Tracer *trace.Recorder
+	// Watchdog, when non-nil, is notified whenever this rank's request
+	// machinery makes progress; it flags ranks that stop advancing while
+	// requests are pending.
+	Watchdog *obs.Watchdog
 	// SendLatency/RecvLatency, when non-nil, observe post→completion
 	// latency per request. Nil-checked on the completion path only.
 	SendLatency *obs.Histogram
@@ -259,7 +263,8 @@ func (s *Stack) send(th *simtime.Thread, dst, tag int, comm uint16, buf []byte, 
 	s.sendReqs[req.id] = req
 	s.stats.Sends++
 	req.postedAt = s.k.Now()
-	s.trace(trace.SendPosted, req.id, dst, tag, n)
+	s.noteProgress()
+	s.traceCorr(trace.SendPosted, req.id, dst, tag, n, s.msgCorr(s.rank, req.id))
 
 	// Contiguous data is used in place (zero copy); non-contiguous data
 	// is packed once into pooled scratch, recycled on completion.
@@ -353,7 +358,8 @@ func (s *Stack) AckArrived(th *simtime.Thread, hdr ptl.Header, remote ptl.Remote
 		return
 	}
 	req.acked = true
-	s.trace(trace.AckArrived, req.id, req.dst, req.tag, req.n)
+	s.noteProgress()
+	s.traceCorr(trace.AckArrived, req.id, req.dst, req.tag, req.n, s.msgCorr(s.rank, req.id))
 	sd := s.sendDesc[req.id]
 	sd.Hdr.RecvReq = hdr.RecvReq
 
@@ -427,7 +433,8 @@ func (s *Stack) SendProgress(th *simtime.Thread, sendReq uint64, bytes int) {
 	if req.progressed > req.n {
 		panic(fmt.Sprintf("pml: send %d progressed %d of %d bytes", sendReq, req.progressed, req.n))
 	}
-	s.trace(trace.SendProgressed, req.id, req.dst, req.tag, bytes)
+	s.noteProgress()
+	s.traceCorr(trace.SendProgressed, req.id, req.dst, req.tag, bytes, s.msgCorr(s.rank, req.id))
 	if req.progressed == req.n && !req.done.Fired() {
 		delete(s.sendDesc, req.id)
 		if !req.dtype.Contig() && req.packed != nil {
@@ -435,7 +442,7 @@ func (s *Stack) SendProgress(th *simtime.Thread, sendReq uint64, bytes int) {
 			s.pool.Put(req.packed)
 			req.packed = nil
 		}
-		s.trace(trace.SendCompleted, req.id, req.dst, req.tag, req.n)
+		s.traceCorr(trace.SendCompleted, req.id, req.dst, req.tag, req.n, s.msgCorr(s.rank, req.id))
 		if s.SendLatency != nil {
 			s.SendLatency.Observe(s.k.Now().Sub(req.postedAt))
 		}
@@ -457,6 +464,7 @@ func (s *Stack) Recv(th *simtime.Thread, src, tag int, comm uint16, buf []byte, 
 	s.recvReqs[req.id] = req
 	s.stats.Recvs++
 	req.postedAt = s.k.Now()
+	s.noteProgress()
 	s.trace(trace.RecvPosted, req.id, src, tag, dt.Size())
 
 	cs := s.comm(comm)
@@ -483,7 +491,9 @@ func (s *Stack) ReceiveFirst(th *simtime.Thread, mod ptl.Module, src *ptl.Peer, 
 		s.Trace.deliverAt = s.k.Now()
 		s.Trace.armed = true
 	}
-	s.trace(trace.FirstArrived, hdr.SendReq, src.Rank, int(hdr.Tag), int(hdr.MsgLen))
+	s.noteProgress()
+	s.traceCorr(trace.FirstArrived, hdr.SendReq, src.Rank, int(hdr.Tag), int(hdr.MsgLen),
+		s.msgCorr(src.Rank, hdr.SendReq))
 	cs := s.comm(hdr.CommID)
 	exp, ok := cs.expected[src.Rank]
 	if !ok {
@@ -542,7 +552,8 @@ func (s *Stack) admitFirst(th *simtime.Thread, ff *firstFrag) {
 		return
 	}
 	s.stats.UnexpectedMsgs++
-	s.trace(trace.Unexpected, ff.hdr.SendReq, ff.peer.Rank, int(ff.hdr.Tag), int(ff.hdr.MsgLen))
+	s.traceCorr(trace.Unexpected, ff.hdr.SendReq, ff.peer.Rank, int(ff.hdr.Tag), int(ff.hdr.MsgLen),
+		s.msgCorr(ff.peer.Rank, ff.hdr.SendReq))
 	if !ff.owned {
 		// Reorder-buffer frags already own a copy; transient data from the
 		// wire must be copied before the transport reclaims it.
@@ -560,7 +571,10 @@ func (s *Stack) admitFirst(th *simtime.Thread, ff *firstFrag) {
 // (ptl_matched in the paper's flow).
 func (s *Stack) consumeMatch(th *simtime.Thread, req *RecvReq, ff *firstFrag) {
 	req.matched = true
-	s.trace(trace.Matched, req.id, ff.peer.Rank, int(ff.hdr.Tag), int(ff.hdr.MsgLen))
+	// The fragment names the sender's request, so the match is the moment
+	// the receive request binds to its global message identity.
+	req.corr = s.msgCorr(ff.peer.Rank, ff.hdr.SendReq)
+	s.traceCorr(trace.Matched, req.id, ff.peer.Rank, int(ff.hdr.Tag), int(ff.hdr.MsgLen), req.corr)
 	req.msgLen = int(ff.hdr.MsgLen)
 	req.status = Status{Source: int(ff.hdr.SrcRank), Tag: int(ff.hdr.Tag), Len: req.msgLen}
 	if req.msgLen > req.dtype.Size() {
@@ -635,7 +649,8 @@ func (s *Stack) RecvProgress(th *simtime.Thread, recvReq uint64, bytes int) {
 	if req.got > req.msgLen {
 		panic(fmt.Sprintf("pml: recv %d got %d of %d bytes", recvReq, req.got, req.msgLen))
 	}
-	s.trace(trace.RecvProgressed, req.id, req.status.Source, req.status.Tag, bytes)
+	s.noteProgress()
+	s.traceCorr(trace.RecvProgressed, req.id, req.status.Source, req.status.Tag, bytes, req.corr)
 	if req.got == req.msgLen && req.matched {
 		s.finishRecv(th, req)
 	}
@@ -653,7 +668,7 @@ func (s *Stack) finishRecv(th *simtime.Thread, req *RecvReq) {
 		req.staging = nil
 	}
 	delete(s.recvReqs, req.id)
-	s.trace(trace.RecvCompleted, req.id, req.status.Source, req.status.Tag, req.msgLen)
+	s.traceCorr(trace.RecvCompleted, req.id, req.status.Source, req.status.Tag, req.msgLen, req.corr)
 	if s.RecvLatency != nil {
 		s.RecvLatency.Observe(s.k.Now().Sub(req.postedAt))
 	}
@@ -662,13 +677,45 @@ func (s *Stack) finishRecv(th *simtime.Thread, req *RecvReq) {
 
 // trace records a protocol event if a Tracer is attached.
 func (s *Stack) trace(kind trace.Kind, reqID uint64, peer, tag, bytes int) {
+	s.traceCorr(kind, reqID, peer, tag, bytes, 0)
+}
+
+// traceCorr records a protocol event carrying a cross-rank message
+// correlator (trace.Event.Corr).
+func (s *Stack) traceCorr(kind trace.Kind, reqID uint64, peer, tag, bytes int, corr uint64) {
 	if s.Tracer == nil {
 		return
 	}
 	s.Tracer.Record(trace.Event{
 		At: s.k.Now(), Rank: s.rank, Kind: kind,
-		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes,
+		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes, Corr: corr,
 	})
+}
+
+// msgCorr builds the correlator for a message sent by srcRank under send
+// request id sendReq; zero (uncorrelated) when no tracer is attached.
+func (s *Stack) msgCorr(srcRank int, sendReq uint64) uint64 {
+	if s.Tracer == nil {
+		return 0
+	}
+	return trace.MsgID(srcRank, sendReq)
+}
+
+// noteProgress tells the watchdog this rank's event stream advanced.
+func (s *Stack) noteProgress() {
+	if s.Watchdog != nil {
+		s.Watchdog.Note(s.rank)
+	}
+}
+
+// UnexpectedDepth reports the current number of queued unexpected
+// messages across all communicators (a watchdog stall-diagnostic probe).
+func (s *Stack) UnexpectedDepth() int {
+	n := 0
+	for _, cs := range s.comms {
+		n += cs.unexpCount
+	}
+	return n
 }
 
 // ---- Probe ----

@@ -136,9 +136,11 @@ type localOp struct {
 }
 
 // finWork is a FIN/FIN_ACK the host must issue after observing completion.
+// corr carries the message correlator onto the host-issued QDMA.
 type finWork struct {
 	dstVPID int
 	payload []byte
+	corr    uint64
 }
 
 // finKey indexes host-issued FIN work by completion record identity.
@@ -220,13 +222,28 @@ func (m *Module) rank() int {
 }
 
 func (m *Module) trace(kind trace.Kind, reqID uint64, peer, tag, bytes int) {
+	m.traceCorr(kind, reqID, peer, tag, bytes, 0)
+}
+
+// traceCorr records a PTL event carrying a cross-rank message correlator.
+func (m *Module) traceCorr(kind trace.Kind, reqID uint64, peer, tag, bytes int, corr uint64) {
 	if m.tracer == nil {
 		return
 	}
 	m.tracer.Record(trace.Event{
 		At: m.k.Now(), Rank: m.rank(), Layer: trace.LayerPTL, Kind: kind,
-		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes,
+		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes, Corr: corr,
 	})
+}
+
+// msgID computes the message correlator stamped on trace events and DMA
+// descriptors: srcRank is the message's *sending* rank (this rank for
+// outbound requests, the peer for matched inbound ones).
+func (m *Module) msgID(srcRank int, sendReq uint64) uint64 {
+	if m.tracer == nil {
+		return 0
+	}
+	return trace.MsgID(srcRank, sendReq)
 }
 
 // New creates (and opens) a PTL/Elan4 module bound to a libelan state, an
@@ -294,6 +311,12 @@ func (m *Module) Init(th *simtime.Thread) {
 
 // Stats returns a copy of the activity counters.
 func (m *Module) Stats() Stats { return m.stats }
+
+// OutstandingDMA reports how many local RDMA descriptors await completion
+// plus FINs the host still owes — the watchdog's stall-diagnostic probe.
+func (m *Module) OutstandingDMA() int {
+	return len(m.outstanding) + len(m.pendingFins)
+}
 
 // QueueHighWater reports the deepest occupancy the receive queue and (when
 // configured) the completion queue have reached — the CQ-depth metric.
@@ -393,17 +416,19 @@ func (m *Module) SendFirst(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc) {
 	// Copy into the 2KB send buffer (the preallocation of §5).
 	buf := m.acquireSendBuf(th)
 	th.Compute(m.st.Cfg.MemcpyStartup + simtime.BytesAt(len(payload), m.st.Cfg.MemcpyBandwidth))
+	corr := m.msgID(m.rank(), sd.Hdr.SendReq)
+	m.st.Ctx.SetCookie(corr)
 	m.st.QDMA(th, m.peerVPID(p), qidRecv, payload, buf, m.onSendError)
 	m.pool.Put(payload)
 	if sd.Hdr.Type == ptl.TypeMatch {
 		m.stats.EagerTx++
-		m.trace(trace.PTLEagerTx, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), inline)
+		m.traceCorr(trace.PTLEagerTx, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), inline, corr)
 		// Eager data is buffered; the request's bytes are locally complete
 		// (send-side completion is off the critical path, §6.3).
 		m.pml.SendProgress(th, sd.Hdr.SendReq, inline)
 	} else {
 		m.stats.RndvTx++
-		m.trace(trace.PTLRndvTx, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), int(sd.Hdr.MsgLen))
+		m.traceCorr(trace.PTLRndvTx, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), int(sd.Hdr.MsgLen), corr)
 	}
 }
 
@@ -418,7 +443,8 @@ func (m *Module) SendFrag(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc, off
 func (m *Module) Put(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc, remote ptl.RemoteMem, off, ln int, fin bool) {
 	m.lc.RequireActive("Put")
 	m.stats.PutOps++
-	m.trace(trace.PTLPutIssued, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), ln)
+	corr := m.msgID(m.rank(), sd.Hdr.SendReq)
+	m.traceCorr(trace.PTLPutIssued, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), ln, corr)
 	vpid := m.peerVPID(p)
 
 	var finHdr *ptl.Header
@@ -429,7 +455,8 @@ func (m *Module) Put(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc, remote p
 		h.FragLen = uint32(ln)
 		finHdr = &h
 	}
-	op := m.newLocalOp(recPutDone, sd.Hdr.SendReq, ln, vpid, finHdr)
+	op := m.newLocalOp(recPutDone, sd.Hdr.SendReq, ln, vpid, finHdr, corr)
+	m.st.Ctx.SetCookie(corr)
 	m.st.RDMAWrite(th, vpid, sd.Mem.E4.Add(off), remote.E4.Add(off), ln, op.ev, m.onSendError)
 }
 
@@ -470,6 +497,7 @@ func (m *Module) Matched(th *simtime.Thread, p *ptl.Peer, rd *ptl.RecvDesc) {
 	inline := int(rd.Hdr.FragLen)
 	rest := int(rd.Hdr.MsgLen) - inline
 
+	corr := m.msgID(p.Rank, rd.Hdr.SendReq)
 	if m.opts.Scheme == RDMAWrite {
 		// Fig. 3: ACK with our memory descriptor; the sender will Put.
 		h := rd.Hdr
@@ -480,27 +508,30 @@ func (m *Module) Matched(th *simtime.Thread, p *ptl.Peer, rd *ptl.RecvDesc) {
 		binary.LittleEndian.PutUint64(payload[ptl.HeaderSize:], uint64(rd.Mem.E4))
 		buf := m.acquireSendBuf(th)
 		th.Compute(m.st.Cfg.MemcpyStartup + simtime.BytesAt(len(payload), m.st.Cfg.MemcpyBandwidth))
+		m.st.Ctx.SetCookie(corr)
 		m.st.QDMA(th, vpid, qidRecv, payload, buf, m.onSendError)
 		m.pool.Put(payload)
 		m.stats.AckTx++
-		m.trace(trace.PTLAckTx, rd.ReqID, p.Rank, int(rd.Hdr.Tag), int(rd.Hdr.MsgLen))
+		m.traceCorr(trace.PTLAckTx, rd.ReqID, p.Rank, int(rd.Hdr.Tag), int(rd.Hdr.MsgLen), corr)
 		return
 	}
 
 	// Fig. 4: RDMA-read the remainder, then FIN_ACK.
 	m.stats.GetOps++
-	m.trace(trace.PTLGetIssued, rd.ReqID, p.Rank, int(rd.Hdr.Tag), rest)
+	m.traceCorr(trace.PTLGetIssued, rd.ReqID, p.Rank, int(rd.Hdr.Tag), rest, corr)
 	h := rd.Hdr
 	h.Type = ptl.TypeFinAck
 	h.RecvReq = rd.ReqID
-	op := m.newLocalOp(recGetDone, rd.ReqID, rest, vpid, &h)
+	op := m.newLocalOp(recGetDone, rd.ReqID, rest, vpid, &h, corr)
+	m.st.Ctx.SetCookie(corr)
 	m.st.RDMARead(th, vpid, rd.Hdr.E4SrcAddr().Add(inline), rd.Mem.E4.Add(inline), rest, op.ev, m.onRecvError)
 }
 
 // newLocalOp allocates the completion event for one RDMA descriptor and
 // wires the configured notification strategy: chained FIN, completion
-// queue record, or pollable event.
-func (m *Module) newLocalOp(kind byte, reqID uint64, bytes, peerVPID int, finHdr *ptl.Header) *localOp {
+// queue record, or pollable event. corr is the message correlator stamped
+// on every descriptor issued on the message's behalf.
+func (m *Module) newLocalOp(kind byte, reqID uint64, bytes, peerVPID int, finHdr *ptl.Header, corr uint64) *localOp {
 	ev := m.st.Ctx.NewEvent(1)
 	op := &localOp{ev: ev, kind: kind, reqID: reqID, bytes: bytes}
 
@@ -516,7 +547,7 @@ func (m *Module) newLocalOp(kind byte, reqID uint64, bytes, peerVPID int, finHdr
 		} else {
 			// Host must notice completion and issue the FIN itself — the
 			// Fig. 8 "NoChain" ablation.
-			fw := &finWork{dstVPID: peerVPID, payload: finPayload}
+			fw := &finWork{dstVPID: peerVPID, payload: finPayload, corr: corr}
 			if m.opts.CQ == NoCQ {
 				op.fin = fw
 			} else {
@@ -545,9 +576,11 @@ func (m *Module) newLocalOp(kind byte, reqID uint64, bytes, peerVPID int, finHdr
 		// FIN to the peer, then the completion record to our own queue.
 		ev.Chain(func() {
 			if chainFin {
+				m.st.Ctx.SetCookie(corr)
 				m.st.Ctx.QDMAFromNIC(peerVPID, qidRecv, finPayload, nil, m.onSendError)
 			}
 			if cqQueue >= 0 {
+				m.st.Ctx.SetCookie(corr)
 				m.st.Ctx.QDMAFromNIC(self, cqQueue, rec, nil, m.onSendError)
 			}
 		})

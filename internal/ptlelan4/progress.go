@@ -62,12 +62,16 @@ func (m *Module) handleMsg(th *simtime.Thread, qm elan4.QueuedMsg) {
 		}
 		m.pml.AckArrived(th, hdr, ptl.RemoteMem{E4: decodeE4(body), VPID: qm.SrcVPID})
 	case ptl.TypeFin:
-		m.trace(trace.PTLFinRx, hdr.RecvReq, int(hdr.SrcRank), int(hdr.Tag), int(hdr.FragLen))
+		// A FIN travels sender→receiver, so its message's source is the
+		// wire-header's SrcRank.
+		m.traceCorr(trace.PTLFinRx, hdr.RecvReq, int(hdr.SrcRank), int(hdr.Tag), int(hdr.FragLen),
+			m.msgID(int(hdr.SrcRank), hdr.SendReq))
 		m.pml.RecvProgress(th, hdr.RecvReq, int(hdr.FragLen))
 	case ptl.TypeFinAck:
 		// Fig. 4: one control message acknowledges the rendezvous and
-		// completes the whole send.
-		m.trace(trace.PTLFinAckRx, hdr.SendReq, int(hdr.SrcRank), int(hdr.Tag), int(hdr.MsgLen))
+		// completes the whole send — we are the message's sender.
+		m.traceCorr(trace.PTLFinAckRx, hdr.SendReq, int(hdr.SrcRank), int(hdr.Tag), int(hdr.MsgLen),
+			m.msgID(m.rank(), hdr.SendReq))
 		m.pml.SendProgress(th, hdr.SendReq, int(hdr.MsgLen))
 	default:
 		panic(fmt.Sprintf("ptlelan4: unexpected %v in receive queue", hdr.Type))
@@ -145,6 +149,7 @@ func (m *Module) hostIssueFin(th *simtime.Thread, fw *finWork) {
 	m.stats.HostIssuedFins++
 	buf := m.acquireSendBuf(th)
 	th.Compute(m.cfg.MemcpyStartup + simtime.BytesAt(len(fw.payload), m.cfg.MemcpyBandwidth))
+	m.st.Ctx.SetCookie(fw.corr)
 	m.st.QDMA(th, fw.dstVPID, qidRecv, fw.payload, buf, m.onSendError)
 }
 

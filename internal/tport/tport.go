@@ -23,6 +23,7 @@ import (
 	"qsmpi/internal/elan4"
 	"qsmpi/internal/model"
 	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
 )
 
 // AnySource and AnyTag are receive wildcards.
@@ -102,6 +103,9 @@ type RecvHandle struct {
 	// NIC-side transfer state
 	recvID uint64
 	got    int
+	// corr is the matched message's cross-rank correlator (trace.MsgID of
+	// the sender's id); zero until matched or when untraced.
+	corr uint64
 }
 
 // Wait blocks (polling) until the receive completes.
@@ -150,12 +154,14 @@ type Endpoint struct {
 	nextSend   uint64
 	nextRecv   uint64
 
-	stats Stats
+	stats  Stats
+	tracer *trace.Recorder
 }
 
 type sendState struct {
 	h    *SendHandle
 	data []byte
+	dst  int
 }
 
 // New creates a Tport endpoint for rank on nic, with the full static
@@ -187,6 +193,33 @@ func (e *Endpoint) EagerLimit() int { return e.eagerLimit }
 // Stats returns a copy of the counters.
 func (e *Endpoint) Stats() Stats { return e.stats }
 
+// SetTracer attaches a cross-layer event recorder. Tport events are
+// tagged LayerTport and correlated with trace.MsgID(srcRank, sendID), so
+// the obs profiler decomposes Tport transfers the same way it does the
+// Open MPI stack's.
+func (e *Endpoint) SetTracer(rec *trace.Recorder) { e.tracer = rec }
+
+// trace records one event attributed to this endpoint's rank; no-op when
+// untraced.
+func (e *Endpoint) trace(kind trace.Kind, reqID uint64, peer, tag, bytes int, corr uint64) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Record(trace.Event{
+		At: e.k.Now(), Rank: e.rank, Layer: trace.LayerTport, Kind: kind,
+		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes, Corr: corr,
+	})
+}
+
+// msgCorr is the correlator of a message sent by srcRank under sendID;
+// zero when untraced.
+func (e *Endpoint) msgCorr(srcRank int, sendID uint64) uint64 {
+	if e.tracer == nil {
+		return 0
+	}
+	return trace.MsgID(srcRank, sendID)
+}
+
 // Isend starts a send of data to dst with tag. Small messages are
 // buffered and complete locally; large ones complete when the receiver's
 // pull finishes.
@@ -194,8 +227,9 @@ func (e *Endpoint) Isend(th *simtime.Thread, dst, tag int, data []byte) *SendHan
 	h := &SendHandle{ep: e, done: simtime.NewCounter(), n: len(data)}
 	id := e.nextSend
 	e.nextSend++
-	st := &sendState{h: h, data: data}
+	st := &sendState{h: h, data: data, dst: dst}
 	e.sends[id] = st
+	e.trace(trace.SendPosted, id, dst, tag, len(data), e.msgCorr(e.rank, id))
 
 	if len(data) <= e.eagerLimit {
 		// Host: thin per-message cost + descriptor + payload PIO.
@@ -208,6 +242,7 @@ func (e *Endpoint) Isend(th *simtime.Thread, dst, tag int, data []byte) *SendHan
 		e.stats.EagerTx++
 		// Buffered: locally complete.
 		h.done.Add(1)
+		e.trace(trace.SendCompleted, id, dst, tag, len(data), e.msgCorr(e.rank, id))
 		return h
 	}
 	// Rendezvous: descriptor only; the NIC handles everything after.
@@ -283,6 +318,7 @@ func (e *Endpoint) portOf(rank int) int {
 func (e *Endpoint) HandlePacket(payload any) bool {
 	switch p := payload.(type) {
 	case *eagerPkt:
+		e.trace(trace.FirstArrived, p.sendID, p.srcRank, p.tag, len(p.data), e.msgCorr(p.srcRank, p.sendID))
 		e.nic.FirmwareDelay(e.cfg.TportNICMatch, "tport:match", func() {
 			e.stats.NICMatches++
 			if h := e.takePosted(p.srcRank, p.tag); h != nil {
@@ -290,10 +326,12 @@ func (e *Endpoint) HandlePacket(payload any) bool {
 				return
 			}
 			e.stats.Unexpected++
+			e.trace(trace.Unexpected, p.sendID, p.srcRank, p.tag, len(p.data), e.msgCorr(p.srcRank, p.sendID))
 			e.unexpected = append(e.unexpected, &pendingMsg{eager: p})
 		})
 		return true
 	case *rndvPkt:
+		e.trace(trace.FirstArrived, p.sendID, p.srcRank, p.tag, p.n, e.msgCorr(p.srcRank, p.sendID))
 		e.nic.FirmwareDelay(e.cfg.TportNICMatch, "tport:match", func() {
 			e.stats.NICMatches++
 			if h := e.takePosted(p.srcRank, p.tag); h != nil {
@@ -301,6 +339,7 @@ func (e *Endpoint) HandlePacket(payload any) bool {
 				return
 			}
 			e.stats.Unexpected++
+			e.trace(trace.Unexpected, p.sendID, p.srcRank, p.tag, p.n, e.msgCorr(p.srcRank, p.sendID))
 			e.unexpected = append(e.unexpected, &pendingMsg{rndv: p})
 		})
 		return true
@@ -328,6 +367,7 @@ func (e *Endpoint) HandlePacket(payload any) bool {
 		}
 		delete(e.sends, p.sendID)
 		st.h.done.Add(1)
+		e.trace(trace.SendCompleted, p.sendID, st.dst, -1, len(st.data), e.msgCorr(e.rank, p.sendID))
 		return true
 	}
 	return false
@@ -358,6 +398,8 @@ func (e *Endpoint) deliverEager(h *RecvHandle, p *eagerPkt) {
 	if len(p.data) > len(h.buf) {
 		panic(fmt.Sprintf("tport: message of %d truncates buffer of %d", len(p.data), len(h.buf)))
 	}
+	h.corr = e.msgCorr(p.srcRank, p.sendID)
+	e.trace(trace.Matched, h.recvID, p.srcRank, p.tag, len(p.data), h.corr)
 	e.nic.FirmwareRxPCI(len(p.data), 0, "tport:eager-deliver", func() {
 		copy(h.buf, p.data)
 		e.complete(h, len(p.data), p.srcRank, p.tag)
@@ -372,6 +414,7 @@ func (e *Endpoint) complete(h *RecvHandle, n, src, tag int) {
 	}
 	delete(e.recvs, h.recvID)
 	h.done.Add(1)
+	e.trace(trace.RecvCompleted, h.recvID, h.Source, h.TagSeen, n, h.corr)
 }
 
 // startPull begins the receiver-driven pipelined transfer of a rendezvous
@@ -382,6 +425,8 @@ func (e *Endpoint) startPull(h *RecvHandle, p *rndvPkt) {
 	}
 	h.Source = p.srcRank
 	h.TagSeen = p.tag
+	h.corr = e.msgCorr(p.srcRank, p.sendID)
+	e.trace(trace.Matched, h.recvID, p.srcRank, p.tag, p.n, h.corr)
 	e.nic.FirmwareSend(p.srcPort, 0, &pullPkt{
 		sendID: p.sendID, recvID: h.recvID, dstPort: e.nic.Port(), chunk: e.chunk,
 	})

@@ -156,6 +156,10 @@ func (k Kind) String() string {
 // NIC events, the owning context's VPID; for fabric events, the source
 // port). ReqID identifies the request or descriptor the event belongs to
 // within (Rank, Layer) — span exporters pair begin/end kinds through it.
+// Corr, when non-zero, is the cross-rank correlator: the *sending* rank's
+// PML request id this event serves, regardless of which rank or layer
+// emitted it. The profiler (internal/obs) stitches one message's lifecycle
+// across both endpoints and the NIC through it.
 type Event struct {
 	At    simtime.Time
 	Rank  int
@@ -165,6 +169,19 @@ type Event struct {
 	Peer  int
 	Tag   int
 	Bytes int
+	Corr  uint64
+}
+
+// MsgID packs a message's global identity — the sending rank and its
+// send-side PML request id — into one Corr value. The rank is offset by
+// one so a valid id is never zero (zero Corr means "uncorrelated").
+func MsgID(srcRank int, sendReq uint64) uint64 {
+	return uint64(srcRank+1)<<40 | (sendReq & (1<<40 - 1))
+}
+
+// SplitMsgID undoes MsgID.
+func SplitMsgID(id uint64) (srcRank int, sendReq uint64) {
+	return int(id>>40) - 1, id & (1<<40 - 1)
 }
 
 // Recorder accumulates events. One Recorder may serve all layers of all
@@ -177,9 +194,15 @@ type Recorder struct {
 }
 
 // NewRecorder returns a recorder keeping at most limit events
-// (0 = unlimited). Events past the limit are counted, not kept.
+// (0 = unlimited). Events past the limit are counted, not kept. A bounded
+// recorder preallocates its whole event slab up front so the recording
+// path never reallocates mid-run.
 func NewRecorder(limit int) *Recorder {
-	return &Recorder{limit: limit}
+	r := &Recorder{limit: limit}
+	if limit > 0 {
+		r.events = make([]Event, 0, limit)
+	}
+	return r
 }
 
 // Record appends an event unless the limit is reached, in which case the
@@ -192,8 +215,12 @@ func (r *Recorder) Record(e Event) {
 	r.events = append(r.events, e)
 }
 
-// Events returns the recorded events in record order.
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns a copy of the recorded events in record order. The copy
+// is defensive: renderers and analyzers may sort or mutate the returned
+// slice without corrupting the recorder's stream.
+func (r *Recorder) Events() []Event {
+	return append([]Event(nil), r.events...)
+}
 
 // Len returns the number of recorded events.
 func (r *Recorder) Len() int { return len(r.events) }
@@ -223,7 +250,14 @@ func (r *Recorder) ByLayer() map[Layer]int {
 // with per-line deltas. A trailing "(+N dropped)" line reports events lost
 // to the recorder limit rather than truncating silently.
 func (r *Recorder) Render() string {
-	evs := append([]Event(nil), r.events...)
+	return RenderEvents(r.Events(), r.dropped)
+}
+
+// RenderEvents formats an event slice the way Recorder.Render does,
+// letting callers render a filtered view of the stream. dropped > 0
+// appends the "(+N dropped)" trailer.
+func RenderEvents(events []Event, dropped int64) string {
+	evs := append([]Event(nil), events...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	var b strings.Builder
 	var prev simtime.Time
@@ -232,8 +266,84 @@ func (r *Recorder) Render() string {
 			e.At.Micros(), e.At.Sub(prev).Micros(), e.Rank, e.Layer, e.Kind, e.ReqID, e.Peer, e.Tag, e.Bytes)
 		prev = e.At
 	}
-	if r.dropped > 0 {
-		fmt.Fprintf(&b, "(+%d dropped)\n", r.dropped)
+	if dropped > 0 {
+		fmt.Fprintf(&b, "(+%d dropped)\n", dropped)
 	}
 	return b.String()
+}
+
+// Filter selects events by layer names, kind names and rank. Layers and
+// kinds are comma-separated lists of the names Render prints ("pml",
+// "matched", …); an empty string means any. rank < 0 means any rank.
+// Unknown layer or kind names return an error listing the valid values.
+func Filter(events []Event, layers, kinds string, rank int) ([]Event, error) {
+	laySet, err := parseNames(layers, layerByName(), "layer")
+	if err != nil {
+		return nil, err
+	}
+	kindSet, err := parseNames(kinds, kindByName(), "kind")
+	if err != nil {
+		return nil, err
+	}
+	var out []Event
+	for _, e := range events {
+		if laySet != nil && !laySet[uint8(e.Layer)] {
+			continue
+		}
+		if kindSet != nil && !kindSet[uint8(e.Kind)] {
+			continue
+		}
+		if rank >= 0 && e.Rank != rank {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// layerByName maps every layer's rendered name back to its value.
+func layerByName() map[string]uint8 {
+	out := make(map[string]uint8)
+	for l := LayerPML; l <= LayerCluster; l++ {
+		out[l.String()] = uint8(l)
+	}
+	return out
+}
+
+// kindByName maps every kind's rendered name back to its value.
+func kindByName() map[string]uint8 {
+	out := make(map[string]uint8)
+	for k := SendPosted; k <= PktDelivered; k++ {
+		out[k.String()] = uint8(k)
+	}
+	return out
+}
+
+// parseNames resolves a comma-separated name list against a name table,
+// returning nil for "match everything" when the list is empty.
+func parseNames(list string, table map[string]uint8, what string) (map[uint8]bool, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	out := make(map[uint8]bool)
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		v, ok := table[name]
+		if !ok {
+			valid := make([]string, 0, len(table))
+			for n := range table {
+				valid = append(valid, n)
+			}
+			sort.Strings(valid)
+			return nil, fmt.Errorf("unknown %s %q (valid: %s)", what, name, strings.Join(valid, ", "))
+		}
+		out[v] = true
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
 }

@@ -162,3 +162,67 @@ func TestLayerTags(t *testing.T) {
 		t.Fatalf("ByLayer() = %v", by)
 	}
 }
+
+func TestEventsReturnsDefensiveCopy(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	rec.Record(trace.Event{Rank: 0, Layer: trace.LayerPML, Kind: trace.SendPosted, ReqID: 1})
+	rec.Record(trace.Event{Rank: 1, Layer: trace.LayerPML, Kind: trace.RecvPosted, ReqID: 2})
+	evs := rec.Events()
+	evs[0].Kind = trace.PktSent
+	evs[0].Rank = 99
+	if again := rec.Events(); again[0].Kind != trace.SendPosted || again[0].Rank != 0 {
+		t.Fatalf("mutating the returned slice corrupted the recorder: %+v", again[0])
+	}
+}
+
+func TestFilterSelectsByLayerKindAndRank(t *testing.T) {
+	events := []trace.Event{
+		{Rank: 0, Layer: trace.LayerPML, Kind: trace.SendPosted},
+		{Rank: 1, Layer: trace.LayerPML, Kind: trace.Matched},
+		{Rank: 1, Layer: trace.LayerElan4, Kind: trace.QDMAIssued},
+		{Rank: 0, Layer: trace.LayerFabric, Kind: trace.PktSent},
+	}
+	got, err := trace.Filter(events, "pml", "", -1)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("layer filter: %v, %d events", err, len(got))
+	}
+	got, err = trace.Filter(events, "pml,elan4", "matched,qdma-issued", -1)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("layer+kind filter: %v, %d events", err, len(got))
+	}
+	got, err = trace.Filter(events, "", "", 0)
+	if err != nil || len(got) != 2 || got[0].Rank != 0 || got[1].Rank != 0 {
+		t.Fatalf("rank filter: %v, %+v", err, got)
+	}
+	got, err = trace.Filter(events, " pml , fabric ", "", 1)
+	if err != nil || len(got) != 1 || got[0].Kind != trace.Matched {
+		t.Fatalf("whitespace + rank combination: %v, %+v", err, got)
+	}
+	if got, err = trace.Filter(events, "", "", -1); err != nil || len(got) != 4 {
+		t.Fatalf("empty filter must pass everything: %v, %d events", err, len(got))
+	}
+}
+
+func TestFilterRejectsUnknownNamesListingValid(t *testing.T) {
+	_, err := trace.Filter(nil, "nic", "", -1)
+	if err == nil || !strings.Contains(err.Error(), `unknown layer "nic"`) ||
+		!strings.Contains(err.Error(), "elan4") {
+		t.Fatalf("bad layer error = %v", err)
+	}
+	_, err = trace.Filter(nil, "", "qdma", -1)
+	if err == nil || !strings.Contains(err.Error(), `unknown kind "qdma"`) ||
+		!strings.Contains(err.Error(), "qdma-issued") {
+		t.Fatalf("bad kind error = %v", err)
+	}
+}
+
+func TestRenderEventsAppendsDroppedTrailer(t *testing.T) {
+	events := []trace.Event{{Rank: 0, Layer: trace.LayerPML, Kind: trace.SendPosted}}
+	if out := trace.RenderEvents(events, 0); strings.Contains(out, "dropped") {
+		t.Fatalf("trailer with nothing dropped:\n%s", out)
+	}
+	out := trace.RenderEvents(events, 7)
+	if !strings.Contains(out, "(+7 dropped)") {
+		t.Fatalf("missing dropped trailer:\n%s", out)
+	}
+}

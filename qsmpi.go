@@ -362,6 +362,14 @@ type Observation struct {
 	Perfetto []byte
 	// Metrics is the rendered layer/name/rank metrics table.
 	Metrics string
+	// Breakdown is the per-protocol-path phase decomposition table: every
+	// message's end-to-end latency split into scheduling, DMA-queue, wire,
+	// match, handshake and completion phases (obs.Analyze).
+	Breakdown string
+	// Flows is the per-(src,dst) flow accounting table.
+	Flows string
+	// Critical is the run's critical path of correlated messages.
+	Critical string
 }
 
 // RunObserved is Run with full-stack observability: a cross-layer trace
@@ -374,13 +382,17 @@ func RunObserved(cfg Config, limit int, main func(w *World)) (Observation, error
 	reg := obs.New()
 	_, err := run(cfg, main, rec, reg)
 	var buf bytes.Buffer
-	if werr := obs.WritePerfetto(&buf, rec.Events()); werr != nil && err == nil {
+	if werr := obs.WritePerfettoFrom(&buf, rec); werr != nil && err == nil {
 		err = werr
 	}
+	prof := obs.Analyze(rec.Events())
 	return Observation{
-		Timeline: rec.Render(),
-		Perfetto: buf.Bytes(),
-		Metrics:  reg.Snapshot().Render(),
+		Timeline:  rec.Render(),
+		Perfetto:  buf.Bytes(),
+		Metrics:   reg.Snapshot().Render(),
+		Breakdown: prof.RenderBreakdown(),
+		Flows:     prof.RenderFlows(),
+		Critical:  prof.RenderCritical(),
 	}, err
 }
 
