@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test check bench figures perfbench report-par
+# qsmpilint is built fresh for each lint run; go vet caches results keyed
+# by the tool binary's hash, so rebuilds only re-analyze what changed.
+QSMPILINT := bin/qsmpilint
+
+.PHONY: all build test check lint race bench figures perfbench report-par
 
 all: build test
 
@@ -22,11 +26,25 @@ test:
 # (or watchdog) never moves virtual time, the profiler's telescoping
 # guarantee (phase durations sum exactly to end-to-end latency) and the
 # watchdog's stall detection.
-check:
-	$(GO) vet ./...
+check: lint
 	$(GO) test -race ./internal/simtime/... ./internal/pml/...
 	$(GO) test -race ./internal/experiments ./internal/parsweep
 	$(GO) test -race -count=1 ./internal/obs ./internal/trace
+
+# lint runs go vet with the repo's own analyzer suite loaded on top of the
+# standard checks: detclock, maporder, kernelown, pooluse and tracecorr
+# (see internal/lint and DESIGN.md §9). The suite turns the simulator's
+# determinism, ownership and pooling invariants into build failures.
+lint:
+	$(GO) vet ./...
+	$(GO) build -o $(QSMPILINT) ./cmd/qsmpilint
+	$(GO) vet -vettool=$(QSMPILINT) ./...
+
+# race runs the entire test suite under the race detector — the nightly
+# CI gate. check covers the concurrency-critical packages on every push;
+# this covers everything.
+race:
+	$(GO) test -race ./...
 
 # report-par proves the parallel sweep engine's determinism invariant
 # end to end: the replication report must be byte-identical at -j 1 and

@@ -36,6 +36,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -165,14 +166,16 @@ func measureSweep(w sweepWorkload, workers, reps int) sweepResult {
 	time1, timeN := time.Duration(1<<63-1), time.Duration(1<<63-1)
 	var out1, outN string
 	for r := 0; r < reps; r++ {
-		start := time.Now()
+		start := time.Now() //lint:allow detclock perfbench measures real wall time by design
 		seq, st := w.run(1)
+		//lint:allow detclock perfbench measures real wall time by design
 		if d := time.Since(start); d < time1 {
 			time1 = d
 		}
 		res.Jobs = st.Jobs()
-		start = time.Now()
+		start = time.Now() //lint:allow detclock perfbench measures real wall time by design
 		par, _ := w.run(workers)
+		//lint:allow detclock perfbench measures real wall time by design
 		if d := time.Since(start); d < timeN {
 			timeN = d
 		}
@@ -273,9 +276,9 @@ func measure(w workload, reps int) workloadResult {
 	res := workloadResult{Name: w.name}
 	best := time.Duration(1<<63 - 1)
 	for r := 0; r < reps; r++ {
-		start := time.Now()
+		start := time.Now() //lint:allow detclock perfbench measures real wall time by design
 		simUS, events := w.run()
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //lint:allow detclock perfbench measures real wall time by design
 		if r == 0 {
 			res.SimUS, res.Events = simUS, events
 		} else if simUS != res.SimUS || events != res.Events {
@@ -342,11 +345,7 @@ func speedups(beforePath, afterPath string) ([]speedupEntry, error) {
 		return nil, fmt.Errorf("no common benchmarks between %s and %s", beforePath, afterPath)
 	}
 	// Deterministic report order.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Benchmark < out[j-1].Benchmark; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Benchmark < out[j].Benchmark })
 	return out, nil
 }
 
@@ -374,6 +373,7 @@ func main() {
 	}
 
 	rep := report{
+		//lint:allow detclock report timestamp is wall-clock metadata, not simulation state
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),

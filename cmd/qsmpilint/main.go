@@ -1,0 +1,61 @@
+// Command qsmpilint runs the repo's invariant analyzers (internal/lint):
+// detclock, maporder, kernelown, pooluse and tracecorr. It speaks two
+// dialects:
+//
+//	go vet -vettool=$(command -v qsmpilint) ./...   # unitchecker protocol
+//	qsmpilint ./...                                 # standalone, via go list
+//
+// `make lint` (folded into `make check`) uses the vet form so findings
+// participate in go vet's caching; the standalone form needs no vet
+// plumbing and is what the fixture meta-test drives.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"qsmpi/internal/lint"
+	"qsmpi/internal/lint/driver"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Vet protocol invocations are distinguishable by shape: a single
+	// -V=..., -flags, or *.cfg argument.
+	if len(args) == 1 {
+		a := args[0]
+		if strings.HasPrefix(a, "-V=") || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			driver.VetMain(lint.Analyzers())
+			return // unreachable; VetMain exits
+		}
+	}
+
+	if len(args) == 1 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help") {
+		fmt.Println("qsmpilint checks the qsmpi determinism, ownership and pooling invariants.")
+		fmt.Println("\nusage: qsmpilint [packages]    (default ./...)")
+		fmt.Println("\nanalyzers:")
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Println("\nsuppress a finding with //lint:allow <analyzer> <reason> on or above the line.")
+		return
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := driver.Check(".", lint.Analyzers(), patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qsmpilint: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

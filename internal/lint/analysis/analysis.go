@@ -1,0 +1,256 @@
+// Package analysis is a deliberately small, dependency-free miniature of
+// the golang.org/x/tools/go/analysis framework: an Analyzer inspects one
+// type-checked package through a Pass and reports position-tagged
+// diagnostics. The repo's module carries no third-party requirements (the
+// simulator must build hermetically offline), so rather than importing
+// x/tools this package mirrors the subset of its API the qsmpilint suite
+// needs; cmd/qsmpilint implements the `go vet -vettool` unitchecker
+// protocol on top of it (internal/lint/driver).
+//
+// Suppression: every analyzer honors the directive
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the offending line or the line immediately above it. The
+// reason is mandatory — a bare //lint:allow <analyzer> does not suppress,
+// so every escape hatch documents why the invariant may be broken there
+// (see DESIGN.md §9).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by `qsmpilint help`.
+	Doc string
+	// Run inspects the package and reports diagnostics via pass.Report.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass holds one type-checked package being analyzed.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The suite audits simulation code, not tests: tests legitimately read the
+// wall clock, build partial trace.Event fixtures and iterate maps.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run type-checks nothing itself: it executes one analyzer over an
+// already-loaded package and returns the diagnostics that survive
+// //lint:allow suppression, in source order. Drivers (vet mode,
+// standalone mode, linttest) all funnel through here so the directive
+// semantics cannot drift between them.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report: func(d Diagnostic) {
+			if !allowed(fset, files, a.Name, d.Pos) {
+				diags = append(diags, d)
+			}
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	return diags, nil
+}
+
+// allowed reports whether a //lint:allow directive with a reason covers a
+// diagnostic of the named analyzer at pos: the directive must sit on the
+// diagnostic's line or the line immediately above it, in the same file.
+func allowed(fset *token.FileSet, files []*ast.File, name string, pos token.Pos) bool {
+	var file *ast.File
+	for _, f := range files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return false
+	}
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			cl := fset.Position(c.Pos()).Line
+			if cl != line && cl != line-1 {
+				continue
+			}
+			if directiveAllows(c.Text, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// directiveAllows parses one comment's text as a lint:allow directive.
+func directiveAllows(text, name string) bool {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return false
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, "lint:allow")
+	if !ok {
+		return false
+	}
+	fields := strings.Fields(rest)
+	// fields[0] is the analyzer name; everything after is the mandatory
+	// reason.
+	return len(fields) >= 2 && fields[0] == name
+}
+
+// ---- shared type-query helpers used by several analyzers ----
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, conversions and
+// calls of plain function values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (methods do not match).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if FuncSig(fn).Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// FuncSig returns fn's *types.Signature. (The go1.23 accessor
+// types.Func.Signature is avoided so the module's language version can
+// stay at its floor.)
+func FuncSig(fn *types.Func) *types.Signature {
+	sig, _ := fn.Type().(*types.Signature)
+	return sig
+}
+
+// ReceiverNamed returns the named type of a method call's receiver (with
+// pointers unwrapped), or nil when call is not a method call on a named
+// type.
+func ReceiverNamed(info *types.Info, call *ast.CallExpr) *types.Named {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	recv := FuncSig(fn).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamed reports whether n is the named type pkgPath.name.
+func IsNamed(n *types.Named, pkgPath, name string) bool {
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// RootIdent returns the leftmost identifier of an lvalue-ish expression
+// (x, x.f, x[i], *x, x.f[i].g ...), or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ImplementsWriter reports whether t (or *t) has a method
+// Write([]byte) (int, error) — the io.Writer shape, checked structurally
+// so the analyzers need no dependency on the io package's type object.
+func ImplementsWriter(t types.Type) bool {
+	check := func(t types.Type) bool {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Write")
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return false
+		}
+		sig := FuncSig(fn)
+		if sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+			return false
+		}
+		sl, ok := sig.Params().At(0).Type().Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	if check(t) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return check(types.NewPointer(t))
+	}
+	return false
+}

@@ -1,0 +1,214 @@
+// Package driver loads and type-checks packages for the qsmpilint suite
+// without golang.org/x/tools: the module is hermetic (zero third-party
+// requirements), so package loading rides on `go list -export -deps -json`
+// — the toolchain compiles export data into the build cache and tells us
+// where it landed — and type-checking uses the stock go/types checker with
+// a gc-export-data importer. Two entry points share this machinery:
+//
+//   - Check (this file): the standalone `qsmpilint ./...` mode and the
+//     linttest fixture runner;
+//   - VetMain (vet.go): the `go vet -vettool=qsmpilint` unitchecker
+//     protocol, where vet hands us one pre-planned package at a time.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"qsmpi/internal/lint/analysis"
+)
+
+// A Finding is one diagnostic with its position resolved.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// A Package is the slice of `go list` output the driver needs.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// A Loader holds the export-data index for one `go list` invocation and
+// type-checks packages against it.
+type Loader struct {
+	Fset    *token.FileSet
+	Pkgs    []*Package        // in go list order
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// Load runs `go list -export -deps -json` over the patterns (from dir) and
+// builds a Loader. extraStd lists std packages fixtures may import beyond
+// the repo's own dependency closure.
+func Load(dir string, patterns ...string) (*Loader, error) {
+	args := []string{
+		"list", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,Standard,DepOnly",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errb.String())
+	}
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		exports: map[string]string{},
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(Package)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		l.Pkgs = append(l.Pkgs, p)
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// ParseFiles parses the named files (absolute or dir-relative) with
+// comments retained — the //lint:allow directives live there.
+func (l *Loader) ParseFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// TypeCheck checks a package's parsed files under the given import path,
+// resolving imports through the loader's export-data index.
+func (l *Loader) TypeCheck(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// CheckPackage parses, type-checks and runs every analyzer over one
+// package, returning its findings in source order.
+func (l *Loader) CheckPackage(p *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	files, err := l.ParseFiles(p.Dir, p.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := l.TypeCheck(p.ImportPath, files)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+	}
+	var findings []Finding
+	for _, a := range analyzers {
+		diags, err := analysis.Run(a, l.Fset, files, pkg, info)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Pos:      l.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// Check is the standalone entry point: load the patterns from dir and run
+// the suite over every non-dependency, non-standard package.
+func Check(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Finding, error) {
+	l, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, p := range l.Pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		fs, err := l.CheckPackage(p, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

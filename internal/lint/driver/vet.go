@@ -1,0 +1,165 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qsmpi/internal/lint/analysis"
+)
+
+// vetConfig mirrors the JSON config `go vet` writes for each compilation
+// unit (the unitchecker protocol). Fields the suite does not consume are
+// still declared so decoding stays strict about nothing.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain implements the `go vet -vettool` protocol:
+//
+//	qsmpilint -V=full    print a version fingerprint for build caching
+//	qsmpilint -flags     describe tool flags as JSON (none)
+//	qsmpilint unit.cfg   analyze the one package unit described by the config
+//
+// It never returns; every path exits. Diagnostics print to stderr as
+// `file:line:col: message` and yield exit status 1, which `go vet`
+// surfaces as a failed check.
+func VetMain(analyzers []*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V="):
+		// go vet caches vettool results keyed by the tool's fingerprint;
+		// hashing our own executable matches the reference implementation.
+		if args[0] != "-V=full" {
+			fmt.Println(progname)
+			os.Exit(0)
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		data, err := os.ReadFile(exe)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		h := sha256.Sum256(data)
+		fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h[:12]))
+		os.Exit(0)
+	case len(args) == 1 && args[0] == "-flags":
+		// No tool-specific flags: the whole suite always runs.
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		runVetUnit(args[0], analyzers)
+	default:
+		fatalf("usage: %s [-V=full | -flags | unit.cfg | ./packages...]", progname)
+	}
+	os.Exit(0)
+}
+
+// runVetUnit analyzes one compilation unit from its vet config.
+func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fatalf("cannot decode JSON config file %s: %v", cfgPath, err)
+	}
+
+	// The suite carries no cross-package facts, but vet requires the vetx
+	// output to exist for caching and for dependents' PackageVetx.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+
+	// Dependency units (including all of std) are visited in VetxOnly mode
+	// purely to propagate facts; with none to compute, finish immediately.
+	if cfg.VetxOnly {
+		writeVetx()
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	l := &Loader{Fset: fset}
+	files, err := l.ParseFiles(cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			os.Exit(0)
+		}
+		fatalf("%v", err)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{Importer: imp}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			os.Exit(0)
+		}
+		fatalf("%v", err)
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		diags, err := analysis.Run(a, fset, files, pkg, info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	writeVetx()
+	os.Exit(exit)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qsmpilint: "+format+"\n", args...)
+	os.Exit(1)
+}

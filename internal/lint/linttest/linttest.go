@@ -1,0 +1,172 @@
+// Package linttest runs an analyzer over a fixture package under
+// internal/lint/testdata/src and checks its diagnostics against `// want`
+// expectations, analysistest-style: a comment
+//
+//	// want `regexp`
+//
+// on a line asserts exactly that a diagnostic matching the regexp is
+// reported on that line; any diagnostic without a matching want, or want
+// without a matching diagnostic, fails the test. Fixtures may import real
+// repo packages (qsmpi/internal/trace, bufpool, parsweep, ...) and the
+// std library: imports resolve through export data from `go list -export`,
+// shared across all tests in the process.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"qsmpi/internal/lint/analysis"
+	"qsmpi/internal/lint/driver"
+)
+
+var (
+	loadOnce sync.Once
+	loader   *driver.Loader
+	loadErr  error
+)
+
+// stdForFixtures are std packages fixtures may import beyond the repo's
+// own dependency closure.
+var stdForFixtures = []string{
+	"bytes", "fmt", "io", "math/rand", "os", "sort", "strconv", "strings", "time",
+}
+
+// ModuleRoot locates the repository root by walking up from the working
+// directory to the nearest go.mod.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Loader returns the process-wide export-data loader, building it on
+// first use.
+func Loader(t *testing.T) *driver.Loader {
+	t.Helper()
+	root := ModuleRoot(t)
+	loadOnce.Do(func() {
+		patterns := append([]string{"./..."}, stdForFixtures...)
+		loader, loadErr = driver.Load(root, patterns...)
+	})
+	if loadErr != nil {
+		t.Fatalf("loading export data: %v", loadErr)
+	}
+	return loader
+}
+
+// want is one expectation: a diagnostic matching re on (file, line).
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRx = regexp.MustCompile("// want `([^`]*)`")
+
+// Run analyzes the fixture package rooted at testdata/src/<pkgPath>
+// (type-checked under import path pkgPath, so path-scoped analyzers see
+// the intended package identity) and checks diagnostics against wants.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	l := Loader(t)
+	dir := filepath.Join(ModuleRoot(t), "internal", "lint", "testdata", "src", filepath.FromSlash(pkgPath))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	files, err := l.ParseFiles(dir, names)
+	if err != nil {
+		t.Fatalf("parsing fixtures: %v", err)
+	}
+	pkg, info, err := l.TypeCheck(pkgPath, files)
+	if err != nil {
+		t.Fatalf("type-checking fixtures: %v", err)
+	}
+	diags, err := analysis.Run(a, l.Fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, dir, names)
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		if w := matchWant(wants, filepath.Base(pos.Filename), pos.Line, d.Message); w != nil {
+			w.hit = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants scans fixture sources for `// want` comments.
+func collectWants(t *testing.T, dir string, names []string) []*want {
+	t.Helper()
+	var wants []*want
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRx.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, m[1], err)
+				}
+				wants = append(wants, &want{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// matchWant finds an unconsumed want for the diagnostic, or nil.
+func matchWant(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// Describe is a debugging aid: the fixture path an analyzer test uses.
+func Describe(a *analysis.Analyzer, pkgPath string) string {
+	return fmt.Sprintf("%s over testdata/src/%s", a.Name, pkgPath)
+}

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"qsmpi/internal/lint/analysis"
+)
+
+// PoolUse audits bufpool discipline. The pools are lock-free free lists:
+// Put relinquishes the buffer to whoever Gets next, so touching a buffer
+// after Put is a use-after-free of recycled storage, a second Put hands
+// the same buffer to two owners, and stashing a Put buffer into longer-
+// lived state retains memory another component will scribble over. The
+// analysis is flow-insensitive but path-local: within each block,
+// statements after an unconditional pool.Put(b) must not read b (or any
+// alias of it) until b is reassigned. defer pool.Put(b) is exempt — it
+// runs at return, after every use.
+var PoolUse = &analysis.Analyzer{
+	Name: "pooluse",
+	Doc: "catch bufpool use-after-Put, double-Put and retention of a " +
+		"recycled buffer",
+	Run: runPoolUse,
+}
+
+func runPoolUse(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkPoolBlock(pass, body, map[types.Object]token_Pos{}, map[types.Object]types.Object{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// token_Pos aliases go/token.Pos without a second import block entry.
+type token_Pos = int
+
+// poolMethodArg matches a statement-level call pool.<name>(ident) on a
+// *bufpool.Pool receiver, returning the argument's object.
+func poolMethodArg(pass *analysis.Pass, call *ast.CallExpr, name string) types.Object {
+	recv := analysis.ReceiverNamed(pass.TypesInfo, call)
+	if !analysis.IsNamed(recv, module+"/internal/bufpool", "Pool") {
+		return nil
+	}
+	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn == nil || fn.Name() != name {
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+// isPoolCall reports whether call is a method call on *bufpool.Pool with
+// the given name (any argument shape).
+func isPoolCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	recv := analysis.ReceiverNamed(pass.TypesInfo, call)
+	if !analysis.IsNamed(recv, module+"/internal/bufpool", "Pool") {
+		return false
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	return fn != nil && fn.Name() == name
+}
+
+// checkPoolBlock walks one block's statements in order. dead maps a
+// variable to the line of the Put that retired it; alias maps a variable
+// to the buffer variable it aliases. Nested blocks get copies: a Put on
+// only one branch does not retire the buffer for code after the branch.
+func checkPoolBlock(pass *analysis.Pass, blk *ast.BlockStmt, dead map[types.Object]token_Pos, alias map[types.Object]types.Object) {
+	root := func(o types.Object) types.Object {
+		for i := 0; i < 8; i++ {
+			r, ok := alias[o]
+			if !ok {
+				return o
+			}
+			o = r
+		}
+		return o
+	}
+	for _, stmt := range blk.List {
+		switch st := stmt.(type) {
+		case *ast.DeferStmt:
+			// defer pool.Put(b) runs after every use; skip entirely.
+			continue
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isPoolCall(pass, call, "Put") {
+				if obj := poolMethodArg(pass, call, "Put"); obj != nil {
+					r := root(obj)
+					if line, isDead := dead[r]; isDead {
+						pass.Reportf(call.Pos(),
+							"double Put of %s (already recycled at line %d): two owners will be handed the same buffer",
+							obj.Name(), line)
+					} else {
+						dead[r] = pass.Fset.Position(call.Pos()).Line
+					}
+					continue
+				}
+			}
+		case *ast.AssignStmt:
+			// A fresh assignment to a retired variable revives it; an
+			// alias assignment (c := b, c := b[:n]) joins b's group.
+			scanUses(pass, st.Rhs, dead, alias, root)
+			for i, lhs := range st.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				delete(dead, obj)
+				delete(alias, obj)
+				if i < len(st.Rhs) && len(st.Lhs) == len(st.Rhs) {
+					if src := analysis.RootIdent(st.Rhs[i]); src != nil {
+						if _, isSlice := sliceOrIdent(st.Rhs[i]); isSlice {
+							if so := pass.TypesInfo.ObjectOf(src); so != nil && so != obj {
+								alias[obj] = root(so)
+							}
+						}
+					}
+				}
+			}
+			continue
+		}
+		// Nested blocks: conditional paths get their own copies.
+		recursed := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BlockStmt); ok {
+				checkPoolBlock(pass, b, copyDead(dead), copyAlias(alias))
+				recursed = true
+				return false
+			}
+			return true
+		})
+		if !recursed {
+			scanUses(pass, []ast.Expr{exprOf(stmt)}, dead, alias, root)
+		} else {
+			// Still scan the statement's own (non-block) expressions,
+			// e.g. the condition of an if.
+			switch st := stmt.(type) {
+			case *ast.IfStmt:
+				scanUses(pass, []ast.Expr{st.Cond}, dead, alias, root)
+			case *ast.SwitchStmt:
+				scanUses(pass, []ast.Expr{st.Tag}, dead, alias, root)
+			}
+		}
+	}
+}
+
+// exprOf extracts a scannable expression from simple statements.
+func exprOf(stmt ast.Stmt) ast.Expr {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		return st.X
+	case *ast.ReturnStmt:
+		if len(st.Results) == 1 {
+			return st.Results[0]
+		}
+		if len(st.Results) > 1 {
+			// Wrap via a synthetic scan of each result below.
+			return &ast.CallExpr{Fun: ast.NewIdent("_"), Args: st.Results}
+		}
+	case *ast.SendStmt:
+		return st.Value
+	case *ast.IncDecStmt:
+		return st.X
+	}
+	return nil
+}
+
+// scanUses reports reads of retired buffers within the given expressions.
+func scanUses(pass *analysis.Pass, exprs []ast.Expr, dead map[types.Object]token_Pos, alias map[types.Object]types.Object, root func(types.Object) types.Object) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			if line, isDead := dead[root(obj)]; isDead {
+				how := "used"
+				if isStoreContext(e, id) {
+					how = "retained"
+				}
+				pass.Reportf(id.Pos(),
+					"%s %s after Put (recycled at line %d): the pool may already have handed this buffer to another owner",
+					how, id.Name, line)
+				delete(dead, root(obj)) // one report per retirement
+			}
+			return true
+		})
+	}
+}
+
+// isStoreContext reports whether the identifier flows into longer-lived
+// state: a composite literal, an append, or the RHS of a field/index
+// store — the "retention past the handler return" shape.
+func isStoreContext(within ast.Expr, id *ast.Ident) bool {
+	store := false
+	ast.Inspect(within, func(n ast.Node) bool {
+		switch p := n.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range p.Elts {
+				if containsIdent(elt, id) {
+					store = true
+				}
+			}
+		case *ast.CallExpr:
+			if fid, ok := ast.Unparen(p.Fun).(*ast.Ident); ok && fid.Name == "append" {
+				for _, a := range p.Args[1:] {
+					if containsIdent(a, id) {
+						store = true
+					}
+				}
+			}
+		}
+		return !store
+	})
+	return store
+}
+
+func containsIdent(e ast.Node, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == ast.Node(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sliceOrIdent reports whether e is a plain identifier or a slice
+// expression over one — the alias-forming shapes.
+func sliceOrIdent(e ast.Expr) (ast.Expr, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x, true
+	case *ast.SliceExpr:
+		if _, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			return x, true
+		}
+	}
+	return nil, false
+}
+
+func copyDead(m map[types.Object]token_Pos) map[types.Object]token_Pos {
+	out := make(map[types.Object]token_Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyAlias(m map[types.Object]types.Object) map[types.Object]types.Object {
+	out := make(map[types.Object]types.Object, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Package detclockfix seeds wall-clock and global-randomness violations
+// for the detclock analyzer, plus the clean patterns it must accept.
+package detclockfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stopwatch() time.Duration {
+	start := time.Now()          // want `call to time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep reads the wall clock`
+	return time.Since(start)     // want `call to time\.Since reads the wall clock`
+}
+
+func GlobalDraw() int {
+	return rand.Intn(6) // want `call to math/rand\.Intn uses the global random source`
+}
+
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `call to math/rand\.Shuffle uses the global random source`
+}
+
+// SeededOK draws from an explicitly seeded, locally owned source: the
+// deterministic pattern the simulator uses.
+func SeededOK() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+// ArithmeticOK uses time only for duration arithmetic and constants.
+func ArithmeticOK(d time.Duration) time.Duration {
+	return d + 3*time.Microsecond
+}
+
+// AllowedSameLine is a wall-clock harness with an annotated escape.
+func AllowedSameLine() time.Time {
+	return time.Now() //lint:allow detclock fixture models a wall-clock harness
+}
+
+// AllowedLineAbove uses the directive on the preceding line.
+func AllowedLineAbove() time.Time {
+	//lint:allow detclock fixture models a wall-clock harness
+	return time.Now()
+}
+
+// BareAllowStillFires: a directive without a reason does not suppress.
+func BareAllowStillFires() time.Time {
+	//lint:allow detclock
+	return time.Now() // want `call to time\.Now reads the wall clock`
+}
+
+// WrongNameStillFires: a directive for another analyzer does not suppress.
+func WrongNameStillFires() time.Time {
+	//lint:allow maporder reason that names the wrong analyzer
+	return time.Now() // want `call to time\.Now reads the wall clock`
+}

@@ -1,0 +1,55 @@
+// Package kjobs seeds parsweep job-closure violations for kernelown:
+// captures of kernel-owned pointers and writes to captured variables.
+package kjobs
+
+import (
+	"qsmpi/internal/parsweep"
+	"qsmpi/internal/trace"
+)
+
+// SharedRecorder: one recorder captured by every job is cross-kernel
+// shared mutable state.
+func SharedRecorder(rec *trace.Recorder) []int {
+	return parsweep.Map(4, 8, func(i int) int {
+		rec.Record(trace.Event{Corr: 1}) // want `job captures rec \(\*trace\.Recorder\)`
+		return i
+	})
+}
+
+// CapturedWrite: jobs may only write their own slot.
+func CapturedWrite() int {
+	total := 0
+	parsweep.Map(4, 8, func(i int) int {
+		total += i // want `job writes captured total`
+		return i
+	})
+	return total
+}
+
+// CapturedIncrement: same rule through Run and ++.
+func CapturedIncrement() int {
+	calls := 0
+	out, _ := parsweep.Run(2, 4, func(c *parsweep.Ctx, i int) int {
+		calls++ // want `job writes captured calls`
+		return i
+	})
+	return calls + len(out)
+}
+
+// ValueCapturesOK: plain values and slices of plain values are job
+// parameters, shared by design.
+func ValueCapturesOK(sizes []int, scale int) []int {
+	return parsweep.Map(2, len(sizes), func(i int) int {
+		return sizes[i] * scale
+	})
+}
+
+// PerJobStateOK: kernel-owned values created inside the job are exactly
+// the ownership rule observed.
+func PerJobStateOK(n int) []int {
+	return parsweep.Map(2, n, func(i int) int {
+		rec := trace.NewRecorder(16)
+		rec.Record(trace.Event{Corr: trace.MsgID(i, 1)})
+		return len(rec.Events())
+	})
+}

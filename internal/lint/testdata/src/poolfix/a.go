@@ -1,0 +1,77 @@
+// Package poolfix seeds bufpool discipline violations for the pooluse
+// analyzer: use-after-Put, double-Put, retention of a recycled buffer,
+// and aliasing — plus the defer/reassign/conditional patterns it must
+// accept.
+package poolfix
+
+import "qsmpi/internal/bufpool"
+
+func UseAfterPut(p *bufpool.Pool) byte {
+	b := p.Get(64)
+	p.Put(b)
+	return b[0] // want `used b after Put`
+}
+
+func DoublePut(p *bufpool.Pool) {
+	b := p.Get(64)
+	p.Put(b)
+	p.Put(b) // want `double Put of b`
+}
+
+func RetainAfterPut(p *bufpool.Pool, sink *[][]byte) {
+	b := p.Get(64)
+	p.Put(b)
+	*sink = append(*sink, b) // want `retained b after Put`
+}
+
+func AliasAfterPut(p *bufpool.Pool) byte {
+	b := p.Get(64)
+	c := b[:32]
+	p.Put(b)
+	return c[0] // want `used c after Put`
+}
+
+func PutThroughAlias(p *bufpool.Pool) byte {
+	b := p.Get(64)
+	c := b
+	p.Put(c)
+	return b[0] // want `used b after Put`
+}
+
+// DeferPutOK: the idiomatic shape — Put runs at return, after every use.
+func DeferPutOK(p *bufpool.Pool) byte {
+	b := p.Get(64)
+	defer p.Put(b)
+	b[0] = 1
+	return b[0]
+}
+
+// ReassignRevivesOK: a fresh Get makes the name live again.
+func ReassignRevivesOK(p *bufpool.Pool) byte {
+	b := p.Get(64)
+	p.Put(b)
+	b = p.Get(128)
+	x := b[0]
+	p.Put(b)
+	return x
+}
+
+// ConditionalPutOK: a Put on one branch must not poison the join.
+func ConditionalPutOK(p *bufpool.Pool, flush bool) byte {
+	b := p.Get(64)
+	if flush {
+		p.Put(b)
+		b = p.Get(64)
+	}
+	x := b[0]
+	p.Put(b)
+	return x
+}
+
+// UseBeforePutOK: ordinary get-use-put needs no diagnostic.
+func UseBeforePutOK(p *bufpool.Pool) int {
+	b := p.Get(256)
+	n := copy(b, "header")
+	p.Put(b)
+	return n
+}

@@ -1,0 +1,40 @@
+// Package kfix stands in for a simulation package (its fixture import
+// path is qsmpi/internal/kfix, inside the kernelown sim-state scope) and
+// seeds package-level mutable state violations.
+package kfix
+
+var counter int
+
+var table = map[string]int{}
+
+// limits is a read-only tuning table: never written after init, fine.
+var limits = []int{64, 1024, 65536}
+
+func init() {
+	// One-time setup is effectively part of the declaration.
+	table["eager"] = limits[0]
+}
+
+func Bump() {
+	counter++ // want `package-level counter is written outside init`
+}
+
+func Set(k string, v int) {
+	table[k] = v // want `package-level table is written outside init`
+}
+
+func Reset() {
+	counter = 0 // want `package-level counter is written outside init`
+}
+
+// ReadersOK: reads of package state are not flagged.
+func ReadersOK(k string) int {
+	return counter + table[k] + limits[1]
+}
+
+// LocalsOK: locals shadowing nothing are untouched.
+func LocalsOK() int {
+	counter := 0
+	counter++
+	return counter
+}

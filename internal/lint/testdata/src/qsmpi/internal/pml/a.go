@@ -1,0 +1,40 @@
+// Package pml (fixture) type-checks under the import path
+// qsmpi/internal/pml — a protocol layer — so tracecorr applies: every
+// trace.Event literal must carry the Corr correlator.
+package pml
+
+import "qsmpi/internal/trace"
+
+func EmitWithoutCorr(r *trace.Recorder, rank int) {
+	r.Record(trace.Event{ // want `trace\.Event emitted without Corr`
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.SendPosted,
+	})
+}
+
+func EmitWithCorr(r *trace.Recorder, rank int, req uint64) {
+	r.Record(trace.Event{
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.SendPosted,
+		Corr: trace.MsgID(rank, req),
+	})
+}
+
+// ZeroCorrOK: an explicit zero still states the field — uncorrelated on
+// purpose, visible in review.
+func ZeroCorrOK(r *trace.Recorder, rank int) {
+	r.Record(trace.Event{
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.SendPosted, Corr: 0,
+	})
+}
+
+// AllowedUncorrelated: the escape hatch documents why.
+func AllowedUncorrelated(r *trace.Recorder, rank int) {
+	//lint:allow tracecorr fixture event predates matching, no request exists yet
+	r.Record(trace.Event{
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.SendPosted,
+	})
+}
+
+// OtherLiteralOK: non-Event composites are out of scope.
+func OtherLiteralOK() []int {
+	return []int{1, 2, 3}
+}

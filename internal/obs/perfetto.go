@@ -168,6 +168,8 @@ func writePerfetto(w io.Writer, events []trace.Event, dropped int64) error {
 	for _, s := range open {
 		dangling = append(dangling, s)
 	}
+	// The comparator must be total: dangling is collected from a map, so
+	// any tie left unbroken would surface map iteration order in the file.
 	sort.SliceStable(dangling, func(i, j int) bool {
 		if dangling[i].At != dangling[j].At {
 			return dangling[i].At < dangling[j].At
@@ -175,7 +177,13 @@ func writePerfetto(w io.Writer, events []trace.Event, dropped int64) error {
 		if dangling[i].Rank != dangling[j].Rank {
 			return dangling[i].Rank < dangling[j].Rank
 		}
-		return dangling[i].ReqID < dangling[j].ReqID
+		if dangling[i].ReqID != dangling[j].ReqID {
+			return dangling[i].ReqID < dangling[j].ReqID
+		}
+		if dangling[i].Layer != dangling[j].Layer {
+			return dangling[i].Layer < dangling[j].Layer
+		}
+		return dangling[i].Kind < dangling[j].Kind
 	})
 	for _, s := range dangling {
 		out = append(out, perfEvent{

@@ -164,11 +164,12 @@ func Run[T any](workers, n int, fn func(c *Ctx, i int) T) ([]T, Stats) {
 		// Inline fast path: no goroutines, no atomics — the -j 1 run is
 		// exactly the sequential loop it replaces.
 		ctx := &Ctx{w: &st.Workers[0]}
-		start := time.Now()
+		start := time.Now() //lint:allow detclock worker wall-time stats are wall-clock by definition
 		for i := 0; i < n; i++ {
 			out[i] = fn(ctx, i)
 			st.Workers[0].Jobs++
 		}
+		//lint:allow detclock worker wall-time stats are wall-clock by definition
 		st.Workers[0].WallNS = time.Since(start).Nanoseconds()
 		return out, st
 	}
@@ -182,8 +183,9 @@ func Run[T any](workers, n int, fn func(c *Ctx, i int) T) ([]T, Stats) {
 			defer wg.Done()
 			ws := &st.Workers[wid]
 			ctx := &Ctx{w: ws}
-			start := time.Now()
+			start := time.Now() //lint:allow detclock worker wall-time stats are wall-clock by definition
 			defer func() {
+				//lint:allow detclock worker wall-time stats are wall-clock by definition
 				ws.WallNS = time.Since(start).Nanoseconds()
 				if r := recover(); r != nil {
 					panics <- r

@@ -100,14 +100,25 @@ type Module struct {
 // SetTracer attaches a cross-layer event recorder (nil detaches it).
 func (m *Module) SetTracer(r *trace.Recorder) { m.tracer = r }
 
-func (m *Module) trace(kind trace.Kind, reqID uint64, peer, tag, bytes int) {
+// traceCorr records a PTL event carrying a cross-rank message correlator.
+func (m *Module) traceCorr(kind trace.Kind, reqID uint64, peer, tag, bytes int, corr uint64) {
 	if m.tracer == nil {
 		return
 	}
 	m.tracer.Record(trace.Event{
 		At: m.k.Now(), Rank: m.rank(), Layer: trace.LayerPTL, Kind: kind,
-		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes,
+		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes, Corr: corr,
 	})
+}
+
+// msgID computes the message correlator stamped on trace events: srcRank
+// is the message's *sending* rank (this rank for outbound requests, the
+// peer for matched inbound ones).
+func (m *Module) msgID(srcRank int, sendReq uint64) uint64 {
+	if m.tracer == nil {
+		return 0
+	}
+	return trace.MsgID(srcRank, sendReq)
 }
 
 // New creates a TCP PTL on the node's Ethernet port. One TCP module per
@@ -206,12 +217,13 @@ func (m *Module) SendFirst(th *simtime.Thread, p *ptl.Peer, sd *ptl.SendDesc) {
 	copy(payload[ptl.HeaderSize:], sd.Mem.Buf[:inline])
 	m.write(th, p, payload)
 	m.pool.Put(payload)
+	corr := m.msgID(m.rank(), sd.Hdr.SendReq)
 	if sd.Hdr.Type == ptl.TypeMatch {
-		m.trace(trace.PTLEagerTx, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), inline)
+		m.traceCorr(trace.PTLEagerTx, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), inline, corr)
 		// Buffered by the kernel: locally complete.
 		m.pml.SendProgress(th, sd.Hdr.SendReq, inline)
 	} else {
-		m.trace(trace.PTLRndvTx, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), int(sd.Hdr.MsgLen))
+		m.traceCorr(trace.PTLRndvTx, sd.Hdr.SendReq, p.Rank, int(sd.Hdr.Tag), int(sd.Hdr.MsgLen), corr)
 	}
 }
 
@@ -246,7 +258,8 @@ func (m *Module) Matched(th *simtime.Thread, p *ptl.Peer, rd *ptl.RecvDesc) {
 	h.EncodeTo(payload)
 	m.write(th, p, payload)
 	m.pool.Put(payload)
-	m.trace(trace.PTLAckTx, rd.ReqID, p.Rank, int(rd.Hdr.Tag), int(rd.Hdr.MsgLen))
+	m.traceCorr(trace.PTLAckTx, rd.ReqID, p.Rank, int(rd.Hdr.Tag), int(rd.Hdr.MsgLen),
+		m.msgID(p.Rank, rd.Hdr.SendReq))
 }
 
 // write models a sendmsg(2): one syscall, per-segment stack processing and

@@ -9,6 +9,7 @@ import (
 	"qsmpi/internal/pml"
 	"qsmpi/internal/ptltcp"
 	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
 )
 
 func tcpSpec() cluster.Spec {
@@ -166,5 +167,43 @@ func TestLifecycleEnforced(t *testing.T) {
 	_ = c.Run()
 	if !panicked {
 		t.Fatal("send after finalize did not panic")
+	}
+}
+
+// TestPTLEventsCarryCorr pins the tracecorr contract on the TCP path:
+// every PTL-layer event (eager, rendezvous and ACK tx) must carry the
+// cross-rank message correlator, or the critical-path profiler drops it
+// from the message's lifecycle chain.
+func TestPTLEventsCarryCorr(t *testing.T) {
+	for _, n := range []int{1024, 200 * 1024} { // eager and rendezvous
+		rec := trace.NewRecorder(0)
+		spec := tcpSpec()
+		spec.Tracer = rec
+		c := cluster.New(spec, 2)
+		c.Launch(func(p *cluster.Proc) {
+			dt := datatype.Contiguous(n)
+			if p.Rank == 0 {
+				p.Stack.Send(p.Th, 1, 1, 0, pattern(n, 2), dt).Wait(p.Th)
+			} else {
+				buf := make([]byte, n)
+				p.Stack.Recv(p.Th, 0, 1, 0, buf, dt).Wait(p.Th)
+			}
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		ptlEvents := 0
+		for _, e := range rec.Events() {
+			if e.Layer != trace.LayerPTL {
+				continue
+			}
+			ptlEvents++
+			if e.Corr == 0 {
+				t.Errorf("size %d: PTL event %s at %v has no correlator", n, e.Kind, e.At)
+			}
+		}
+		if ptlEvents == 0 {
+			t.Fatalf("size %d: no PTL events traced", n)
+		}
 	}
 }
