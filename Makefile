@@ -55,6 +55,15 @@ report-par:
 	diff /tmp/qsmpi-report-j1.md /tmp/qsmpi-report-jN.md
 	@echo "report output identical at -j 1 and -j N"
 
+# report-shards proves the sharded conservative kernel's identity
+# contract end to end (DESIGN.md §7.2): one simulation partitioned over
+# 4 PDES shards must produce the byte-identical replication report.
+report-shards:
+	$(GO) run ./cmd/report -shards 1 > /tmp/qsmpi-report-s1.md
+	$(GO) run ./cmd/report -shards 4 > /tmp/qsmpi-report-s4.md
+	diff /tmp/qsmpi-report-s1.md /tmp/qsmpi-report-s4.md
+	@echo "report output identical at -shards 1 and -shards 4"
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 

@@ -36,6 +36,7 @@ func main() {
 	rails := flag.Int("rails", 1, "Quadrics rails")
 	lossRate := flag.Float64("lossrate", 0, "per-packet CRC loss probability")
 	traceOut := flag.String("trace", "", "write a cross-layer Chrome trace-event JSON (Perfetto) to this file")
+	shards := flag.Int("shards", 1, "worker shards for the conservative parallel kernel (≤1 = classic engine)")
 	metrics := flag.Bool("metrics", false, "print the unified metrics table after the summaries")
 	flag.Parse()
 
@@ -57,7 +58,10 @@ func main() {
 
 	m := model.Default()
 	m.LinkLossRate = *lossRate
-	spec := cluster.Spec{Elan: &opts, Progress: progress, ElanRails: *rails, Model: &m}
+	if *shards > 1 && *lossRate > 0 {
+		log.Fatal("clustersim: -shards > 1 is incompatible with -lossrate > 0 (lossy retransmits serialize through shared link state)")
+	}
+	spec := cluster.Spec{Elan: &opts, Progress: progress, ElanRails: *rails, Model: &m, Shards: *shards}
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.NewRecorder(0)

@@ -13,6 +13,9 @@
 //	perfbench -j 8                        # sweep-engine workers for -sweeps
 //	perfbench -sweeps=false               # skip the parallel-sweep comparison
 //	perfbench -baseline old.json -out BENCH_wallclock.json
+//	perfbench -shards 4                   # workloads on the sharded kernel
+//	perfbench -shardscale=false           # skip the 1/2/4-shard scaling curve
+//	perfbench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // The -baseline flag takes a previously written report and records the
 // per-workload instrumentation-off overhead against it (the observability
@@ -36,6 +39,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -100,6 +104,19 @@ type speedupEntry struct {
 	Speedup   float64 `json:"speedup"`
 }
 
+// shardScalingEntry is one (workload, shard count) throughput sample of
+// the conservative parallel kernel. SimUS and Events are recorded per
+// shard count: contention-tie-free workloads reproduce the sequential
+// numbers exactly, and any shard count ≥ 2 is self-consistent.
+type shardScalingEntry struct {
+	Name         string  `json:"name"`
+	Shards       int     `json:"shards"`
+	SimUS        float64 `json:"sim_us"`
+	Events       int64   `json:"events"`
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
 // report is the BENCH_wallclock.json schema.
 type report struct {
 	Generated  string           `json:"generated"`
@@ -108,6 +125,12 @@ type report struct {
 	Reps       int              `json:"reps"`
 	Workloads  []workloadResult `json:"workloads"`
 	Sweeps     []sweepResult    `json:"sweeps,omitempty"`
+	// Shards is the sharded-kernel scaling curve: event throughput of the
+	// parallelizable workloads at increasing worker-shard counts. NumCPU
+	// qualifies the curve — on a single-core box the sharded runs measure
+	// engine overhead, not speedup.
+	Shards []shardScalingEntry `json:"shards,omitempty"`
+	NumCPU int                 `json:"num_cpu,omitempty"`
 	// SweepGeomean is the geometric-mean parallel-sweep speedup across
 	// the sweep workloads.
 	SweepGeomean float64        `json:"sweep_geomean,omitempty"`
@@ -198,9 +221,9 @@ type workload struct {
 	run  func() (simUS float64, events int64)
 }
 
-func elanSpec() cluster.Spec {
+func elanSpec(shards int) cluster.Spec {
 	o := ptlelan4.BestOptions(ptlelan4.RDMARead)
-	return cluster.Spec{Elan: &o, Progress: pml.Polling}
+	return cluster.Spec{Elan: &o, Progress: pml.Polling, Shards: shards}
 }
 
 // clusterRun launches a pattern over a fresh cluster and returns the
@@ -214,23 +237,23 @@ func clusterRun(spec cluster.Spec, procs int, body func(p *cluster.Proc)) (float
 	return c.Now().Micros(), c.K.Steps()
 }
 
-func workloads() []workload {
+func workloads(shards int) []workload {
 	return []workload{
 		{"pingpong-eager-4B", func() (float64, int64) {
-			return experiments.OpenMPIPingPongEvents(elanSpec(), 4, 2000)
+			return experiments.OpenMPIPingPongEvents(elanSpec(shards), 4, 2000)
 		}},
 		{"pingpong-rndv-64KB", func() (float64, int64) {
-			return experiments.OpenMPIPingPongEvents(elanSpec(), 65536, 300)
+			return experiments.OpenMPIPingPongEvents(elanSpec(shards), 65536, 300)
 		}},
 		{"pingpong-tcp-4KB", func() (float64, int64) {
-			spec := cluster.Spec{TCP: &ptltcp.Options{}, Progress: pml.Polling}
+			spec := cluster.Spec{TCP: &ptltcp.Options{}, Progress: pml.Polling, Shards: shards}
 			return experiments.OpenMPIPingPongEvents(spec, 4096, 500)
 		}},
 		{"pingpong-vector-8KB", func() (float64, int64) {
 			// Non-contiguous datatype: exercises the pack/unpack staging
 			// pools on both sides of every transfer.
 			dt := datatype.Vector(512, 16, 32, datatype.Contiguous(1))
-			spec := elanSpec()
+			spec := elanSpec(shards)
 			spec.DTP = true
 			return clusterRun(spec, 2, func(p *cluster.Proc) {
 				buf := make([]byte, dt.Extent())
@@ -248,7 +271,7 @@ func workloads() []workload {
 		}},
 		{"alltoall-8x4KB", func() (float64, int64) {
 			dt := datatype.Contiguous(4096)
-			return clusterRun(elanSpec(), 8, func(p *cluster.Proc) {
+			return clusterRun(elanSpec(shards), 8, func(p *cluster.Proc) {
 				buf := make([]byte, 4096)
 				for i := 0; i < 10; i++ {
 					var sends []*pml.SendReq
@@ -357,7 +380,22 @@ func main() {
 	workers := flag.Int("j", 0, "sweep-engine workers for -sweeps (0 = one per core)")
 	sweeps := flag.Bool("sweeps", true, "measure the sequential-vs-parallel sweep speedup")
 	baseline := flag.String("baseline", "", "prior BENCH_wallclock.json: record per-workload instrumentation-off overhead against it")
+	shards := flag.Int("shards", 1, "worker shards for the workload runs (conservative parallel kernel; ≤1 = classic engine)")
+	shardScale := flag.Bool("shardscale", true, "record the sharded-kernel scaling curve (events/sec at 1/2/4 shards)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering every measured run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all runs) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("perfbench: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("perfbench: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	// Read the baseline up front so -out may safely overwrite the same file.
 	var base *report
@@ -377,15 +415,36 @@ func main() {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Reps:       *reps,
 	}
 	fmt.Printf("%-22s %14s %12s %12s %14s %10s\n",
 		"workload", "sim-us", "events", "wall-ms", "events/sec", "ns/event")
-	for _, w := range workloads() {
+	for _, w := range workloads(*shards) {
 		r := measure(w, *reps)
 		rep.Workloads = append(rep.Workloads, r)
 		fmt.Printf("%-22s %14.1f %12d %12.2f %14.0f %10.1f\n",
 			r.Name, r.SimUS, r.Events, r.WallMS, r.EventsPerSec, r.NSPerEvent)
+	}
+
+	if *shardScale {
+		fmt.Printf("\n%-22s %8s %14s %12s %12s %14s\n",
+			"shard scaling", "shards", "sim-us", "events", "wall-ms", "events/sec")
+		for _, n := range []int{1, 2, 4} {
+			// The 8-node all-to-all is the parallelizable workload: at 4
+			// shards each worker owns two node stacks.
+			for _, w := range workloads(n) {
+				if w.name != "alltoall-8x4KB" {
+					continue
+				}
+				r := measure(w, *reps)
+				e := shardScalingEntry{Name: w.name, Shards: n, SimUS: r.SimUS,
+					Events: r.Events, WallMS: r.WallMS, EventsPerSec: r.EventsPerSec}
+				rep.Shards = append(rep.Shards, e)
+				fmt.Printf("%-22s %8d %14.1f %12d %12.2f %14.0f\n",
+					e.Name, e.Shards, e.SimUS, e.Events, e.WallMS, e.EventsPerSec)
+			}
+		}
 	}
 
 	if *sweeps {
@@ -466,5 +525,20 @@ func main() {
 			log.Fatalf("perfbench: %v", err)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *memprofile != "" {
+		runtime.GC() // materialize only live allocations in the profile
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("perfbench: %v", err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("perfbench: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("perfbench: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *memprofile)
 	}
 }

@@ -28,11 +28,13 @@ func main() {
 	stats := flag.Bool("stats", false, "print sweep-engine worker stats to stderr")
 	metrics := flag.Bool("metrics", false, "append per-figure cross-layer metrics tables (representative instrumented reruns)")
 	breakdown := flag.Bool("breakdown", false, "append per-figure phase-decomposition tables (representative instrumented reruns)")
+	shards := flag.Int("shards", 1, "worker shards per measurement cluster (conservative parallel kernel; the report body is byte-identical at any value)")
 	flag.Parse()
 	var st parsweep.Stats
 	cfg := experiments.DefaultConfig().WithIters(*iters)
 	cfg.Workers = *workers
 	cfg.Stats = &st
+	cfg.Shards = *shards
 
 	claims := experiments.Claims(cfg)
 	fmt.Println("# Replication report: Open MPI over Quadrics/Elan4")

@@ -59,6 +59,17 @@ type Spec struct {
 	// watchdog's window is dumped as a structured stall diagnostic, and
 	// Cluster.Run appends the diagnostics to its deadlock error.
 	Watchdog *obs.Watchdog
+
+	// Shards is the worker-shard count of the conservative parallel kernel
+	// (see internal/simtime). 0 or 1 runs the classic sequential engine —
+	// the exact pre-sharding code path. With N > 1, node i (its host, NICs
+	// and every rank placed on it) becomes simulation entity i+1 and the
+	// nodes are partitioned into N contiguous blocks; cross-shard traffic
+	// rides the fabric, whose wire latency is the engine's lookahead.
+	// Output is byte-identical at every shard count. Incompatible with
+	// LinkLossRate > 0 (the lossy retransmit path serializes through
+	// shared link state mid-flight).
+	Shards int
 }
 
 // Proc is one launched MPI process with its full stack.
@@ -91,7 +102,19 @@ type Cluster struct {
 	spec   Spec
 	nprocs int
 	procs  []*Proc
+
+	// nodeRecs holds one trace recorder per node under a sharded kernel
+	// (worker shards append concurrently, so the single Spec.Tracer cannot
+	// serve them all); Run merges them into Spec.Tracer deterministically.
+	nodeRecs []*trace.Recorder
+	// initDone counts ranks through the mpi-init rendezvous; the last one
+	// enables parallel epochs.
+	initDone int
 }
+
+// entityOf maps a node index to its simulation entity: entity 0 is the
+// coordinator-owned global services, node i is entity i+1.
+func entityOf(node int) simtime.Entity { return simtime.Entity(node + 1) }
 
 // New builds the physical cluster for a given spec and process count.
 func New(spec Spec, nprocs int) *Cluster {
@@ -104,6 +127,29 @@ func New(spec Spec, nprocs int) *Cluster {
 		nodes = nprocs
 	}
 	k := simtime.NewKernel()
+	if spec.Shards > 1 {
+		if cfg.LinkLossRate > 0 {
+			panic("cluster: Shards > 1 is incompatible with LinkLossRate > 0")
+		}
+		look := cfg.WireLatency
+		if spec.TCP != nil && cfg.TCPWireLatency < look {
+			look = cfg.TCPWireLatency
+		}
+		shards := spec.Shards
+		if shards > nodes {
+			shards = nodes
+		}
+		// Contiguous block partition: node i → worker floor(i*S/nodes)+1.
+		// The shard plan must be installed before any fabric is built —
+		// fabric.New latches the kernel's sharded mode.
+		k.Shard(simtime.ShardPlan{
+			Workers: shards,
+			Owner: func(e simtime.Entity) int {
+				return (int(e)-1)*shards/nodes + 1
+			},
+			Lookahead: look,
+		})
+	}
 	c := &Cluster{
 		K: k, Cfg: cfg, spec: spec, nprocs: nprocs,
 		Registry: rte.NewRegistry(k, cfg.OOBLatency),
@@ -138,28 +184,37 @@ func New(spec Spec, nprocs int) *Cluster {
 	if spec.Elan != nil {
 		c.RailNICs = make([][]*elan4.NIC, rails)
 	}
+	if spec.Tracer != nil && k.Sharded() > 0 {
+		c.nodeRecs = make([]*trace.Recorder, nodes)
+		for i := range c.nodeRecs {
+			c.nodeRecs[i] = trace.NewRecorder(0)
+		}
+	}
 	for i := 0; i < nodes; i++ {
-		h := simtime.NewHost(k, fmt.Sprintf("node%d", i), cfg.HostCPUs)
+		h := simtime.NewHostSched(k.SchedFor(entityOf(i)), fmt.Sprintf("node%d", i), cfg.HostCPUs)
 		c.Hosts = append(c.Hosts, h)
 		if spec.Elan != nil {
 			for r := 0; r < rails; r++ {
 				c.RailNICs[r] = append(c.RailNICs[r], elan4.NewNIC(k, h, c.RailNets[r], i, cfg, c.Registry))
 			}
 		}
+		// Bind every fabric port to its node's entity so injection and
+		// delivery run on the owning shard (a no-op scheduling-wise on a
+		// classic kernel).
+		for _, net := range c.RailNets {
+			net.BindPort(i, h.Sched(), c.tracerFor(i))
+		}
+		if c.EthNet != nil {
+			c.EthNet.BindPort(i, h.Sched(), c.tracerFor(i))
+		}
 	}
 	if spec.Elan != nil {
 		c.NICs = c.RailNICs[0]
 	}
 	if spec.Tracer != nil {
-		for _, net := range c.RailNets {
-			net.SetTracer(spec.Tracer)
-		}
-		if c.EthNet != nil {
-			c.EthNet.SetTracer(spec.Tracer)
-		}
 		for _, rail := range c.RailNICs {
-			for _, nic := range rail {
-				nic.SetTracer(spec.Tracer)
+			for i, nic := range rail {
+				nic.SetTracer(c.tracerFor(i))
 			}
 		}
 	}
@@ -170,6 +225,50 @@ func New(spec Spec, nprocs int) *Cluster {
 		spec.Watchdog.Bind(k, spec.Tracer)
 	}
 	return c
+}
+
+// tracerFor returns the recorder a node's layers should record into: the
+// node's private recorder under a sharded kernel, the shared Spec.Tracer
+// otherwise (nil when tracing is off).
+func (c *Cluster) tracerFor(node int) *trace.Recorder {
+	if c.nodeRecs != nil {
+		return c.nodeRecs[node]
+	}
+	return c.spec.Tracer
+}
+
+// mergeTraces folds the per-node recorders into Spec.Tracer after a
+// sharded run. Within a node the record order is the node's deterministic
+// execution order; across nodes events merge by (time, node, node-local
+// order), which is independent of the shard count.
+func (c *Cluster) mergeTraces() {
+	if c.nodeRecs == nil {
+		return
+	}
+	type cursor struct {
+		events []trace.Event
+		i      int
+	}
+	cur := make([]cursor, len(c.nodeRecs))
+	total := 0
+	for i, r := range c.nodeRecs {
+		cur[i].events = r.Events()
+		total += len(cur[i].events)
+	}
+	for n := 0; n < total; n++ {
+		best := -1
+		for i := range cur {
+			if cur[i].i >= len(cur[i].events) {
+				continue
+			}
+			if best < 0 || cur[i].events[cur[i].i].At < cur[best].events[cur[best].i].At {
+				best = i
+			}
+		}
+		c.spec.Tracer.Record(cur[best].events[cur[best].i])
+		cur[best].i++
+	}
+	c.nodeRecs = nil
 }
 
 // ProcName is the RTE registry name for a rank of the job; dynamically
@@ -193,6 +292,15 @@ func (c *Cluster) Launch(main func(p *Proc)) {
 				c.ConnectPeer(p, peer, ProcName(peer))
 			}
 			c.Registry.Rendezvous(th, "mpi-init", c.nprocs)
+			// Bringup is all shared-service traffic (RTE joins, OOB
+			// connection setup), so it runs sequentially; once the last
+			// rank clears the rendezvous the steady state is pure
+			// fabric traffic and worker epochs can start. The counter
+			// is safe: it only advances in the sequential phase.
+			c.initDone++
+			if c.initDone == c.nprocs {
+				c.K.EnableParallel()
+			}
 			main(p)
 		})
 	}
@@ -285,7 +393,9 @@ func (c *Cluster) ConnectPeer(p *Proc, rank int, name string) {
 
 // SpawnExtra launches an additional process after the initial job is
 // running (MPI-2 dynamic process management). The caller coordinates
-// rendezvous/connection with the existing job via RTE primitives.
+// rendezvous/connection with the existing job via RTE primitives. On a
+// sharded kernel the caller must be in the sequential phase (see
+// Kernel.AwaitSequential); dynamic bringup is shared-service traffic.
 func (c *Cluster) SpawnExtra(rank, node int, name string, main func(p *Proc)) {
 	c.Hosts[node].Spawn(fmt.Sprintf("dyn-rank%d", rank), func(th *simtime.Thread) {
 		p := c.bringup(th, rank, node, name)
@@ -294,8 +404,11 @@ func (c *Cluster) SpawnExtra(rank, node int, name string, main func(p *Proc)) {
 }
 
 // Finalize drains and finalizes one process's stack (lifecycle stages
-// four and five).
+// four and five). Teardown touches shared services (module close, RTE
+// leave), so on a sharded kernel it first drops back to the sequential
+// phase; the remainder of the run stays coordinator-only.
 func (p *Proc) Finalize() {
+	p.Th.Host().Kernel().AwaitSequential(p.Th.Proc())
 	p.Stack.Finalize(p.Th)
 	for _, m := range p.Elans {
 		m.Close()
@@ -311,6 +424,7 @@ func (p *Proc) Finalize() {
 // appended to the deadlock error.
 func (c *Cluster) Run() error {
 	c.K.Run()
+	c.mergeTraces()
 	if st := c.K.Stalled(); len(st) != 0 {
 		if c.spec.Watchdog != nil {
 			if diag := c.spec.Watchdog.Render(); diag != "" {

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/ptlelan4"
+	"qsmpi/internal/simtime"
+)
+
+// shardSignature runs a traffic pattern on a cluster with the given shard
+// count and renders everything observable about the run — final virtual
+// time, per-NIC hardware counters, fabric totals, per-rank PML and PTL
+// statistics, host busy time — into one string. The sharded determinism
+// gate requires the signature to be byte-identical at every shard count;
+// shards == 0 is the classic sequential engine (the pre-sharding path).
+func shardSignature(t *testing.T, shards, procs, size, iters int, pattern string) string {
+	t.Helper()
+	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	spec := Spec{Elan: &opts, Progress: pml.Polling, Shards: shards}
+	c := New(spec, procs)
+	var mods []*ptlelan4.Module
+	var stacks []*pml.Stack
+	c.Launch(func(p *Proc) {
+		mods = append(mods, p.Elan)
+		stacks = append(stacks, p.Stack)
+		runTestPattern(p, procs, pattern, size, iters)
+		p.Finalize()
+	})
+	if err := c.Run(); err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "now=%v steps=%d\n", c.Now(), c.K.Steps())
+	for i, nic := range c.NICs {
+		s := nic.Stats()
+		fmt.Fprintf(&b, "nic%d qdma=%d wr=%d rd=%d dma=%d chain=%d bytes=%d retry=%d irq=%d busy=%v\n",
+			i, s.QDMAs, s.RDMAWrites, s.RDMAReads, s.DMACompleted, s.ChainFires,
+			s.BytesSent, s.Retries, s.Interrupts, c.Hosts[i].BusyTime())
+	}
+	sent, delivered := c.Net.Stats()
+	fmt.Fprintf(&b, "fabric sent=%d delivered=%d bytes=%d retx=%d\n",
+		sent, delivered, c.Net.BytesSent(), c.Net.Retransmits())
+	for i, m := range mods {
+		s := m.Stats()
+		fmt.Fprintf(&b, "ptl%d eager=%d rndv=%d ack=%d fin=%d finack=%d put=%d get=%d cq=%d\n",
+			i, s.EagerTx, s.RndvTx, s.AckTx, s.FinTx, s.FinAckTx, s.PutOps, s.GetOps, s.CQRecords)
+	}
+	for i, st := range stacks {
+		s := st.Stats()
+		fmt.Fprintf(&b, "pml%d sends=%d recvs=%d eager=%d rndv=%d unexp=%d hw=%d reord=%d match=%d\n",
+			i, s.Sends, s.Recvs, s.EagerSends, s.RndvSends,
+			s.UnexpectedMsgs, s.UnexpectedHighWater, s.ReorderedMsgs, s.MatchAttempts)
+	}
+	return b.String()
+}
+
+func runTestPattern(p *Proc, procs int, pattern string, size, iters int) {
+	dt := datatype.Contiguous(size)
+	buf := make([]byte, size)
+	scratch := make([]byte, size)
+	switch pattern {
+	case "pingpong":
+		if p.Rank > 1 {
+			return
+		}
+		for i := 0; i < iters; i++ {
+			if p.Rank == 0 {
+				p.Stack.Send(p.Th, 1, 1, 0, buf, dt).Wait(p.Th)
+				p.Stack.Recv(p.Th, 1, 2, 0, scratch, dt).Wait(p.Th)
+			} else {
+				p.Stack.Recv(p.Th, 0, 1, 0, scratch, dt).Wait(p.Th)
+				p.Stack.Send(p.Th, 0, 2, 0, buf, dt).Wait(p.Th)
+			}
+		}
+	case "ring":
+		next := (p.Rank + 1) % procs
+		prev := (p.Rank - 1 + procs) % procs
+		for i := 0; i < iters; i++ {
+			r := p.Stack.Recv(p.Th, prev, i, 0, scratch, dt)
+			p.Stack.Send(p.Th, next, i, 0, buf, dt).Wait(p.Th)
+			r.Wait(p.Th)
+		}
+	case "alltoall":
+		for i := 0; i < iters; i++ {
+			var sends []*pml.SendReq
+			var recvs []*pml.RecvReq
+			for peer := 0; peer < procs; peer++ {
+				if peer == p.Rank {
+					continue
+				}
+				recvs = append(recvs, p.Stack.Recv(p.Th, peer, i, 0, make([]byte, size), dt))
+				sends = append(sends, p.Stack.Send(p.Th, peer, i, 0, buf, dt))
+			}
+			for _, r := range recvs {
+				r.Wait(p.Th)
+			}
+			for _, s := range sends {
+				s.Wait(p.Th)
+			}
+		}
+	default:
+		panic("unknown pattern " + pattern)
+	}
+}
+
+// TestShardedClusterIdentity is the tentpole gate: the full stack (PML,
+// PTL/Elan4, NIC, fabric) must produce byte-identical observable output at
+// shard counts 1 (classic engine), 2 and 4, for traffic patterns and
+// message sizes spanning the eager and rendezvous protocols. These
+// patterns never have two sources contending for one link at the same
+// instant, so the canonical (time, source, sequence) cross-shard order
+// coincides with the sequential engine's history order — the condition
+// under which shards-vs-sequential identity is guaranteed (see
+// DESIGN.md §7.2; the report and golden workloads are all in this class).
+func TestShardedClusterIdentity(t *testing.T) {
+	cases := []struct {
+		pattern     string
+		procs, size int
+		iters       int
+	}{
+		{"pingpong", 2, 1024, 8},
+		{"pingpong", 2, 1 << 17, 4},
+		{"ring", 8, 4096, 6},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s-p%d-s%d", tc.pattern, tc.procs, tc.size), func(t *testing.T) {
+			base := shardSignature(t, 0, tc.procs, tc.size, tc.iters, tc.pattern)
+			for _, shards := range []int{2, 4} {
+				got := shardSignature(t, shards, tc.procs, tc.size, tc.iters, tc.pattern)
+				if got != base {
+					t.Errorf("shards=%d diverges from sequential run:\n--- shards=0\n%s\n--- shards=%d\n%s",
+						shards, base, shards, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSelfIdentity pins the parallel engine's own determinism on a
+// contention-heavy workload: all-to-all saturates shared switch links with
+// same-instant traffic from every source, where the canonical cross-shard
+// order is the defined semantics (the sequential engine breaks such ties
+// by scheduling history instead, so shards ≥ 2 are compared only to each
+// other). Any shard count ≥ 2 must produce byte-identical output.
+func TestShardedSelfIdentity(t *testing.T) {
+	cases := []struct {
+		procs, size, iters int
+	}{
+		{8, 2048, 3},
+		{6, 1 << 16, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("alltoall-p%d-s%d", tc.procs, tc.size), func(t *testing.T) {
+			base := shardSignature(t, 2, tc.procs, tc.size, tc.iters, "alltoall")
+			for _, shards := range []int{3, 4, 8} {
+				got := shardSignature(t, shards, tc.procs, tc.size, tc.iters, "alltoall")
+				if got != base {
+					t.Errorf("shards=%d diverges from shards=2:\n--- shards=2\n%s\n--- shards=%d\n%s",
+						shards, base, shards, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedUsesWorkers guards against the engine silently staying
+// sequential: with 4 shards on an 8-node all-to-all, worker shards must
+// execute a substantial share of the events.
+func TestShardedUsesWorkers(t *testing.T) {
+	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	spec := Spec{Elan: &opts, Progress: pml.Polling, Shards: 4}
+	c := New(spec, 8)
+	c.Launch(func(p *Proc) {
+		runTestPattern(p, 8, "alltoall", 2048, 3)
+		p.Finalize()
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	steps := c.K.ShardSteps()
+	if steps == nil {
+		t.Fatal("kernel is not sharded")
+	}
+	var worker, total int64
+	for i, n := range steps {
+		total += n
+		if i > 0 {
+			worker += n
+		}
+	}
+	t.Logf("shard steps: %v", steps)
+	if worker*2 < total {
+		t.Errorf("workers ran %d of %d events; expected the majority", worker, total)
+	}
+	if _ = simtime.GlobalEntity; c.K.Sharded() != 4 {
+		t.Errorf("Sharded() = %d, want 4", c.K.Sharded())
+	}
+}

@@ -102,7 +102,7 @@ func (e *Event) trigger() {
 			}
 		}
 	}
-	e.nic.k.After(e.nic.cfg.EventUpdate, "elan4:event", e.triggerFn)
+	e.nic.sc.After(e.nic.cfg.EventUpdate, "elan4:event", e.triggerFn)
 }
 
 func (e *Event) fire() {
@@ -123,7 +123,7 @@ func (e *Event) fire() {
 		e.nic.stats.ChainFires++
 		if e.nic.tracer != nil && e.ctx != nil {
 			e.nic.tracer.Record(trace.Event{
-				At: e.nic.k.Now(), Rank: e.ctx.vpid, Layer: trace.LayerElan4,
+				At: e.nic.sc.Now(), Rank: e.ctx.vpid, Layer: trace.LayerElan4,
 				Kind: trace.ChainFired,
 			})
 		}

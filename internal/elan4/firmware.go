@@ -32,7 +32,7 @@ func (n *NIC) FirmwareSend(dstPort, size int, payload any) {
 
 // FirmwareDelay schedules fn after d of NIC processing time.
 func (n *NIC) FirmwareDelay(d simtime.Duration, name string, fn func()) {
-	n.k.After(d, name, fn)
+	n.sc.After(d, name, fn)
 }
 
 // FirmwareRxPCI schedules fn once nbytes have moved to host memory through
@@ -44,7 +44,7 @@ func (n *NIC) FirmwareRxPCI(nbytes int, extra simtime.Duration, name string, fn 
 // FirmwareTxPCI schedules fn after reading nbytes from host memory (the
 // outbound DMA cost firmware pays before putting data on the wire).
 func (n *NIC) FirmwareTxPCI(nbytes int, extra simtime.Duration, name string, fn func()) {
-	n.k.After(simtime.BytesAt(nbytes, n.cfg.PCIBandwidth)+extra, name, fn)
+	n.sc.After(simtime.BytesAt(nbytes, n.cfg.PCIBandwidth)+extra, name, fn)
 }
 
 // FirmwareInterrupt raises a host interrupt firing sig.

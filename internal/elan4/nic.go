@@ -37,6 +37,7 @@ type Stats struct {
 // context from the system-wide capability).
 type NIC struct {
 	k    *simtime.Kernel
+	sc   simtime.Sched
 	host *simtime.Host
 	net  *fabric.Network
 	port int
@@ -75,7 +76,7 @@ func (n *NIC) traceOp(rank int, kind trace.Kind, op *dmaOp, peer, bytes int) {
 		return
 	}
 	n.tracer.Record(trace.Event{
-		At: n.k.Now(), Rank: rank, Layer: trace.LayerElan4, Kind: kind,
+		At: n.sc.Now(), Rank: rank, Layer: trace.LayerElan4, Kind: kind,
 		ReqID: op.tid, Peer: peer, Bytes: bytes, Corr: op.cookie,
 	})
 }
@@ -83,13 +84,13 @@ func (n *NIC) traceOp(rank int, kind trace.Kind, op *dmaOp, peer, bytes int) {
 // afterRxPCI schedules fn once nbytes have been written to host memory
 // through the (FIFO) inbound PCI path, plus a fixed extra delay.
 func (n *NIC) afterRxPCI(nbytes int, extra simtime.Duration, name string, fn func()) {
-	start := n.k.Now()
+	start := n.sc.Now()
 	if n.rxPCIFree > start {
 		start = n.rxPCIFree
 	}
 	done := start.Add(simtime.BytesAt(nbytes, n.cfg.PCIBandwidth)).Add(extra)
 	n.rxPCIFree = done
-	n.k.At(done, name, fn)
+	n.sc.At(done, name, fn)
 }
 
 // Context is a process's attachment to a NIC: its MMU and receive queues.
@@ -252,13 +253,13 @@ const qdmaMaxRetries = 10000
 // threads pay issue costs, the NIC's own processing happens off-CPU.
 func NewNIC(k *simtime.Kernel, host *simtime.Host, net *fabric.Network, port int, cfg model.Config, res Resolver) *NIC {
 	n := &NIC{
-		k: k, host: host, net: net, port: port, cfg: cfg, res: res,
+		k: k, sc: host.Sched(), host: host, net: net, port: port, cfg: cfg, res: res,
 		contexts: make(map[int]*Context),
 		engineQ:  simtime.NewChan[*dmaOp](),
 		pool:     bufpool.New(),
 	}
 	net.Attach(port, n.handlePacket)
-	k.Spawn(fmt.Sprintf("elan4:engine:%d", port), n.engineLoop)
+	n.sc.Spawn(fmt.Sprintf("elan4:engine:%d", port), n.engineLoop)
 	return n
 }
 
@@ -446,14 +447,14 @@ func (c *Context) ChainQDMA(ev *Event, dstVPID, queue int, data []byte, done *Ev
 // completion queue instead.
 func (c *Context) ResetEventCountRacy(th *simtime.Thread, ev *Event, newCount int) {
 	th.Compute(c.nic.cfg.CmdIssue)
-	c.nic.k.After(c.nic.cfg.NICDispatch, "elan4:event-reset", func() {
+	c.nic.sc.After(c.nic.cfg.NICDispatch, "elan4:event-reset", func() {
 		ev.setCount(int64(newCount))
 	})
 }
 
 func (c *Context) enqueueOp(op *dmaOp) {
 	n := c.nic
-	n.k.After(n.cfg.NICDispatch, "elan4:dispatch", func() {
+	n.sc.After(n.cfg.NICDispatch, "elan4:dispatch", func() {
 		n.engineQ.Send(op)
 	})
 }
@@ -729,7 +730,7 @@ func (n *NIC) handlePacket(pkt *fabric.Packet) {
 		if backoff < simtime.Microsecond {
 			backoff = simtime.Microsecond
 		}
-		n.k.After(backoff, "elan4:qdma-retry", func() {
+		n.sc.After(backoff, "elan4:qdma-retry", func() {
 			// Re-resolve: the destination may have moved or reappeared.
 			port, ctx, ok := n.res.Resolve(m.orig.dstVPID)
 			if !ok {
@@ -754,5 +755,5 @@ func (n *NIC) reply(port int, payload any) {
 
 func (n *NIC) raiseInterrupt(sig *simtime.Signal) {
 	n.stats.Interrupts++
-	n.k.After(n.cfg.InterruptLatency, "elan4:irq", sig.Fire)
+	n.sc.After(n.cfg.InterruptLatency, "elan4:irq", sig.Fire)
 }

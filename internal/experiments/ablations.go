@@ -104,7 +104,7 @@ func AblationFatTreeScale(cfg Config) *Result {
 // n-node cluster.
 func farCornerLatency(cfg Config, nodes, size int) (float64, parsweep.Metrics) {
 	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
-	spec := cluster.Spec{Elan: &opts, Nodes: nodes, Progress: pml.Polling}
+	spec := cluster.Spec{Elan: &opts, Nodes: nodes, Progress: pml.Polling, Shards: cfg.Shards}
 	c := cluster.New(spec, nodes)
 	var total simtime.Duration
 	iters := cfg.Iters / 2

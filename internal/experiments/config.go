@@ -20,6 +20,11 @@ type Config struct {
 	// jobs, sim-events, wall time, pool hit-rates) across every sweep
 	// run under this config.
 	Stats *parsweep.Stats
+	// Shards is the worker-shard count each measurement cluster runs with
+	// (see cluster.Spec.Shards); 0 or 1 keeps the classic sequential
+	// kernel. The report workloads are contention-tie-free, so their
+	// output is byte-identical at every shard count.
+	Shards int
 }
 
 // DefaultConfig mirrors the historical defaults: 100 timed iterations,

@@ -149,12 +149,14 @@ func OpenMPILayered(spec cluster.Spec, size, iters int) (total, pmlCost float64)
 // openMPIPingPong is the Config-aware harness the parallel sweeps use:
 // warmup comes from the config and the engine metrics are reported.
 func (c Config) openMPIPingPong(spec cluster.Spec, size, iters int) (float64, parsweep.Metrics) {
+	spec.Shards = c.Shards
 	lat, _, m := openMPITraced(spec, size, iters, c.Warmup, false)
 	return lat, m
 }
 
 // openMPILayered is OpenMPILayered plus engine metrics.
 func (c Config) openMPILayered(spec cluster.Spec, size int) (total, pmlCost float64, m parsweep.Metrics) {
+	spec.Shards = c.Shards
 	return openMPITraced(spec, size, c.Iters, c.Warmup, true)
 }
 

@@ -9,6 +9,16 @@
 // reserves each link for its serialization time, and schedules delivery at
 // the receiving port's handler. Packets between the same pair of ports are
 // delivered in send order (deterministic routing, FIFO links).
+//
+// Under a sharded kernel the fabric is the cross-shard boundary. A port's
+// node→switch up-link is exclusive to that port, so its reservation (and
+// the onWire completion the NIC DMA engine waits for) happens inline on
+// the sending entity's shard; the rest of the path crosses links shared
+// with other senders, so it is deferred through Sched.Commit and replayed
+// at the epoch barrier in deterministic (send time, source entity, source
+// sequence) order. Deliveries are scheduled onto the destination port's
+// entity, which is what bounds the engine's lookahead: no packet can
+// affect another shard sooner than one WireLatency after its send.
 package fabric
 
 import (
@@ -62,10 +72,14 @@ type Handler func(pkt *Packet)
 
 // delivery is a pooled delivery-event context. Its closure is allocated
 // once per pooled entry and reused for every packet it delivers, so the
-// per-packet delivery schedule costs no allocation.
+// per-packet delivery schedule costs no allocation. Deliveries pool per
+// destination port: the handler runs (and recycles) on the destination
+// entity's shard.
 type delivery struct {
 	n   *Network
+	ps  *portState
 	pkt *Packet
+	at  simtime.Time
 	fn  func()
 }
 
@@ -93,14 +107,47 @@ type route struct {
 	switches int
 }
 
+// portState is the per-port slice of fabric state: everything a sending
+// or receiving entity touches on its own shard. Counters, free lists and
+// the trace recorder live here so concurrent shards never share them; the
+// Network-level accessors sum across ports.
+type portState struct {
+	sc      simtime.Sched
+	tracer  *trace.Recorder
+	handler Handler
+	// uplink is the port's exclusive node→switch link, resolved at
+	// BindPort so the sharded send path never touches the link maps.
+	uplink *link
+
+	freePkt []*Packet
+	freeDel []*delivery
+
+	sent      int64
+	delivered int64
+	bytesOut  int64
+}
+
+// getPacket takes a packet from the port's free list, or allocates one.
+func (ps *portState) getPacket() *Packet {
+	if ln := len(ps.freePkt); ln > 0 {
+		p := ps.freePkt[ln-1]
+		ps.freePkt = ps.freePkt[:ln-1]
+		return p
+	}
+	return new(Packet)
+}
+
 // Network is a fat-tree fabric connecting a fixed number of ports.
 type Network struct {
-	k        *simtime.Kernel
-	p        Params
-	nports   int
-	arity    int
-	levels   int
-	handlers []Handler
+	k      *simtime.Kernel
+	p      Params
+	nports int
+	arity  int
+	levels int
+	ports  []portState
+	// par is true when the kernel is sharded: sends split into the inline
+	// (entity-local) half and the committed (shared-path) half.
+	par bool
 
 	up   map[linkKey]*link // directed links by (level, subtree)
 	down map[linkKey]*link
@@ -109,37 +156,46 @@ type Network struct {
 	// is paid once per pair, not once per packet.
 	routes map[int64]*route
 
-	// freePkt and freeDel recycle packets and delivery events; both are
-	// returned to the lists when the receive handler comes back.
-	freePkt []*Packet
-	freeDel []*delivery
-
-	sent        int64
-	delivered   int64
 	retransmits int64
-	bytesSent   int64
 	routeHits   int64
 	routeMisses int64
-
-	// tracer, when attached, receives pkt-sent/pkt-delivered instants.
-	// Recording is pure host-side bookkeeping — no virtual-time cost.
-	tracer *trace.Recorder
 }
 
-// SetTracer attaches a cross-layer event recorder (nil detaches it).
-func (n *Network) SetTracer(r *trace.Recorder) { n.tracer = r }
-
-func (n *Network) tracePkt(kind trace.Kind, src, dst, size int) {
-	if n.tracer == nil {
-		return
+// SetTracer attaches a cross-layer event recorder to every port (nil
+// detaches). Sharded clusters bind per-port recorders via BindPort
+// instead, so each shard records into its own buffer.
+func (n *Network) SetTracer(r *trace.Recorder) {
+	for i := range n.ports {
+		n.ports[i].tracer = r
 	}
+}
+
+// BindPort associates port id with an entity scheduling context and a
+// trace recorder for sharded runs. It must be called during setup, before
+// the kernel runs; it also resolves the port's exclusive up-link so the
+// inline send path never touches the shared link maps.
+func (n *Network) BindPort(id int, sc simtime.Sched, r *trace.Recorder) {
+	if id < 0 || id >= n.nports {
+		panic(fmt.Sprintf("fabric: bind of invalid port %d", id))
+	}
+	ps := &n.ports[id]
+	ps.sc = sc
+	ps.tracer = r
+	ps.uplink = n.linkFor(n.up, 1, id, "up")
+}
+
+func (n *Network) tracePkt(kind trace.Kind, at simtime.Time, src, dst, size int) {
 	// Rank is the port acting; Peer the far end from its point of view.
 	rank, peer := src, dst
 	if kind == trace.PktDelivered {
 		rank, peer = dst, src
 	}
-	n.tracer.Record(trace.Event{
-		At: n.k.Now(), Rank: rank, Layer: trace.LayerFabric, Kind: kind,
+	r := n.ports[rank].tracer
+	if r == nil {
+		return
+	}
+	r.Record(trace.Event{
+		At: at, Rank: rank, Layer: trace.LayerFabric, Kind: kind,
 		Peer: peer, Bytes: size,
 	})
 }
@@ -158,14 +214,23 @@ func New(k *simtime.Kernel, p Params, nports int) *Network {
 		panic("fabric: MTU must be positive")
 	}
 	n := &Network{
-		k:        k,
-		p:        p,
-		nports:   nports,
-		arity:    p.Arity,
-		handlers: make([]Handler, nports),
-		up:       make(map[linkKey]*link),
-		down:     make(map[linkKey]*link),
-		routes:   make(map[int64]*route),
+		k:      k,
+		p:      p,
+		nports: nports,
+		arity:  p.Arity,
+		ports:  make([]portState, nports),
+		par:    k.Sharded() > 0,
+		up:     make(map[linkKey]*link),
+		down:   make(map[linkKey]*link),
+		routes: make(map[int64]*route),
+	}
+	if n.par && p.LossRate > 0 {
+		// Loss draws consume the kernel's global random stream in send
+		// order, which has no shard-independent definition.
+		panic("fabric: LossRate > 0 is incompatible with a sharded kernel")
+	}
+	for i := range n.ports {
+		n.ports[i].sc = k.SchedFor(simtime.GlobalEntity)
 	}
 	n.levels = 1
 	capacity := n.arity
@@ -182,6 +247,11 @@ func (n *Network) Ports() int { return n.nports }
 // Params returns the fabric parameters.
 func (n *Network) Params() Params { return n.p }
 
+// Lookahead returns the minimum virtual time by which any send precedes
+// its earliest effect on another port: one wire propagation delay. It is
+// the fabric's contribution to the sharded kernel's LBTS bound.
+func (n *Network) Lookahead() simtime.Duration { return n.p.WireLatency }
+
 // Attach installs the receive handler for port id. A port has exactly one
 // owner; attaching twice indicates two NICs (or transports) claiming the
 // same physical port and panics.
@@ -189,10 +259,10 @@ func (n *Network) Attach(id int, h Handler) {
 	if id < 0 || id >= n.nports {
 		panic(fmt.Sprintf("fabric: attach to invalid port %d", id))
 	}
-	if n.handlers[id] != nil {
+	if n.ports[id].handler != nil {
 		panic(fmt.Sprintf("fabric: port %d already attached", id))
 	}
-	n.handlers[id] = h
+	n.ports[id].handler = h
 }
 
 // switchOf returns the index of the level-l switch above port id.
@@ -226,7 +296,8 @@ func (n *Network) linkFor(m map[linkKey]*link, l, sw int, dir string) *link {
 // pathLinks returns the ordered links a packet traverses from src to dst,
 // and the number of switches crossed. Routes are deterministic, so the
 // result is memoized per (src, dst) pair: the first packet pays the tree
-// walk, every later packet is one map lookup.
+// walk, every later packet is one map lookup. Only coordinator-context
+// code (legacy sends, commit replay, setup) may call it.
 func (n *Network) pathLinks(src, dst int) (links []*link, switches int) {
 	key := int64(src)<<32 | int64(uint32(dst))
 	if r, ok := n.routes[key]; ok {
@@ -282,15 +353,20 @@ func (n *Network) Send(pkt *Packet, onWire func()) {
 	if pkt.Src < 0 || pkt.Src >= n.nports || pkt.Dst < 0 || pkt.Dst >= n.nports {
 		panic(fmt.Sprintf("fabric: bad ports %d->%d", pkt.Src, pkt.Dst))
 	}
-	n.sent++
-	n.bytesSent += int64(pkt.Size)
-	n.tracePkt(trace.PktSent, pkt.Src, pkt.Dst, pkt.Size)
+	if n.par {
+		n.sendSharded(pkt, onWire)
+		return
+	}
+	ps := &n.ports[pkt.Src]
+	ps.sent++
+	ps.bytesOut += int64(pkt.Size)
+	n.tracePkt(trace.PktSent, n.k.Now(), pkt.Src, pkt.Dst, pkt.Size)
 	wire := pkt.Size + n.p.PacketOverhead
 	now := n.k.Now()
 
 	// Move the packet into a pooled copy: the caller's value never escapes
 	// into the fabric, and the copy is recycled after delivery.
-	q := n.getPacket()
+	q := ps.getPacket()
 	*q = *pkt
 	pkt = q
 
@@ -344,6 +420,77 @@ func (n *Network) Send(pkt *Packet, onWire func()) {
 	}
 }
 
+// sendSharded is Send on a sharded kernel, running on the source entity's
+// shard. The exclusive up-link is reserved inline — it fixes the onWire
+// time the sending NIC blocks on, with no shared state touched — and the
+// shared remainder of the path is committed for barrier replay.
+func (n *Network) sendSharded(pkt *Packet, onWire func()) {
+	ps := &n.ports[pkt.Src]
+	now := ps.sc.Now()
+	ps.sent++
+	ps.bytesOut += int64(pkt.Size)
+	n.tracePkt(trace.PktSent, now, pkt.Src, pkt.Dst, pkt.Size)
+	q := ps.getPacket()
+	*q = *pkt
+
+	if q.Src == q.Dst {
+		// Loopback never leaves the entity: deliver locally.
+		n.deliverAt(now.Add(n.p.SwitchLatency), q)
+		if onWire != nil {
+			ps.sc.At(now.Add(n.p.SwitchLatency), "fabric:onwire-loop", onWire)
+		}
+		return
+	}
+	if ps.uplink == nil {
+		panic(fmt.Sprintf("fabric: sharded send from unbound port %d", q.Src))
+	}
+	wire := q.Size + n.p.PacketOverhead
+	start := now
+	if ps.uplink.nextFree > start {
+		start = ps.uplink.nextFree
+	}
+	ser := simtime.BytesAt(wire, ps.uplink.bw)
+	ps.uplink.nextFree = start.Add(ser)
+	ps.uplink.packets++
+	ps.uplink.bytes += int64(wire)
+	srcSerialized := start.Add(ser)
+	head := start.Add(n.p.WireLatency)
+	tail := srcSerialized.Add(n.p.WireLatency)
+	if onWire != nil {
+		ps.sc.At(srcSerialized, "fabric:onwire", onWire)
+	}
+	ps.sc.Commit("fabric:route", func() {
+		n.finishSend(q, wire, head, tail)
+	})
+}
+
+// finishSend replays the shared half of a sharded Send at the epoch
+// barrier: reserve every link past the source up-link, then schedule the
+// delivery onto the destination entity. Replay order across senders is
+// the mailbox's (send time, source entity, source sequence) order.
+func (n *Network) finishSend(pkt *Packet, wire int, head, tail simtime.Time) {
+	links, switches := n.pathLinks(pkt.Src, pkt.Dst)
+	if links[0] != n.ports[pkt.Src].uplink {
+		panic(fmt.Sprintf("fabric: path %d->%d does not start at the source up-link", pkt.Src, pkt.Dst))
+	}
+	for _, lk := range links[1:] {
+		start := head
+		if lk.nextFree > start {
+			start = lk.nextFree
+		}
+		ser := simtime.BytesAt(wire, lk.bw)
+		lk.nextFree = start.Add(ser)
+		lk.packets++
+		lk.bytes += int64(wire)
+		head = start.Add(n.p.WireLatency)
+		if t := start.Add(ser).Add(n.p.WireLatency); t > tail {
+			tail = t
+		}
+	}
+	arrival := tail.Add(simtime.Duration(switches) * n.p.SwitchLatency)
+	n.deliverAt(arrival, pkt)
+}
+
 // SendMulti injects a hardware multicast: the switches replicate the
 // packet down the tree, so each link on the union of paths carries it
 // exactly once (this is QsNet's hardware broadcast). payload builds the
@@ -354,16 +501,21 @@ func (n *Network) SendMulti(src, size int, dsts []int, payload func(dst int) any
 	if size < 0 || size > n.p.MTU {
 		panic(fmt.Sprintf("fabric: multicast size %d outside [0,%d]", size, n.p.MTU))
 	}
+	if n.par {
+		n.sendMultiSharded(src, size, dsts, payload, onWire)
+		return
+	}
 	wire := size + n.p.PacketOverhead
 	now := n.k.Now()
 	starts := make(map[*link]simtime.Time)
 	var srcSerialized simtime.Time
 	for _, dst := range dsts {
+		ps := &n.ports[src]
 		if dst == src {
-			n.sent++
-			n.bytesSent += int64(size)
-			n.tracePkt(trace.PktSent, src, dst, size)
-			q := n.getPacket()
+			ps.sent++
+			ps.bytesOut += int64(size)
+			n.tracePkt(trace.PktSent, n.k.Now(), src, dst, size)
+			q := ps.getPacket()
 			*q = Packet{Src: src, Dst: dst, Size: size, Payload: payload(dst)}
 			n.deliverAt(now.Add(n.p.SwitchLatency), q)
 			continue
@@ -391,10 +543,10 @@ func (n *Network) SendMulti(src, size int, dsts []int, payload func(dst int) any
 				srcSerialized = start.Add(simtime.BytesAt(wire, lk.bw))
 			}
 		}
-		n.sent++
-		n.bytesSent += int64(size)
-		n.tracePkt(trace.PktSent, src, dst, size)
-		q := n.getPacket()
+		ps.sent++
+		ps.bytesOut += int64(size)
+		n.tracePkt(trace.PktSent, n.k.Now(), src, dst, size)
+		q := ps.getPacket()
 		*q = Packet{Src: src, Dst: dst, Size: size, Payload: payload(dst)}
 		n.deliverAt(tail.Add(simtime.Duration(switches)*n.p.SwitchLatency), q)
 	}
@@ -406,30 +558,112 @@ func (n *Network) SendMulti(src, size int, dsts []int, payload func(dst int) any
 	}
 }
 
-// getPacket takes a packet from the free list, or allocates one.
-func (n *Network) getPacket() *Packet {
-	if ln := len(n.freePkt); ln > 0 {
-		p := n.freePkt[ln-1]
-		n.freePkt = n.freePkt[:ln-1]
-		return p
+// sendMultiSharded is SendMulti on a sharded kernel. Loopback copies stay
+// entity-local; one inline reservation of the exclusive up-link covers all
+// remote destinations (the hardware replicates past it), and the shared
+// remainder of the union of paths is committed for barrier replay.
+func (n *Network) sendMultiSharded(src, size int, dsts []int, payload func(dst int) any, onWire func()) {
+	ps := &n.ports[src]
+	now := ps.sc.Now()
+	wire := size + n.p.PacketOverhead
+	var srcSerialized simtime.Time
+	var remote []int
+	for _, dst := range dsts {
+		if dst == src {
+			ps.sent++
+			ps.bytesOut += int64(size)
+			n.tracePkt(trace.PktSent, now, src, dst, size)
+			q := ps.getPacket()
+			*q = Packet{Src: src, Dst: dst, Size: size, Payload: payload(dst)}
+			n.deliverAt(now.Add(n.p.SwitchLatency), q)
+			continue
+		}
+		remote = append(remote, dst)
 	}
-	return new(Packet)
+	if len(remote) > 0 {
+		if ps.uplink == nil {
+			panic(fmt.Sprintf("fabric: sharded multicast from unbound port %d", src))
+		}
+		start := now
+		if ps.uplink.nextFree > start {
+			start = ps.uplink.nextFree
+		}
+		ser := simtime.BytesAt(wire, ps.uplink.bw)
+		ps.uplink.nextFree = start.Add(ser)
+		ps.uplink.packets++
+		ps.uplink.bytes += int64(wire)
+		srcSerialized = start.Add(ser)
+		pkts := make([]*Packet, len(remote))
+		for i, dst := range remote {
+			ps.sent++
+			ps.bytesOut += int64(size)
+			n.tracePkt(trace.PktSent, now, src, dst, size)
+			q := ps.getPacket()
+			*q = Packet{Src: src, Dst: dst, Size: size, Payload: payload(dst)}
+			pkts[i] = q
+		}
+		ps.sc.Commit("fabric:mcast", func() {
+			n.finishMulti(src, wire, start, remote, pkts)
+		})
+	}
+	if onWire != nil {
+		t := srcSerialized
+		if t == 0 {
+			t = now
+		}
+		ps.sc.At(t, "fabric:onwire-multi", onWire)
+	}
+}
+
+// finishMulti replays the shared half of a sharded multicast at the epoch
+// barrier. The starts map is pre-seeded with the inline up-link
+// reservation, so the walk is identical to the legacy loop.
+func (n *Network) finishMulti(src, wire int, upStart simtime.Time, remote []int, pkts []*Packet) {
+	ps := &n.ports[src]
+	starts := map[*link]simtime.Time{ps.uplink: upStart}
+	for i, dst := range remote {
+		links, switches := n.pathLinks(src, dst)
+		if links[0] != ps.uplink {
+			panic(fmt.Sprintf("fabric: path %d->%d does not start at the source up-link", src, dst))
+		}
+		head := upStart.Add(n.p.WireLatency)
+		tail := upStart.Add(simtime.BytesAt(wire, ps.uplink.bw)).Add(n.p.WireLatency)
+		for _, lk := range links[1:] {
+			start, seen := starts[lk]
+			if !seen {
+				start = head
+				if lk.nextFree > start {
+					start = lk.nextFree
+				}
+				lk.nextFree = start.Add(simtime.BytesAt(wire, lk.bw))
+				lk.packets++
+				lk.bytes += int64(wire)
+				starts[lk] = start
+			}
+			head = start.Add(n.p.WireLatency)
+			if t := start.Add(simtime.BytesAt(wire, lk.bw)).Add(n.p.WireLatency); t > tail {
+				tail = t
+			}
+		}
+		n.deliverAt(tail.Add(simtime.Duration(switches)*n.p.SwitchLatency), pkts[i])
+	}
 }
 
 func (n *Network) deliverAt(t simtime.Time, pkt *Packet) {
+	ps := &n.ports[pkt.Dst]
 	var d *delivery
-	if ln := len(n.freeDel); ln > 0 {
-		d = n.freeDel[ln-1]
-		n.freeDel = n.freeDel[:ln-1]
+	if ln := len(ps.freeDel); ln > 0 {
+		d = ps.freeDel[ln-1]
+		ps.freeDel = ps.freeDel[:ln-1]
 	} else {
-		d = &delivery{n: n}
+		d = &delivery{n: n, ps: ps}
 		d.fn = func() {
 			p := d.pkt
 			d.pkt = nil
 			nn := d.n
-			nn.delivered++
-			nn.tracePkt(trace.PktDelivered, p.Src, p.Dst, p.Size)
-			h := nn.handlers[p.Dst]
+			d.ps.delivered++
+			nn.tracePkt(trace.PktDelivered, d.at, p.Src, p.Dst, p.Size)
+			h := d.ps.handler
 			if h == nil {
 				panic(fmt.Sprintf("fabric: no handler attached to port %d", p.Dst))
 			}
@@ -437,22 +671,35 @@ func (n *Network) deliverAt(t simtime.Time, pkt *Packet) {
 			// Per the Handler contract the packet is dead once the handler
 			// returns; recycle it and this delivery slot.
 			*p = Packet{}
-			nn.freePkt = append(nn.freePkt, p)
-			nn.freeDel = append(nn.freeDel, d)
+			d.ps.freePkt = append(d.ps.freePkt, p)
+			d.ps.freeDel = append(d.ps.freeDel, d)
 		}
 	}
 	d.pkt = pkt
-	n.k.At(t, "fabric:deliver", d.fn)
+	d.at = t
+	ps.sc.At(t, "fabric:deliver", d.fn)
 }
 
-// Stats reports totals for tests and tools.
-func (n *Network) Stats() (sent, delivered int64) { return n.sent, n.delivered }
+// Stats reports totals for tests and tools, summed across ports.
+func (n *Network) Stats() (sent, delivered int64) {
+	for i := range n.ports {
+		sent += n.ports[i].sent
+		delivered += n.ports[i].delivered
+	}
+	return sent, delivered
+}
 
 // Retransmits reports link-level CRC retransmissions.
 func (n *Network) Retransmits() int64 { return n.retransmits }
 
 // BytesSent reports total payload bytes injected (excluding overhead).
-func (n *Network) BytesSent() int64 { return n.bytesSent }
+func (n *Network) BytesSent() int64 {
+	var b int64
+	for i := range n.ports {
+		b += n.ports[i].bytesOut
+	}
+	return b
+}
 
 // RouteCacheStats reports memoized-route lookups: hits reused a cached
 // up-down path, misses paid the tree walk.

@@ -21,18 +21,29 @@ import (
 //     job's kernel-owned values: no captured pointers to simulation
 //     types (clusters, kernels, stacks, NICs, recorders, registries,
 //     pools), and no writes to any captured variable — job i writes
-//     slot i and nothing else.
+//     slot i and nothing else;
+//  3. shard-resident layers (the per-node protocol stacks and NIC model,
+//     DESIGN.md §7.2) must not schedule, read the clock or draw
+//     randomness through a raw *simtime.Kernel: under the sharded
+//     conservative engine those degenerate to the coordinator's view,
+//     so events land in the wrong heap and random streams become
+//     placement-dependent. Every such call goes through the component's
+//     entity-bound simtime.Sched.
 var KernelOwn = &analysis.Analyzer{
 	Name: "kernelown",
 	Doc: "enforce the per-kernel ownership rule: no package-level mutable " +
 		"simulation state, no kernel-owned captures or captured-variable " +
-		"writes in parsweep job closures",
+		"writes in parsweep job closures, no raw kernel scheduling in " +
+		"shard-resident layers",
 	Run: runKernelOwn,
 }
 
 func runKernelOwn(pass *analysis.Pass) error {
 	if isSimStatePkg(pass.Pkg.Path()) {
 		checkGlobalWrites(pass)
+	}
+	if isShardResidentPkg(pass.Pkg.Path()) {
+		checkShardSched(pass)
 	}
 	checkJobClosures(pass)
 	return nil
@@ -100,6 +111,64 @@ func checkGlobalWrites(pass *analysis.Pass) {
 			})
 		}
 	}
+}
+
+// shardSchedMethods are the Kernel methods whose direct use inside a
+// shard-resident layer breaks shard ownership, with the Sched replacement
+// each diagnostic names.
+var shardSchedMethods = map[string]string{
+	"Now":             "Sched.Now",
+	"At":              "Sched.At",
+	"After":           "Sched.After",
+	"AfterCancelable": "Sched.AfterCancelable",
+	"Rand":            "Sched.Rand",
+}
+
+// checkShardSched flags clock, scheduling and randomness calls made on a
+// raw *simtime.Kernel from a shard-resident package.
+func checkShardSched(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			repl, hot := shardSchedMethods[sel.Sel.Name]
+			if !hot {
+				return true
+			}
+			recv := pass.TypesInfo.TypeOf(sel.X)
+			if recv == nil || !isKernelPtr(recv) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"shard-resident layer calls Kernel.%s: under the sharded kernel this is the coordinator's view, not this entity's — use the entity-bound %s (DESIGN.md §7.2)",
+				sel.Sel.Name, repl)
+			return true
+		})
+	}
+}
+
+// isKernelPtr reports whether t is *simtime.Kernel.
+func isKernelPtr(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Kernel" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == module+"/internal/simtime"
 }
 
 // checkJobClosures audits every closure passed to parsweep.Run/Map.

@@ -63,6 +63,26 @@ func isSimStatePkg(path string) bool {
 	return true
 }
 
+// shardResidentPkgs are the layers that execute on worker shards under
+// the sharded conservative kernel (kernelown rule 3): every event they
+// create must go through an entity-bound simtime.Sched so it lands in the
+// owning shard's heap, and every random draw through Sched.Rand so the
+// stream is placement-independent. The fabric is exempt — its send path
+// forks on Network.par, keeping the sequential engine's legacy body
+// byte-exact — as are the global services (rte, obs), which run on the
+// coordinator by construction.
+func isShardResidentPkg(path string) bool {
+	rest, ok := strings.CutPrefix(path, module+"/internal/")
+	if !ok {
+		return false
+	}
+	switch rest {
+	case "elan4", "pml", "ptlelan4", "ptltcp", "tport", "libelan":
+		return true
+	}
+	return false
+}
+
 // kernelOwnedPkgs are the packages whose pointer-typed values are
 // per-kernel state: sharing one across parsweep jobs is the exact bug the
 // determinism contract (one kernel, one owner) forbids.

@@ -30,6 +30,12 @@ func TestKernelOwnJobClosures(t *testing.T) {
 	linttest.Run(t, lint.KernelOwn, "kjobs")
 }
 
+func TestKernelOwnShardSched(t *testing.T) {
+	// The fixture type-checks under the real tport import path: rule 3 is
+	// scoped to the shard-resident layers.
+	linttest.Run(t, lint.KernelOwn, "qsmpi/internal/tport")
+}
+
 func TestPoolUse(t *testing.T) {
 	linttest.Run(t, lint.PoolUse, "poolfix")
 }

@@ -1,0 +1,51 @@
+// Package tport (fixture) type-checks under the import path
+// qsmpi/internal/tport — a shard-resident layer — so kernelown rule 3
+// applies: clock reads, event scheduling and random draws must go through
+// the entity-bound simtime.Sched, never a raw *simtime.Kernel.
+package tport
+
+import "qsmpi/internal/simtime"
+
+type engine struct {
+	k  *simtime.Kernel
+	sc simtime.Sched
+}
+
+func (e *engine) rawClock() simtime.Time {
+	return e.k.Now() // want `shard-resident layer calls Kernel\.Now`
+}
+
+func (e *engine) rawSchedule() {
+	e.k.After(simtime.Microsecond, "tick", func() {}) // want `shard-resident layer calls Kernel\.After`
+	e.k.At(simtime.Time(0), "tick", func() {})        // want `shard-resident layer calls Kernel\.At`
+}
+
+func (e *engine) rawRand() int {
+	return e.k.Rand().Intn(8) // want `shard-resident layer calls Kernel\.Rand`
+}
+
+// schedOK: the entity-bound context is the sanctioned path.
+func (e *engine) schedOK() simtime.Time {
+	e.sc.After(simtime.Microsecond, "tick", func() {})
+	e.sc.AfterCancelable(simtime.Microsecond, "wd", func() {})
+	_ = e.sc.Rand().Intn(8)
+	return e.sc.Now()
+}
+
+// driverOK: non-scheduling kernel methods (run control, accounting) stay
+// legal everywhere.
+func (e *engine) driverOK() int64 {
+	return e.k.Steps()
+}
+
+// randForOK: placement-independent per-entity streams are the point, not
+// a violation.
+func (e *engine) randForOK() int {
+	return e.k.RandFor(simtime.Entity(3)).Intn(8)
+}
+
+// allowedEscape: the documented suppression works here like everywhere.
+func (e *engine) allowedEscape() simtime.Time {
+	//lint:allow kernelown fixture exercises the suppression path
+	return e.k.Now()
+}

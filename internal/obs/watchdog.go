@@ -83,10 +83,15 @@ type Watchdog struct {
 	window simtime.Duration
 	k      *simtime.Kernel
 	rec    *trace.Recorder
+	// par is true on a sharded kernel: progress notes only stamp their
+	// rank's slot (any shard may note concurrently), and the tick runs as
+	// a periodic cancel-on-idle coordinator timer instead of being armed
+	// from the (possibly worker-shard) note path.
+	par bool
 
 	probes   map[int]Probe
 	ranks    []int // registration order, kept sorted for determinism
-	last     map[int]simtime.Time
+	last     []simtime.Time // per-rank last-progress stamps
 	reported map[int]bool
 	armed    bool
 	fired    []StallReport
@@ -101,7 +106,6 @@ func NewWatchdog(window simtime.Duration) *Watchdog {
 	return &Watchdog{
 		window:   window,
 		probes:   make(map[int]Probe),
-		last:     make(map[int]simtime.Time),
 		reported: make(map[int]bool),
 	}
 }
@@ -115,6 +119,20 @@ func (w *Watchdog) Window() simtime.Duration { return w.window }
 func (w *Watchdog) Bind(k *simtime.Kernel, rec *trace.Recorder) {
 	w.k = k
 	w.rec = rec
+	if k.Sharded() > 0 && !w.par {
+		w.par = true
+		// Periodic coordinator tick, dropped when only cancel-on-idle
+		// events remain so the watchdog never keeps a finished run alive.
+		g := k.SchedFor(simtime.GlobalEntity)
+		var arm func()
+		arm = func() {
+			g.AfterCancelable(w.window, "obs:watchdog", func() {
+				w.tick()
+				arm()
+			})
+		}
+		arm()
+	}
 }
 
 // Register installs one rank's probe. Re-registering a rank replaces its
@@ -124,13 +142,26 @@ func (w *Watchdog) Register(rank int, p Probe) {
 		w.ranks = append(w.ranks, rank)
 		sort.Ints(w.ranks)
 	}
+	if rank >= len(w.last) {
+		nl := make([]simtime.Time, rank+1)
+		copy(nl, w.last)
+		w.last = nl
+	}
 	w.probes[rank] = p
 }
 
-// Note stamps rank's last-progress time and arms the timer if idle. It is
-// called from the PML's hot paths, so it must stay two map/field touches.
-func (w *Watchdog) Note(rank int) {
-	w.last[rank] = w.k.Now()
+// Note stamps rank's last-progress time, as seen on the caller's clock,
+// and on a classic kernel arms the timer if idle. It is called from the
+// PML's hot paths, so it must stay a couple of field touches; under a
+// sharded kernel it writes only the rank's own slot, which is safe from
+// the rank's shard because the coordinator reads the slots exclusively.
+func (w *Watchdog) Note(rank int, now simtime.Time) {
+	if rank < len(w.last) {
+		w.last[rank] = now
+	}
+	if w.par {
+		return
+	}
 	if !w.armed {
 		w.armed = true
 		w.k.After(w.window, "obs:watchdog", w.tick)
@@ -161,6 +192,10 @@ func (w *Watchdog) tick() {
 			rep.Diag.LastEvents = w.lastEvents(rank)
 			w.fired = append(w.fired, rep)
 		}
+	}
+	if w.par {
+		// The periodic cancel-on-idle chain owns rearming.
+		return
 	}
 	if !busy || len(w.fired) > 0 {
 		// Disarm; the next progress note (from a still-live rank) rearms.

@@ -81,6 +81,7 @@ type Stats struct {
 // available PTL modules.
 type Stack struct {
 	k    *simtime.Kernel
+	sc   simtime.Sched
 	host *simtime.Host
 	cfg  model.Config
 	eng  *datatype.Engine
@@ -129,7 +130,7 @@ type Stack struct {
 // analysis (false).
 func NewStack(k *simtime.Kernel, host *simtime.Host, cfg model.Config, rank int, dtp bool, mode ProgressMode) *Stack {
 	return &Stack{
-		k: k, host: host, cfg: cfg, rank: rank,
+		k: k, sc: host.Sched(), host: host, cfg: cfg, rank: rank,
 		eng:      datatype.NewEngine(cfg, dtp),
 		peers:    make(map[int]*ptl.Peer),
 		peerMods: make(map[int][]ptl.Module),
@@ -262,7 +263,7 @@ func (s *Stack) send(th *simtime.Thread, dst, tag int, comm uint16, buf []byte, 
 	s.nextID++
 	s.sendReqs[req.id] = req
 	s.stats.Sends++
-	req.postedAt = s.k.Now()
+	req.postedAt = s.sc.Now()
 	s.noteProgress()
 	s.traceCorr(trace.SendPosted, req.id, dst, tag, n, s.msgCorr(s.rank, req.id))
 
@@ -309,7 +310,7 @@ func (s *Stack) send(th *simtime.Thread, dst, tag int, comm uint16, buf []byte, 
 	sd := &ptl.SendDesc{Hdr: hdr, Mem: req.mem}
 	s.sendDesc[req.id] = sd
 	if s.Trace != nil && s.Trace.armed {
-		s.Trace.PMLTime += s.k.Now().Sub(s.Trace.deliverAt)
+		s.Trace.PMLTime += s.sc.Now().Sub(s.Trace.deliverAt)
 		s.Trace.Count++
 		s.Trace.armed = false
 	}
@@ -327,7 +328,7 @@ func (s *Stack) sendSelf(th *simtime.Thread, tag int, comm uint16, buf []byte, d
 	s.nextID++
 	s.sendReqs[req.id] = req
 	s.stats.Sends++
-	req.postedAt = s.k.Now()
+	req.postedAt = s.sc.Now()
 	if dt.Contig() {
 		req.packed = buf[:n]
 	} else {
@@ -444,7 +445,7 @@ func (s *Stack) SendProgress(th *simtime.Thread, sendReq uint64, bytes int) {
 		}
 		s.traceCorr(trace.SendCompleted, req.id, req.dst, req.tag, req.n, s.msgCorr(s.rank, req.id))
 		if s.SendLatency != nil {
-			s.SendLatency.Observe(s.k.Now().Sub(req.postedAt))
+			s.SendLatency.Observe(s.sc.Now().Sub(req.postedAt))
 		}
 		req.done.Fire()
 	}
@@ -463,7 +464,7 @@ func (s *Stack) Recv(th *simtime.Thread, src, tag int, comm uint16, buf []byte, 
 	s.nextID++
 	s.recvReqs[req.id] = req
 	s.stats.Recvs++
-	req.postedAt = s.k.Now()
+	req.postedAt = s.sc.Now()
 	s.noteProgress()
 	s.trace(trace.RecvPosted, req.id, src, tag, dt.Size())
 
@@ -488,7 +489,7 @@ func (s *Stack) Recv(th *simtime.Thread, src, tag int, comm uint16, buf []byte, 
 func (s *Stack) ReceiveFirst(th *simtime.Thread, mod ptl.Module, src *ptl.Peer, hdr ptl.Header, data []byte) {
 	s.activity.Add(1)
 	if s.Trace != nil {
-		s.Trace.deliverAt = s.k.Now()
+		s.Trace.deliverAt = s.sc.Now()
 		s.Trace.armed = true
 	}
 	s.noteProgress()
@@ -670,7 +671,7 @@ func (s *Stack) finishRecv(th *simtime.Thread, req *RecvReq) {
 	delete(s.recvReqs, req.id)
 	s.traceCorr(trace.RecvCompleted, req.id, req.status.Source, req.status.Tag, req.msgLen, req.corr)
 	if s.RecvLatency != nil {
-		s.RecvLatency.Observe(s.k.Now().Sub(req.postedAt))
+		s.RecvLatency.Observe(s.sc.Now().Sub(req.postedAt))
 	}
 	req.done.Fire()
 }
@@ -687,7 +688,7 @@ func (s *Stack) traceCorr(kind trace.Kind, reqID uint64, peer, tag, bytes int, c
 		return
 	}
 	s.Tracer.Record(trace.Event{
-		At: s.k.Now(), Rank: s.rank, Kind: kind,
+		At: s.sc.Now(), Rank: s.rank, Kind: kind,
 		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes, Corr: corr,
 	})
 }
@@ -704,7 +705,7 @@ func (s *Stack) msgCorr(srcRank int, sendReq uint64) uint64 {
 // noteProgress tells the watchdog this rank's event stream advanced.
 func (s *Stack) noteProgress() {
 	if s.Watchdog != nil {
-		s.Watchdog.Note(s.rank)
+		s.Watchdog.Note(s.rank, s.sc.Now())
 	}
 }
 

@@ -167,6 +167,7 @@ type Stats struct {
 type Module struct {
 	lc   *ptl.Lifecycle
 	k    *simtime.Kernel
+	sc   simtime.Sched
 	host *simtime.Host
 	st   *libelan.State
 	rteH *rte.Handle
@@ -231,7 +232,7 @@ func (m *Module) traceCorr(kind trace.Kind, reqID uint64, peer, tag, bytes int, 
 		return
 	}
 	m.tracer.Record(trace.Event{
-		At: m.k.Now(), Rank: m.rank(), Layer: trace.LayerPTL, Kind: kind,
+		At: m.sc.Now(), Rank: m.rank(), Layer: trace.LayerPTL, Kind: kind,
 		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes, Corr: corr,
 	})
 }
@@ -269,7 +270,7 @@ func New(k *simtime.Kernel, host *simtime.Host, st *libelan.State, rteH *rte.Han
 		panic("ptlelan4: two-thread progress requires a separate (TwoQueue) completion queue")
 	}
 	m := &Module{
-		lc: ptl.NewLifecycle("elan4"), k: k, host: host, st: st, rteH: rteH,
+		lc: ptl.NewLifecycle("elan4"), k: k, sc: host.Sched(), host: host, st: st, rteH: rteH,
 		pml: p, act: activity, cfg: cfg, opts: opts,
 		pool:        bufpool.New(),
 		peers:       make(map[int]*peerInfo),

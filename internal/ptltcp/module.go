@@ -64,6 +64,7 @@ type Stats struct {
 type Module struct {
 	lc   *ptl.Lifecycle
 	k    *simtime.Kernel
+	sc   simtime.Sched
 	host *simtime.Host
 	net  *fabric.Network
 	port int
@@ -106,7 +107,7 @@ func (m *Module) traceCorr(kind trace.Kind, reqID uint64, peer, tag, bytes int, 
 		return
 	}
 	m.tracer.Record(trace.Event{
-		At: m.k.Now(), Rank: m.rank(), Layer: trace.LayerPTL, Kind: kind,
+		At: m.sc.Now(), Rank: m.rank(), Layer: trace.LayerPTL, Kind: kind,
 		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes, Corr: corr,
 	})
 }
@@ -134,7 +135,7 @@ func New(k *simtime.Kernel, host *simtime.Host, net *fabric.Network, port int, r
 		opts.Weight = 0.1
 	}
 	m := &Module{
-		lc: ptl.NewLifecycle("tcp"), k: k, host: host, net: net, port: port,
+		lc: ptl.NewLifecycle("tcp"), k: k, sc: host.Sched(), host: host, net: net, port: port,
 		rteH: rteH, pml: p, act: activity, cfg: cfg, opts: opts,
 		peers:      make(map[int]*ptl.Peer),
 		ports:      make(map[int]int),

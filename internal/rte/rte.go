@@ -74,6 +74,18 @@ func NewRegistry(k *simtime.Kernel, oobLatency simtime.Duration) *Registry {
 	}
 }
 
+// sequentialOnly panics when worker epochs are enabled. RTE traffic rides
+// the management network and mutates (or blocks on) registry state shared
+// across every rank, so it is only legal in the kernel's sequential
+// phases: bringup, finalize and dynamic process events. Pure reads
+// (Resolve, Info, Alive, TryRecvOOB) stay legal everywhere — the guarded
+// mutators are what keep them race-free during epochs.
+func (r *Registry) sequentialOnly(op string) {
+	if r.k.InParallel() {
+		panic("rte: " + op + " during a parallel phase — RTE operations are sequential-only")
+	}
+}
+
 // Resolve implements elan4.Resolver: the current location of a VPID.
 func (r *Registry) Resolve(vpid int) (port, ctx int, ok bool) {
 	p, ok := r.procs[vpid]
@@ -102,6 +114,7 @@ type Handle struct {
 // must be unique across the job; reusing one panics (it would alias two
 // processes in the modex).
 func (r *Registry) Join(th *simtime.Thread, name string, port, ctx int) *Handle {
+	r.sequentialOnly("Join")
 	th.Proc().Sleep(r.oob)
 	if _, dup := r.byName[name]; dup {
 		panic(fmt.Sprintf("rte: duplicate process name %q", name))
@@ -128,6 +141,7 @@ func (h *Handle) Name() string { return h.info.Name }
 // must have drained pending DMA traffic first (the transports enforce
 // this), or in-flight descriptors will fail against the dead VPID.
 func (h *Handle) Leave(th *simtime.Thread) {
+	h.r.sequentialOnly("Leave")
 	th.Proc().Sleep(h.r.oob)
 	h.info.Alive = false
 	h.r.version.Add(1)
@@ -135,6 +149,7 @@ func (h *Handle) Leave(th *simtime.Thread) {
 
 // Publish stores a key/value on the board under this process's name.
 func (h *Handle) Publish(th *simtime.Thread, key string, value []byte) {
+	h.r.sequentialOnly("Publish")
 	th.Proc().Sleep(h.r.oob)
 	cp := make([]byte, len(value))
 	copy(cp, value)
@@ -146,6 +161,7 @@ func (h *Handle) Publish(th *simtime.Thread, key string, value []byte) {
 // the value. It is how peers exchange queue ids and E4 addresses during
 // connection setup.
 func (h *Handle) Lookup(th *simtime.Thread, procName, key string) []byte {
+	h.r.sequentialOnly("Lookup")
 	th.Proc().Sleep(h.r.oob)
 	for {
 		if p, ok := h.r.byName[procName]; ok {
@@ -161,6 +177,7 @@ func (h *Handle) Lookup(th *simtime.Thread, procName, key string) []byte {
 // LookupVPID blocks until procName is registered and returns its VPID:
 // rank→VPID resolution during connection setup.
 func (h *Handle) LookupVPID(th *simtime.Thread, procName string) int {
+	h.r.sequentialOnly("LookupVPID")
 	th.Proc().Sleep(h.r.oob)
 	for {
 		if p, ok := h.r.byName[procName]; ok {
@@ -173,6 +190,7 @@ func (h *Handle) LookupVPID(th *simtime.Thread, procName string) int {
 
 // SendOOB delivers an out-of-band message to dstVPID's mailbox.
 func (h *Handle) SendOOB(th *simtime.Thread, dstVPID int, tag string, payload any) error {
+	h.r.sequentialOnly("SendOOB")
 	th.Proc().Sleep(h.r.oob)
 	dst, ok := h.r.procs[dstVPID]
 	if !ok || !dst.Alive {
@@ -199,6 +217,7 @@ func (h *Handle) TryRecvOOB() (OOBMsg, bool) {
 // Rendezvous blocks until n processes have arrived at the same tag. The
 // tag is consumed once complete, so it can be reused for later phases.
 func (r *Registry) Rendezvous(th *simtime.Thread, tag string, n int) {
+	r.sequentialOnly("Rendezvous")
 	th.Proc().Sleep(r.oob)
 	m, ok := r.rendezvous[tag]
 	if !ok {

@@ -11,6 +11,7 @@ import "fmt"
 // paper measures.
 type Host struct {
 	k    *Kernel
+	sc   Sched
 	name string
 	cpus *Semaphore
 	ncpu int
@@ -19,12 +20,19 @@ type Host struct {
 	spawnSeq int
 }
 
-// NewHost creates a host named name with ncpu processors.
+// NewHost creates a host named name with ncpu processors under the global
+// entity. Sharded clusters use NewHostSched so each host (and every
+// thread it spawns) belongs to its node's entity.
 func NewHost(k *Kernel, name string, ncpu int) *Host {
+	return NewHostSched(k.SchedFor(GlobalEntity), name, ncpu)
+}
+
+// NewHostSched creates a host owned by sc's entity.
+func NewHostSched(sc Sched, name string, ncpu int) *Host {
 	if ncpu < 1 {
 		panic("simtime: host needs at least one CPU")
 	}
-	return &Host{k: k, name: name, cpus: NewSemaphore(ncpu), ncpu: ncpu}
+	return &Host{k: sc.k, sc: sc, name: name, cpus: NewSemaphore(ncpu), ncpu: ncpu}
 }
 
 // Name returns the host name.
@@ -40,16 +48,19 @@ func (h *Host) Kernel() *Kernel { return h.k }
 // utilization reporting.
 func (h *Host) BusyTime() Duration { return h.busy }
 
-// Spawn starts a thread on this host. The thread is a plain simtime Proc;
-// use Thread.Compute to charge CPU time.
+// Spawn starts a thread on this host. The thread is a plain simtime Proc
+// owned by the host's entity; use Thread.Compute to charge CPU time.
 func (h *Host) Spawn(name string, fn func(t *Thread)) *Thread {
 	h.spawnSeq++
 	t := &Thread{host: h}
-	t.proc = h.k.Spawn(fmt.Sprintf("%s/%s#%d", h.name, name, h.spawnSeq), func(p *Proc) {
+	t.proc = h.k.spawn(h.sc.ent, fmt.Sprintf("%s/%s#%d", h.name, name, h.spawnSeq), func(p *Proc) {
 		fn(t)
 	})
 	return t
 }
+
+// Sched returns the host's entity scheduling context.
+func (h *Host) Sched() Sched { return h.sc }
 
 // Thread is a simulated OS thread bound to a Host.
 type Thread struct {

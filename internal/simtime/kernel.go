@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // event is a scheduled kernel action: either a timer callback or the
@@ -17,6 +18,11 @@ type event struct {
 	name string
 	fn   func()
 	proc *Proc
+	// ent is the owning entity under a sharded kernel (zero otherwise).
+	ent Entity
+	// cancelable marks a cancel-on-idle event: dropped, not executed,
+	// when only such events remain pending.
+	cancelable bool
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq), stored by value.
@@ -98,6 +104,15 @@ type Kernel struct {
 	// run don't re-scan and re-sort the proc set each time.
 	stalledCache []string
 	stalledDirty bool
+
+	// seed is the base for the kernel's derived random streams.
+	seed int64
+	// entRngs holds the lazily created per-entity random streams
+	// (Entity -> *rand.Rand); a sync.Map because worker shards create
+	// entries concurrently on first draw.
+	entRngs sync.Map
+	// sh is the sharded conservative engine; nil on a classic kernel.
+	sh *sharded
 }
 
 // NewKernel returns an empty kernel at time zero with a fixed-seed
@@ -106,11 +121,19 @@ func NewKernel() *Kernel {
 	return &Kernel{
 		procs: make(map[*Proc]struct{}),
 		rng:   rand.New(rand.NewSource(1)),
+		seed:  1,
 	}
 }
 
-// Now returns the current virtual time.
-func (k *Kernel) Now() Time { return k.now }
+// Now returns the current virtual time. Under a sharded kernel this is
+// the coordinator's view (the high-water clock); entity code should read
+// its own Sched.Now.
+func (k *Kernel) Now() Time {
+	if k.sh != nil {
+		return k.sh.globalNow
+	}
+	return k.now
+}
 
 // Steps returns the number of events executed so far, a cheap progress and
 // determinism fingerprint.
@@ -121,12 +144,23 @@ func (k *Kernel) Steps() int64 { return k.steps }
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // SetTracer installs fn to observe every executed event. A nil fn disables
-// tracing.
-func (k *Kernel) SetTracer(fn func(t Time, what string)) { k.tracer = fn }
+// tracing. Incompatible with sharded kernels (events execute on several
+// goroutines there).
+func (k *Kernel) SetTracer(fn func(t Time, what string)) {
+	if k.sh != nil && fn != nil {
+		panic("simtime: SetTracer is incompatible with a sharded kernel")
+	}
+	k.tracer = fn
+}
 
-// At schedules fn to run at absolute time t. Scheduling in the past is a
-// programming error and panics, since it would silently reorder causality.
+// At schedules fn to run at absolute time t under the global entity.
+// Scheduling in the past is a programming error and panics, since it
+// would silently reorder causality.
 func (k *Kernel) At(t Time, name string, fn func()) {
+	if k.sh != nil {
+		k.schedule(GlobalEntity, t, name, fn, nil, false)
+		return
+	}
 	if t < k.now {
 		panic(fmt.Sprintf("simtime: scheduling %q at %v before now %v", name, t, k.now))
 	}
@@ -140,6 +174,10 @@ func (k *Kernel) After(d Duration, name string, fn func()) {
 	if d < 0 {
 		d = 0
 	}
+	if k.sh != nil {
+		k.SchedFor(GlobalEntity).After(d, name, fn)
+		return
+	}
 	k.At(k.now.Add(d), name, fn)
 }
 
@@ -151,23 +189,45 @@ func (k *Kernel) wakeAt(d Duration, p *Proc, why string) {
 	if d < 0 {
 		d = 0
 	}
+	if sh := k.sh; sh != nil {
+		base := sh.curNow
+		if sh.inEpoch.Load() && p.shard.executing.Load() {
+			base = p.shard.now
+		}
+		k.schedule(p.ent, base.Add(d), why, nil, p, false)
+		return
+	}
 	k.seq++
 	k.queue.push(event{at: k.now.Add(d), seq: k.seq, name: why, proc: p})
 }
 
 // Stop makes Run return after the current event completes. Pending events
-// remain queued; Run may be called again to continue.
-func (k *Kernel) Stop() { k.stopped = true }
+// remain queued; Run may be called again to continue. On a sharded kernel
+// a mid-epoch Stop lets in-flight shard events finish, completes the
+// barrier merge (so no cross-shard message is lost), then returns.
+func (k *Kernel) Stop() {
+	if k.sh != nil {
+		k.sh.stop.Store(true)
+		return
+	}
+	k.stopped = true
+}
 
 // Run executes events until the queue is empty or Stop is called. It
 // returns the number of events executed by this call.
 func (k *Kernel) Run() int64 {
+	if k.sh != nil {
+		return k.sh.run(-1)
+	}
 	return k.run(-1)
 }
 
 // RunUntil executes events with time ≤ t, then sets the clock to t. It
 // returns the number of events executed by this call.
 func (k *Kernel) RunUntil(t Time) int64 {
+	if k.sh != nil {
+		return k.sh.run(t)
+	}
 	n := k.run(t)
 	if !k.stopped && k.now < t {
 		k.now = t
@@ -186,6 +246,11 @@ func (k *Kernel) run(until Time) int64 {
 	var n int64
 	for len(k.queue) > 0 && !k.stopped {
 		if until >= 0 && k.queue[0].at > until {
+			break
+		}
+		if k.queue[0].cancelable && k.onlyCancelable() {
+			// Only cancel-on-idle events remain: drop them and drain.
+			k.queue = k.queue[:0]
 			break
 		}
 		e := k.queue.pop()
@@ -215,16 +280,35 @@ func (k *Kernel) run(until Time) int64 {
 	return n
 }
 
+// onlyCancelable reports whether every pending event is cancel-on-idle.
+func (k *Kernel) onlyCancelable() bool {
+	for i := range k.queue {
+		if !k.queue[i].cancelable {
+			return false
+		}
+	}
+	return true
+}
+
 // Idle reports whether no events are pending. If processes are still
 // parked while the kernel is idle, the simulation has deadlocked; Stalled
 // lists them.
-func (k *Kernel) Idle() bool { return len(k.queue) == 0 }
+func (k *Kernel) Idle() bool {
+	if k.sh != nil {
+		return !k.sh.anyWork()
+	}
+	return len(k.queue) == 0
+}
 
 // Stalled returns the names of processes that are parked with no pending
 // event that could wake them, i.e. the participants of a deadlock. It is
 // only meaningful when Idle reports true. The result is a cached snapshot
-// recomputed only after proc activity; callers must not modify it.
+// recomputed only after proc activity; callers must not modify it. Under
+// a sharded kernel it aggregates parked procs across every shard.
 func (k *Kernel) Stalled() []string {
+	if k.sh != nil {
+		return k.sh.stalled()
+	}
 	if !k.stalledDirty {
 		return k.stalledCache
 	}

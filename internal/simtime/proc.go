@@ -32,6 +32,10 @@ type Proc struct {
 	// wake is bookkeeping for Ready: a parked proc may be readied at most
 	// once per park.
 	wakePending bool
+	// ent is the owning entity; shard caches its owner under a sharded
+	// kernel (nil otherwise).
+	ent   Entity
+	shard *shard
 }
 
 // MarkDaemon excludes the proc from Kernel.Stalled deadlock reports.
@@ -40,34 +44,57 @@ type Proc struct {
 // not misreported as a deadlock.
 func (p *Proc) MarkDaemon() {
 	p.daemon = true
+	p.invalidateStalled()
+}
+
+// invalidateStalled marks the owning stalled-snapshot stale.
+func (p *Proc) invalidateStalled() {
+	if p.shard != nil {
+		p.shard.stalledDirty = true
+		return
+	}
 	p.k.invalidateStalled()
 }
 
-// Spawn creates a simulated process named name running fn, scheduled to
-// start at the current time (after already-queued events at this instant).
-// It may be called before Run or from inside running simulated code.
+// Spawn creates a simulated process named name running fn under the
+// global entity, scheduled to start at the current time (after
+// already-queued events at this instant). It may be called before Run or
+// from inside running simulated code. Entity-owned processes are spawned
+// through Sched.Spawn.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(GlobalEntity, name, fn)
+}
+
+func (k *Kernel) spawn(ent Entity, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		k:      k,
 		name:   name,
 		state:  procNew,
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
+		ent:    ent,
 	}
-	k.procs[p] = struct{}{}
-	k.invalidateStalled()
-	k.After(0, "spawn:"+name, func() {
+	var procs map[*Proc]struct{}
+	if k.sh != nil {
+		p.shard = k.sh.shardOf(ent)
+		procs = p.shard.procs
+	} else {
+		procs = k.procs
+	}
+	procs[p] = struct{}{}
+	p.invalidateStalled()
+	k.schedule(ent, k.SchedFor(ent).Now(), "spawn:"+name, func() {
 		go func() {
 			<-p.resume
 			fn(p)
 			p.state = procDone
-			delete(k.procs, p)
-			k.invalidateStalled()
+			delete(procs, p)
+			p.invalidateStalled()
 			p.yield <- struct{}{}
 		}()
 		p.state = procRunning
 		k.step(p)
-	})
+	}, nil, false)
 	return p
 }
 
@@ -85,11 +112,11 @@ func (p *Proc) park() {
 		panic(fmt.Sprintf("simtime: park of %q in state %d", p.name, p.state))
 	}
 	p.state = procParked
-	p.k.invalidateStalled()
+	p.invalidateStalled()
 	p.yield <- struct{}{}
 	<-p.resume
 	p.state = procRunning
-	p.k.invalidateStalled()
+	p.invalidateStalled()
 }
 
 // ready schedules a parked proc to resume at the current time. Readying a
@@ -113,8 +140,19 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.k.now }
+// Now returns the current virtual time as seen by this proc's shard.
+func (p *Proc) Now() Time {
+	if p.shard != nil {
+		return p.shard.now
+	}
+	return p.k.now
+}
+
+// Entity returns the owning entity.
+func (p *Proc) Entity() Entity { return p.ent }
+
+// Sched returns the scheduling context of the proc's entity.
+func (p *Proc) Sched() Sched { return p.k.SchedFor(p.ent) }
 
 // Sleep blocks the proc for d of virtual time. Negative durations are
 // treated as zero, which still yields to other ready work at this instant.

@@ -1,0 +1,755 @@
+package simtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Entity identifies an independently schedulable simulation entity: a
+// node with its host, NICs and per-rank stacks, or the coordinator-owned
+// global services (entity 0: the RTE registry, the fabric link state, the
+// watchdog). Under a sharded kernel every event and proc belongs to one
+// entity, and every entity to one shard; an event may only touch state
+// owned by its entity's shard unless it runs on the coordinator.
+type Entity int32
+
+// GlobalEntity is the coordinator-owned entity. Its events always execute
+// with exclusive access to the whole simulation (between worker epochs),
+// so global services schedule under it.
+const GlobalEntity Entity = 0
+
+// ShardPlan configures the sharded conservative PDES engine.
+type ShardPlan struct {
+	// Workers is the number of worker shards. Values ≤ 1 leave the kernel
+	// in its classic sequential mode.
+	Workers int
+	// Owner maps an entity to its worker shard in [1, Workers].
+	// GlobalEntity is always owned by the coordinator (shard 0) and is
+	// never passed to Owner.
+	Owner func(e Entity) int
+	// Lookahead is the minimum virtual-time latency of any cross-shard
+	// interaction (the per-hop wire latency of the fastest fabric). It
+	// bounds how far an epoch may run past the global minimum next-event
+	// time: LBTS = min-next + Lookahead.
+	Lookahead Duration
+}
+
+// Sched is an entity-bound scheduling context: the handle through which
+// simulated components create events, read the clock and draw randomness
+// under a sharded kernel. On a classic kernel it degenerates to the plain
+// Kernel calls, so layers can hold a Sched unconditionally.
+type Sched struct {
+	k   *Kernel
+	ent Entity
+}
+
+// SchedFor returns the scheduling context of entity e.
+func (k *Kernel) SchedFor(e Entity) Sched { return Sched{k: k, ent: e} }
+
+// Kernel returns the underlying kernel.
+func (s Sched) Kernel() *Kernel { return s.k }
+
+// Entity returns the bound entity.
+func (s Sched) Entity() Entity { return s.ent }
+
+// Now returns the entity's current virtual time: inside a parallel epoch
+// the owning shard's clock, in coordinator phases the universal clock of
+// the event being executed.
+func (s Sched) Now() Time {
+	sh := s.k.sh
+	if sh == nil {
+		return s.k.now
+	}
+	if sh.inEpoch.Load() {
+		return sh.shardOf(s.ent).now
+	}
+	return sh.curNow
+}
+
+// Rand returns the entity's deterministic random stream. Streams are
+// derived from the kernel seed and the entity id only, so an entity draws
+// the same sequence at every shard count — the property the sharded
+// determinism gate relies on.
+func (s Sched) Rand() *rand.Rand { return s.k.RandFor(s.ent) }
+
+// At schedules fn at absolute time t on this entity.
+func (s Sched) At(t Time, name string, fn func()) {
+	s.k.schedule(s.ent, t, name, fn, nil, false)
+}
+
+// After schedules fn d from the entity's now.
+func (s Sched) After(d Duration, name string, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.Now().Add(d), name, fn)
+}
+
+// AfterCancelable schedules fn d from now, marked cancel-on-idle: when
+// only such events remain pending anywhere, the kernel drops them and
+// drains instead of executing them. Watchdog-style periodic self-armers
+// use it so their timer never keeps an otherwise-finished run alive.
+func (s Sched) AfterCancelable(d Duration, name string, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.k.schedule(s.ent, s.Now().Add(d), name, fn, nil, true)
+}
+
+// Commit runs fn with exclusive access to coordinator-owned shared state.
+// On a classic kernel (and on the coordinator of a sharded one) it runs
+// inline, preserving exact sequential semantics. From a worker epoch it is
+// deferred to the next barrier, where the coordinator replays all commits
+// in deterministic (time, source entity, source sequence) order — the
+// cross-shard mailbox through which the fabric's shared link state is
+// reached.
+func (s Sched) Commit(name string, fn func()) {
+	sh := s.k.sh
+	if sh == nil || !sh.inEpoch.Load() {
+		fn()
+		return
+	}
+	src := sh.shardOf(s.ent)
+	if !src.executing.Load() {
+		// Not called from this shard's worker goroutine: coordinator
+		// context between epochs — exclusive access holds.
+		fn()
+		return
+	}
+	src.outbox = append(src.outbox, xmsg{at: src.now, srcEnt: s.ent, srcSeq: src.nextOutSeq(), name: name, fn: fn, commit: true})
+}
+
+// Spawn creates a simulated process owned by this entity.
+func (s Sched) Spawn(name string, fn func(p *Proc)) *Proc {
+	return s.k.spawn(s.ent, name, fn)
+}
+
+// awaitSeqEvent names the phase-switch wake pushed for a proc parked in
+// AwaitSequential; exec excludes it from step accounting.
+const awaitSeqEvent = "simtime:await-seq"
+
+// xmsg is one cross-shard mailbox entry: a commit to replay on the
+// coordinator, or an event/wake to deliver into another shard's heap. The
+// (at, srcEnt, srcSeq) triple is the shard-independent merge key.
+type xmsg struct {
+	at     Time
+	srcEnt Entity
+	srcSeq int64
+	name   string
+	fn     func()
+	proc   *Proc
+	dstEnt Entity
+	commit bool
+}
+
+// shard is one partition of the simulation: its own event heap, clock,
+// proc set and sequence counters.
+type shard struct {
+	id     int
+	now    Time
+	queue  eventHeap
+	procs  map[*Proc]struct{}
+	steps  int64
+	lseq   int64 // events scheduled by this shard during the current epoch
+	oseq   int64 // outbox entries emitted during the current epoch
+	outbox []xmsg
+
+	// executing is true while the shard's worker goroutine drains events
+	// inside an epoch; it gates the inline-commit fast path and the
+	// cross-shard wake check.
+	executing atomic.Bool
+
+	// stopPhase asks the worker loop to stop after the current event:
+	// either Stop() or a proc awaiting the sequential phase.
+	stopPhase bool
+	awaiting  *Proc // proc parked in AwaitSequential, woken at phase switch
+
+	stalledCache []string
+	stalledDirty bool
+}
+
+// nextOutSeq returns the next outbox sequence number for merge keying.
+func (s *shard) nextOutSeq() int64 { s.oseq++; return s.oseq }
+
+// sharded is the kernel's conservative parallel engine state.
+type sharded struct {
+	k         *Kernel
+	plan      ShardPlan
+	shards    []*shard // [0] = coordinator, [1..Workers] = workers
+	lookahead Duration
+
+	gseq      int64 // global sequence counter (coordinator phases)
+	globalNow Time  // high-water clock for Kernel.Now() reporting
+	// curNow is the sequential-phase universal clock: the timestamp of
+	// the event currently executing on the coordinator. Inside a parallel
+	// epoch each shard's own clock is authoritative instead.
+	curNow Time
+
+	wantParallel atomic.Bool
+	parallel     bool // current mode, owned by the run loop
+	inEpoch      atomic.Bool
+	stop         atomic.Bool
+	running      bool
+
+	owners sync.Map // Entity -> *shard, memoized Owner calls
+	wg     sync.WaitGroup
+}
+
+// Shard switches the kernel into sharded mode. It must be called on a
+// fresh kernel, before anything is scheduled or spawned; plans with ≤ 1
+// worker leave the kernel in classic sequential mode.
+func (k *Kernel) Shard(plan ShardPlan) {
+	if plan.Workers <= 1 {
+		return
+	}
+	if len(k.queue) != 0 || len(k.procs) != 0 || k.steps != 0 {
+		panic("simtime: Shard must be called on a fresh kernel")
+	}
+	if k.tracer != nil {
+		panic("simtime: Shard is incompatible with a kernel tracer")
+	}
+	if plan.Owner == nil {
+		panic("simtime: ShardPlan.Owner is required")
+	}
+	if plan.Lookahead <= 0 {
+		panic("simtime: ShardPlan.Lookahead must be positive")
+	}
+	sh := &sharded{k: k, plan: plan, lookahead: plan.Lookahead}
+	for i := 0; i <= plan.Workers; i++ {
+		sh.shards = append(sh.shards, &shard{id: i, procs: make(map[*Proc]struct{}), stalledDirty: true})
+	}
+	k.sh = sh
+}
+
+// Sharded reports whether the kernel runs the sharded engine, and with
+// how many worker shards.
+func (k *Kernel) Sharded() int {
+	if k.sh == nil {
+		return 0
+	}
+	return k.sh.plan.Workers
+}
+
+// ShardSteps returns per-shard executed event counts (index 0 is the
+// coordinator), nil on a classic kernel.
+func (k *Kernel) ShardSteps() []int64 {
+	if k.sh == nil {
+		return nil
+	}
+	out := make([]int64, len(k.sh.shards))
+	for i, s := range k.sh.shards {
+		out[i] = s.steps
+	}
+	return out
+}
+
+// EnableParallel asks the sharded engine to start running worker epochs
+// concurrently. It takes effect at the next scheduling boundary; classic
+// kernels ignore it. Callers must guarantee that, from this point until
+// DisableParallel, every event touches only its own shard's state (or
+// runs under the global entity).
+func (k *Kernel) EnableParallel() {
+	if k.sh != nil {
+		k.sh.wantParallel.Store(true)
+	}
+}
+
+// DisableParallel returns the engine to coordinator-only execution at the
+// next epoch barrier.
+func (k *Kernel) DisableParallel() {
+	if k.sh != nil {
+		k.sh.wantParallel.Store(false)
+	}
+}
+
+// InParallel reports whether worker epochs are currently enabled; shared
+// services use it to reject calls that are only legal in the sequential
+// phase.
+func (k *Kernel) InParallel() bool {
+	return k.sh != nil && (k.sh.parallel || k.sh.wantParallel.Load())
+}
+
+// AwaitSequential parks p until the kernel is executing sequentially
+// (coordinator-only). It returns immediately on a classic kernel or when
+// worker epochs are off; otherwise it requests the switch, stops the
+// calling shard's epoch at the current instant so no local time passes,
+// and resumes at the same virtual time once the coordinator has taken
+// over. Finalization paths call it before touching global services.
+func (k *Kernel) AwaitSequential(p *Proc) {
+	sh := k.sh
+	if sh == nil || !sh.parallel {
+		return
+	}
+	s := p.shard
+	if !s.executing.Load() {
+		return // coordinator context: already exclusive
+	}
+	sh.wantParallel.Store(false)
+	s.stopPhase = true
+	if s.awaiting != nil {
+		panic("simtime: two procs awaiting sequential phase on one shard in one epoch")
+	}
+	s.awaiting = p
+	p.state = procParked
+	s.stalledDirty = true
+	p.yield <- struct{}{}
+	<-p.resume
+	p.state = procRunning
+	s.stalledDirty = true
+}
+
+// RandFor returns the deterministic random stream of entity e, created on
+// first use from the kernel seed and the entity id only. Creation races
+// resolve to a single winner via LoadOrStore; since the seed depends only
+// on (kernel seed, entity), the losing racer's stream was identical anyway.
+func (k *Kernel) RandFor(e Entity) *rand.Rand {
+	if v, ok := k.entRngs.Load(e); ok {
+		return v.(*rand.Rand)
+	}
+	r := rand.New(rand.NewSource(mix64(k.seed, int64(e))))
+	v, _ := k.entRngs.LoadOrStore(e, r)
+	return v.(*rand.Rand)
+}
+
+// ShardRand returns worker shard i's private random stream, seeded from
+// the kernel seed and the shard id. It exists for shard-internal
+// randomized bookkeeping; simulation entities must use Sched.Rand so
+// their draws are placement-independent.
+func (k *Kernel) ShardRand(i int) *rand.Rand {
+	if k.sh == nil || i < 0 || i >= len(k.sh.shards) {
+		panic(fmt.Sprintf("simtime: no shard %d", i))
+	}
+	return rand.New(rand.NewSource(mix64(k.seed, int64(i)<<32|1)))
+}
+
+// mix64 is splitmix64 over the pair (seed, tweak): a cheap, well-mixed
+// seed derivation so entity and shard streams are independent.
+func mix64(seed, tweak int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(tweak+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// shardOf resolves an entity's shard, memoizing the plan's Owner calls.
+func (sh *sharded) shardOf(e Entity) *shard {
+	if e == GlobalEntity {
+		return sh.shards[0]
+	}
+	if s, ok := sh.owners.Load(e); ok {
+		return s.(*shard)
+	}
+	w := sh.plan.Owner(e)
+	if w < 1 || w > sh.plan.Workers {
+		panic(fmt.Sprintf("simtime: ShardPlan.Owner(%d) = %d outside [1,%d]", e, w, sh.plan.Workers))
+	}
+	s := sh.shards[w]
+	sh.owners.Store(e, s)
+	return s
+}
+
+// schedule is the sharded scheduling path shared by Sched.At and the
+// kernel compatibility wrappers. Outside worker epochs the event goes
+// straight into the target shard's heap under the global sequence; inside
+// an epoch, a worker schedules locally with strided sequence numbers, and
+// cross-shard events travel through the outbox.
+func (k *Kernel) schedule(ent Entity, t Time, name string, fn func(), p *Proc, cancelable bool) {
+	sh := k.sh
+	if sh == nil {
+		if t < k.now {
+			panic(fmt.Sprintf("simtime: scheduling %q at %v before now %v", name, t, k.now))
+		}
+		k.seq++
+		k.queue.push(event{at: t, seq: k.seq, name: name, fn: fn, proc: p, cancelable: cancelable})
+		return
+	}
+	dst := sh.shardOf(ent)
+	if !sh.inEpoch.Load() {
+		// Coordinator context: exclusive access to every heap.
+		if t < dst.now {
+			panic(fmt.Sprintf("simtime: scheduling %q at %v before shard %d now %v", name, t, dst.id, dst.now))
+		}
+		sh.gseq++
+		dst.queue.push(event{at: t, seq: sh.gseq, name: name, fn: fn, proc: p, ent: ent, cancelable: cancelable})
+		return
+	}
+	// Worker epoch. The caller must be dst's own goroutine for a local
+	// push; cross-shard scheduling goes through the mailbox.
+	if dst.executing.Load() {
+		if t < dst.now {
+			panic(fmt.Sprintf("simtime: scheduling %q at %v before shard %d now %v", name, t, dst.id, dst.now))
+		}
+		dst.lseq++
+		seq := dst.seqBase(sh) + dst.lseq*int64(len(sh.shards)) + int64(dst.id)
+		dst.queue.push(event{at: t, seq: seq, name: name, fn: fn, proc: p, ent: ent, cancelable: cancelable})
+		return
+	}
+	// Cross-shard scheduling from inside a worker epoch is an ownership
+	// violation: the destination heap belongs to a goroutine that may be
+	// draining it right now. Protocol layers never take this path — they
+	// commit, or schedule onto entities they own.
+	if p != nil {
+		panic(fmt.Sprintf("simtime: cross-shard wake of proc %q from a worker epoch — co-locate the entities or communicate through the fabric", p.name))
+	}
+	panic(fmt.Sprintf("simtime: cross-shard schedule of %q onto entity %d from a worker epoch — use Sched.Commit or an owned entity", name, ent))
+}
+
+// seqBase returns the strided sequence base for worker pushes this epoch.
+func (s *shard) seqBase(sh *sharded) int64 { return sh.gseq }
+
+// run is the sharded engine's main loop, alternating coordinator-only
+// sequential execution with conservative parallel epochs.
+func (sh *sharded) run(until Time) int64 {
+	if sh.running {
+		panic("simtime: Kernel.Run is not reentrant")
+	}
+	sh.running = true
+	sh.stop.Store(false)
+	defer func() { sh.running = false }()
+
+	var n int64
+	for !sh.stop.Load() {
+		if sh.parallel != sh.wantParallel.Load() {
+			sh.switchPhase()
+		}
+		if sh.parallel {
+			ran, done := sh.epoch(until)
+			n += ran
+			if done {
+				break
+			}
+			continue
+		}
+		e, s, ok := sh.popMin(until)
+		if !ok {
+			break
+		}
+		n++
+		sh.exec(s, e)
+	}
+	if !sh.stop.Load() && until >= 0 {
+		for _, s := range sh.shards {
+			if s.now < until {
+				s.now = until
+			}
+		}
+	}
+	if t := sh.maxNow(); t > sh.globalNow {
+		sh.globalNow = t
+	}
+	return n
+}
+
+// popMin removes the globally minimal event across all shards in the
+// sequential phase, honoring the until bound and cancel-on-idle draining.
+func (sh *sharded) popMin(until Time) (event, *shard, bool) {
+	var best *shard
+	for _, s := range sh.shards {
+		if len(s.queue) == 0 {
+			continue
+		}
+		if best == nil || eventBefore(&s.queue[0], &best.queue[0]) {
+			best = s
+		}
+	}
+	if best == nil {
+		return event{}, nil, false
+	}
+	top := &best.queue[0]
+	if until >= 0 && top.at > until {
+		return event{}, nil, false
+	}
+	if top.cancelable && sh.onlyCancelable() {
+		sh.dropCancelable()
+		return event{}, nil, false
+	}
+	return best.queue.pop(), best, true
+}
+
+// eventBefore reports whether a orders before b under the (time, seq) key.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// onlyCancelable reports whether every pending event anywhere is marked
+// cancel-on-idle — the drain condition.
+func (sh *sharded) onlyCancelable() bool {
+	for _, s := range sh.shards {
+		for i := range s.queue {
+			if !s.queue[i].cancelable {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dropCancelable discards all pending cancel-on-idle events.
+func (sh *sharded) dropCancelable() {
+	for _, s := range sh.shards {
+		s.queue = s.queue[:0]
+	}
+}
+
+// exec runs one event on the coordinator thread with shard s's clock.
+func (sh *sharded) exec(s *shard, e event) {
+	if e.at < s.now {
+		panic("simtime: event time went backwards")
+	}
+	s.now = e.at
+	sh.curNow = e.at
+	if e.at > sh.globalNow {
+		sh.globalNow = e.at
+	}
+	if e.name != awaitSeqEvent {
+		// Phase-switch wakes are engine plumbing with no sequential
+		// counterpart; counting them would make Steps() shard-dependent.
+		s.steps++
+		sh.k.steps++
+	}
+	if p := e.proc; p != nil {
+		if p.state != procParked {
+			panic(fmt.Sprintf("simtime: wake of %q which is not parked", p.name))
+		}
+		p.wakePending = false
+		p.state = procRunning
+		sh.k.step(p)
+		return
+	}
+	e.fn()
+}
+
+// switchPhase flips between sequential and parallel execution at a safe
+// boundary, waking any procs parked in AwaitSequential at their own park
+// instants.
+func (sh *sharded) switchPhase() {
+	sh.parallel = sh.wantParallel.Load()
+	if sh.parallel {
+		return
+	}
+	for _, s := range sh.shards {
+		if p := s.awaiting; p != nil {
+			s.awaiting = nil
+			sh.gseq++
+			s.queue.push(event{at: s.now, seq: sh.gseq, name: awaitSeqEvent, proc: p, ent: p.ent})
+			p.wakePending = true
+			p.state = procParked // already parked; wake path re-checks
+		}
+	}
+}
+
+// epoch runs one conservative parallel window: coordinator events first
+// (exclusive), then every worker shard concurrently up to the LBTS bound,
+// then the barrier merge. It returns the events executed and whether the
+// simulation has drained.
+func (sh *sharded) epoch(until Time) (int64, bool) {
+	var n int64
+	// Coordinator-first: run global events due before any worker work.
+	for {
+		wnext, any := sh.workerNext()
+		c := sh.shards[0]
+		if len(c.queue) == 0 {
+			if !any {
+				if sh.onlyCancelable() {
+					sh.dropCancelable()
+				}
+				if len(c.queue) == 0 && !sh.anyWork() {
+					return n, true
+				}
+			}
+			break
+		}
+		top := &c.queue[0]
+		if until >= 0 && top.at > until {
+			if !any {
+				return n, true
+			}
+			break
+		}
+		if any && top.at > wnext {
+			break
+		}
+		if top.cancelable && sh.onlyCancelable() {
+			sh.dropCancelable()
+			return n, true
+		}
+		e := c.queue.pop()
+		n++
+		sh.exec(c, e)
+		if sh.stop.Load() || sh.parallel != sh.wantParallel.Load() {
+			return n, false
+		}
+	}
+	wnext, any := sh.workerNext()
+	if !any {
+		return n, !sh.anyWork()
+	}
+	bound := wnext.Add(sh.lookahead)
+	if c := sh.shards[0]; len(c.queue) > 0 && c.queue[0].at < bound {
+		bound = c.queue[0].at
+	}
+	if until >= 0 && bound > until.Add(1) {
+		bound = until.Add(1)
+	}
+	// Drain worker heaps concurrently inside [*, bound).
+	sh.inEpoch.Store(true)
+	var ran atomic.Int64
+	for _, s := range sh.shards[1:] {
+		if len(s.queue) == 0 {
+			continue
+		}
+		s.lseq = 0
+		s.oseq = 0
+		sh.wg.Add(1)
+		go func(s *shard) {
+			defer sh.wg.Done()
+			s.executing.Store(true)
+			var m int64
+			for len(s.queue) > 0 && !s.stopPhase {
+				if s.queue[0].at >= bound {
+					break
+				}
+				if sh.stop.Load() {
+					break
+				}
+				e := s.queue.pop()
+				if e.at < s.now {
+					panic("simtime: event time went backwards")
+				}
+				s.now = e.at
+				s.steps++
+				m++
+				if p := e.proc; p != nil {
+					if p.state != procParked {
+						panic(fmt.Sprintf("simtime: wake of %q which is not parked", p.name))
+					}
+					p.wakePending = false
+					p.state = procRunning
+					sh.k.step(p)
+					continue
+				}
+				e.fn()
+			}
+			s.stopPhase = false
+			s.executing.Store(false)
+			ran.Add(m)
+		}(s)
+	}
+	sh.wg.Wait()
+	sh.inEpoch.Store(false)
+	n += ran.Load()
+	sh.k.steps += ran.Load()
+	if t := sh.maxNow(); t > sh.globalNow {
+		sh.globalNow = t
+	}
+	merged := sh.mergeOutboxes()
+	if n == 0 && merged == 0 {
+		// No event inside the window and nothing exchanged: everything
+		// pending lies beyond the until bound.
+		return n, true
+	}
+	// Reserve the strided sequence range the workers consumed.
+	var maxL int64
+	for _, s := range sh.shards[1:] {
+		if s.lseq > maxL {
+			maxL = s.lseq
+		}
+	}
+	sh.gseq += (maxL + 1) * int64(len(sh.shards))
+	return n, false
+}
+
+// workerNext returns the earliest pending worker event time.
+func (sh *sharded) workerNext() (Time, bool) {
+	var t Time
+	any := false
+	for _, s := range sh.shards[1:] {
+		if len(s.queue) == 0 {
+			continue
+		}
+		if !any || s.queue[0].at < t {
+			t = s.queue[0].at
+			any = true
+		}
+	}
+	return t, any
+}
+
+// anyWork reports whether any shard has pending events.
+func (sh *sharded) anyWork() bool {
+	for _, s := range sh.shards {
+		if len(s.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeOutboxes applies every cross-shard message generated during the
+// epoch in deterministic (time, source entity, source sequence) order:
+// commits replay against coordinator-owned state, wakes and events land in
+// their owners' heaps under fresh global sequence numbers.
+func (sh *sharded) mergeOutboxes() int {
+	var all []xmsg
+	for _, s := range sh.shards[1:] {
+		all = append(all, s.outbox...)
+		s.outbox = s.outbox[:0]
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.srcEnt != b.srcEnt {
+			return a.srcEnt < b.srcEnt
+		}
+		return a.srcSeq < b.srcSeq
+	})
+	for i := range all {
+		m := &all[i]
+		if m.commit {
+			// Replay at the commit's own timestamp so Sched.Now and wake
+			// scheduling inside the closure see the source's send time, not
+			// whatever coordinator event last ran.
+			sh.curNow = m.at
+			m.fn()
+			continue
+		}
+		sh.k.schedule(m.dstEnt, m.at, m.name, m.fn, m.proc, false)
+	}
+	return len(all)
+}
+
+// maxNow returns the latest shard clock.
+func (sh *sharded) maxNow() Time {
+	var t Time
+	for _, s := range sh.shards {
+		if s.now > t {
+			t = s.now
+		}
+	}
+	return t
+}
+
+// stalled merges parked non-daemon procs across shards, sorted.
+func (sh *sharded) stalled() []string {
+	var out []string
+	for _, s := range sh.shards {
+		for p := range s.procs {
+			if p.state == procParked && !p.daemon {
+				out = append(out, p.name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

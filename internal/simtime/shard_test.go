@@ -1,0 +1,320 @@
+package simtime
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// The synthetic sharded workload: swEntities entities exchange messages in
+// an alltoall-ish pattern. Each entity sleeps a per-entity random duration,
+// then "sends" to a rotating peer through Sched.Commit, mimicking the
+// fabric: the commit schedules the delivery onto the destination entity at
+// send time + lookahead + jitter. Every observable — send times, receive
+// times, payloads, random draws — is recorded in per-entity logs, which
+// must be identical at every shard count.
+const (
+	swEntities = 8
+	swIters    = 6
+	swLook     = 100 * Nanosecond
+)
+
+// blockOwner partitions entities 1..swEntities into contiguous blocks.
+func blockOwner(workers int) func(Entity) int {
+	return func(e Entity) int {
+		return (int(e)-1)*workers/swEntities + 1
+	}
+}
+
+func newTestKernel(workers int) *Kernel {
+	k := NewKernel()
+	k.Shard(ShardPlan{Workers: workers, Owner: blockOwner(workers), Lookahead: swLook})
+	return k
+}
+
+type synthRes struct {
+	logs  [][]string
+	final Time
+	steps int64
+}
+
+// synthSetup wires the synthetic workload onto k and returns the logs
+// slice that the run fills in.
+func synthSetup(k *Kernel, stopper func(p *Proc, iter int)) [][]string {
+	logs := make([][]string, swEntities+1)
+	for i := 1; i <= swEntities; i++ {
+		ent := Entity(i)
+		sc := k.SchedFor(ent)
+		sc.Spawn(fmt.Sprintf("ent%d", i), func(p *Proc) {
+			for iter := 0; iter < swIters; iter++ {
+				p.Sleep(Duration(sc.Rand().Intn(1000)) * Nanosecond)
+				if stopper != nil {
+					stopper(p, iter)
+				}
+				dst := Entity((int(ent)+iter)%swEntities + 1)
+				sendT := sc.Now()
+				jit := Duration(sc.Rand().Intn(50)) * Nanosecond
+				payload := fmt.Sprintf("%d->%d#%d", ent, dst, iter)
+				logs[ent] = append(logs[ent], fmt.Sprintf("send t=%v %s", sendT, payload))
+				// Delivery times get a per-source picosecond stamp so no two
+				// sources ever deliver at the same instant: cross-source ties
+				// at one destination are merge-batch dependent, and the real
+				// fabric serializes them through link occupancy instead.
+				at := sendT.Add(swLook + jit + Duration(ent)*Picosecond)
+				sc.Commit("xmit:"+payload, func() {
+					k.SchedFor(dst).At(at, "deliver:"+payload, func() {
+						logs[dst] = append(logs[dst], fmt.Sprintf("recv t=%v %s", at, payload))
+					})
+				})
+			}
+		})
+	}
+	return logs
+}
+
+func runSynthetic(workers int) synthRes {
+	k := newTestKernel(workers)
+	logs := synthSetup(k, nil)
+	k.EnableParallel()
+	k.Run()
+	return synthRes{logs: logs, final: k.Now(), steps: k.Steps()}
+}
+
+// TestShardedDeterminism is the core tentpole gate at the engine level:
+// the synthetic workload's per-entity observable history is identical at
+// 1 (classic kernel), 2, 4 and 8 worker shards.
+func TestShardedDeterminism(t *testing.T) {
+	base := runSynthetic(1)
+	if base.steps == 0 || base.final == 0 {
+		t.Fatalf("baseline did no work: steps=%d final=%v", base.steps, base.final)
+	}
+	for _, w := range []int{2, 4, 8} {
+		got := runSynthetic(w)
+		for e := 1; e <= swEntities; e++ {
+			if !reflect.DeepEqual(got.logs[e], base.logs[e]) {
+				t.Fatalf("workers=%d entity %d log diverged:\n got: %v\nwant: %v", w, e, got.logs[e], base.logs[e])
+			}
+		}
+		if got.final != base.final {
+			t.Errorf("workers=%d final time %v, want %v", w, got.final, base.final)
+		}
+		if got.steps != base.steps {
+			t.Errorf("workers=%d executed %d events, want %d", w, got.steps, base.steps)
+		}
+	}
+}
+
+// TestRandForPlacementIndependent asserts the satellite requirement
+// directly: per-entity random streams depend only on (seed, entity), so a
+// classic kernel and any sharded kernel draw identical sequences.
+func TestRandForPlacementIndependent(t *testing.T) {
+	draw := func(workers int) [][]int64 {
+		k := newTestKernel(workers)
+		out := make([][]int64, swEntities+1)
+		for e := 1; e <= swEntities; e++ {
+			r := k.RandFor(Entity(e))
+			for j := 0; j < 16; j++ {
+				out[e] = append(out[e], r.Int63())
+			}
+		}
+		return out
+	}
+	base := draw(1)
+	for _, w := range []int{2, 4} {
+		if got := draw(w); !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d per-entity rand sequences diverged from classic kernel", w)
+		}
+	}
+	// Distinct entities draw distinct streams.
+	if reflect.DeepEqual(base[1], base[2]) {
+		t.Fatal("entities 1 and 2 share a random stream")
+	}
+}
+
+// TestShardRandStreams checks the per-shard private streams are
+// deterministic and mutually independent.
+func TestShardRandStreams(t *testing.T) {
+	k := newTestKernel(4)
+	a1 := k.ShardRand(1).Int63()
+	b1 := k.ShardRand(2).Int63()
+	if a1 == b1 {
+		t.Fatal("shard 1 and shard 2 streams coincide")
+	}
+	if again := k.ShardRand(1).Int63(); again != a1 {
+		t.Fatalf("shard 1 stream not reproducible: %d then %d", a1, again)
+	}
+}
+
+// TestShardedRunUntil splits the synthetic run at an arbitrary instant and
+// checks the two halves reproduce the uninterrupted history, and that
+// RunUntil advances all shard clocks to the bound.
+func TestShardedRunUntil(t *testing.T) {
+	base := runSynthetic(4)
+	k := newTestKernel(4)
+	logs := synthSetup(k, nil)
+	k.EnableParallel()
+	cut := Time(0).Add(2 * Microsecond)
+	k.RunUntil(cut)
+	if now := k.Now(); now != cut {
+		t.Fatalf("after RunUntil(%v) Now() = %v", cut, now)
+	}
+	if k.Idle() {
+		t.Fatal("workload finished before the cut; pick an earlier cut")
+	}
+	k.Run()
+	if !reflect.DeepEqual(logs, base.logs) {
+		t.Fatal("RunUntil+Run history diverged from a single Run")
+	}
+	if k.Now() != base.final {
+		t.Fatalf("final time %v, want %v", k.Now(), base.final)
+	}
+}
+
+// TestShardedStop stops the kernel from inside a worker epoch, verifies
+// pending work survives, and resumes to the identical final history.
+func TestShardedStop(t *testing.T) {
+	base := runSynthetic(4)
+	k := newTestKernel(4)
+	var stopped atomic.Bool
+	logs := synthSetup(k, func(p *Proc, iter int) {
+		if p.Entity() == 5 && iter == 3 && !stopped.Swap(true) {
+			k.Stop()
+		}
+	})
+	k.EnableParallel()
+	n1 := k.Run()
+	if !stopped.Load() {
+		t.Fatal("stopper never ran")
+	}
+	if k.Idle() {
+		t.Fatal("Stop drained the kernel; expected pending work")
+	}
+	n2 := k.Run()
+	if n1 == 0 || n2 == 0 {
+		t.Fatalf("both run halves must execute events: %d, %d", n1, n2)
+	}
+	if n1+n2 != base.steps {
+		t.Errorf("split run executed %d events, want %d", n1+n2, base.steps)
+	}
+	if !reflect.DeepEqual(logs, base.logs) {
+		t.Fatal("stop+resume history diverged from an uninterrupted run")
+	}
+}
+
+// TestShardedStalled checks deadlock reporting aggregates parked
+// non-daemon procs across all shards, sorted, with daemons excluded.
+func TestShardedStalled(t *testing.T) {
+	k := newTestKernel(4)
+	for i := 1; i <= swEntities; i++ {
+		sc := k.SchedFor(Entity(i))
+		sig := NewSignal()
+		sc.Spawn(fmt.Sprintf("stuck%d", i), func(p *Proc) {
+			sig.Wait(p)
+		})
+	}
+	k.SchedFor(1).Spawn("nicloop", func(p *Proc) {
+		p.MarkDaemon()
+		NewSignal().Wait(p)
+	})
+	k.EnableParallel()
+	k.Run()
+	if !k.Idle() {
+		t.Fatal("kernel not idle after drain")
+	}
+	want := []string{"stuck1", "stuck2", "stuck3", "stuck4", "stuck5", "stuck6", "stuck7", "stuck8"}
+	if got := k.Stalled(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Stalled() = %v, want %v", got, want)
+	}
+}
+
+// TestAwaitSequential checks the finalize path: a worker proc requests the
+// sequential phase, loses no virtual time across the switch, and can then
+// touch coordinator-owned scheduling.
+func TestAwaitSequential(t *testing.T) {
+	k := newTestKernel(4)
+	var parT, seqT Time
+	globalRan := false
+	sc := k.SchedFor(5)
+	sc.Spawn("finalizer", func(p *Proc) {
+		p.Sleep(500 * Nanosecond)
+		parT = p.Now()
+		if !k.InParallel() {
+			t.Error("expected parallel phase before AwaitSequential")
+		}
+		k.AwaitSequential(p)
+		seqT = p.Now()
+		k.SchedFor(GlobalEntity).After(0, "global-step", func() { globalRan = true })
+	})
+	k.EnableParallel()
+	k.Run()
+	if parT != Time(0).Add(500*Nanosecond) || seqT != parT {
+		t.Fatalf("virtual time across phase switch: parallel=%v sequential=%v", parT, seqT)
+	}
+	if !globalRan {
+		t.Fatal("global event after AwaitSequential never ran")
+	}
+	if k.InParallel() {
+		t.Fatal("still parallel after AwaitSequential")
+	}
+}
+
+// TestCrossShardScheduleViolation checks the ownership guard: scheduling
+// onto a foreign shard from inside a worker epoch panics with a
+// diagnosable message instead of corrupting the foreign heap.
+func TestCrossShardScheduleViolation(t *testing.T) {
+	k := newTestKernel(4)
+	var msg atomic.Value
+	sc := k.SchedFor(2)
+	sc.Spawn("violator", func(p *Proc) {
+		p.Sleep(10 * Nanosecond)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					msg.Store(fmt.Sprint(r))
+				}
+			}()
+			// Entity 8 lives on another shard under blockOwner(4).
+			k.SchedFor(8).At(p.Now().Add(Microsecond), "bad", func() {})
+		}()
+	})
+	k.EnableParallel()
+	k.Run()
+	got, _ := msg.Load().(string)
+	if !strings.Contains(got, "cross-shard") {
+		t.Fatalf("expected cross-shard panic, got %q", got)
+	}
+}
+
+// TestCancelOnIdleDrains checks watchdog-style self-rearming timers: they
+// fire while real work is pending and are dropped once only they remain,
+// on both the sharded and the classic kernel.
+func TestCancelOnIdleDrains(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		k := newTestKernel(workers)
+		ticks := 0
+		g := k.SchedFor(GlobalEntity)
+		var arm func()
+		arm = func() {
+			g.AfterCancelable(Microsecond, "tick", func() {
+				ticks++
+				arm()
+			})
+		}
+		arm()
+		k.SchedFor(1).Spawn("worker", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Sleep(700 * Nanosecond)
+			}
+		})
+		k.EnableParallel()
+		k.Run()
+		if !k.Idle() {
+			t.Fatalf("workers=%d: self-rearming timer kept the kernel alive", workers)
+		}
+		if ticks != 3 {
+			t.Errorf("workers=%d: %d ticks before drain, want 3 (work ends at 3.5us)", workers, ticks)
+		}
+	}
+}

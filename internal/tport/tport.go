@@ -135,6 +135,7 @@ type pendingMsg struct {
 // Endpoint is one process's Tport: host-side API plus the NIC firmware.
 type Endpoint struct {
 	k    *simtime.Kernel
+	sc   simtime.Sched
 	host *simtime.Host
 	nic  *elan4.NIC
 	cfg  model.Config
@@ -168,7 +169,7 @@ type sendState struct {
 // rank→port map. It installs itself as the NIC's firmware.
 func New(k *simtime.Kernel, host *simtime.Host, nic *elan4.NIC, cfg model.Config, rank int, ports []int) *Endpoint {
 	e := &Endpoint{
-		k: k, host: host, nic: nic, cfg: cfg, rank: rank, ports: ports,
+		k: k, sc: host.Sched(), host: host, nic: nic, cfg: cfg, rank: rank, ports: ports,
 		eagerLimit: cfg.MTU - headerBytes,
 		chunk:      cfg.MTU - headerBytes,
 		sends:      make(map[uint64]*sendState),
@@ -206,7 +207,7 @@ func (e *Endpoint) trace(kind trace.Kind, reqID uint64, peer, tag, bytes int, co
 		return
 	}
 	e.tracer.Record(trace.Event{
-		At: e.k.Now(), Rank: e.rank, Layer: trace.LayerTport, Kind: kind,
+		At: e.sc.Now(), Rank: e.rank, Layer: trace.LayerTport, Kind: kind,
 		ReqID: reqID, Peer: peer, Tag: tag, Bytes: bytes, Corr: corr,
 	})
 }

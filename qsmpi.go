@@ -293,6 +293,10 @@ func (w *World) Spawn(n int, childMain func(cw *World)) {
 	if w.job.cfg.EnableTCP || w.job.cfg.DisableElan {
 		panic("qsmpi: Spawn requires a Quadrics-only configuration")
 	}
+	// Dynamic spawn is shared-service traffic end to end (RTE joins, OOB
+	// rendezvous), so a sharded run drops to the sequential phase first
+	// and stays there.
+	w.job.c.K.AwaitSequential(w.proc.Th.Proc())
 	w.spawnGen++
 	oldSize := w.mpiw.Size()
 	newSize := oldSize + n
