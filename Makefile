@@ -4,7 +4,7 @@ GO ?= go
 # by the tool binary's hash, so rebuilds only re-analyze what changed.
 QSMPILINT := bin/qsmpilint
 
-.PHONY: all build test check lint race bench figures perfbench report-par
+.PHONY: all build test check lint race bench figures perfbench report-par report-shards coll-shards
 
 all: build test
 
@@ -63,6 +63,16 @@ report-shards:
 	$(GO) run ./cmd/report -shards 4 > /tmp/qsmpi-report-s4.md
 	diff /tmp/qsmpi-report-s1.md /tmp/qsmpi-report-s4.md
 	@echo "report output identical at -shards 1 and -shards 4"
+
+# coll-shards extends the identity gate to the NIC-offloaded collective
+# path at scale: a 1024-rank barrier/bcast/allreduce smoke — whose hot
+# path is NIC-resident chain callbacks running inside shard workers —
+# must be byte-identical at -shards 1 and -shards 4.
+coll-shards:
+	$(GO) run ./cmd/collsmoke -shards 1 > /tmp/qsmpi-coll-s1.txt
+	$(GO) run ./cmd/collsmoke -shards 4 > /tmp/qsmpi-coll-s4.txt
+	diff /tmp/qsmpi-coll-s1.txt /tmp/qsmpi-coll-s4.txt
+	@echo "collective smoke identical at -shards 1 and -shards 4"
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -117,6 +117,20 @@ type shardScalingEntry struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+// collScaleEntry is one collective-scaling sample: the simulated latency
+// of one barrier or 8-byte allreduce at a rank count, over the host
+// software trees or the NIC combine trees, plus the run's wall-clock
+// throughput (the whole measurement cluster, bringup included).
+type collScaleEntry struct {
+	Op           string  `json:"op"` // "barrier" | "allreduce"
+	Ranks        int     `json:"ranks"`
+	NIC          bool    `json:"nic"`
+	LatUS        float64 `json:"lat_us"`
+	Events       int64   `json:"events"`
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
 // report is the BENCH_wallclock.json schema.
 type report struct {
 	Generated  string           `json:"generated"`
@@ -130,7 +144,11 @@ type report struct {
 	// qualifies the curve — on a single-core box the sharded runs measure
 	// engine overhead, not speedup.
 	Shards []shardScalingEntry `json:"shards,omitempty"`
-	NumCPU int                 `json:"num_cpu,omitempty"`
+	// CollScale is the collective-offload scaling table: barrier and
+	// 8-byte allreduce at increasing rank counts, host software trees
+	// against the NIC combine trees.
+	CollScale []collScaleEntry `json:"collscale,omitempty"`
+	NumCPU    int              `json:"num_cpu,omitempty"`
 	// SweepGeomean is the geometric-mean parallel-sweep speedup across
 	// the sweep workloads.
 	SweepGeomean float64        `json:"sweep_geomean,omitempty"`
@@ -382,6 +400,7 @@ func main() {
 	baseline := flag.String("baseline", "", "prior BENCH_wallclock.json: record per-workload instrumentation-off overhead against it")
 	shards := flag.Int("shards", 1, "worker shards for the workload runs (conservative parallel kernel; ≤1 = classic engine)")
 	shardScale := flag.Bool("shardscale", true, "record the sharded-kernel scaling curve (events/sec at 1/2/4 shards)")
+	collScale := flag.Bool("collscale", true, "record the collective-offload table (barrier/allreduce at 64/256/1024 ranks, host vs NIC tree)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering every measured run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all runs) to this file")
 	flag.Parse()
@@ -443,6 +462,35 @@ func main() {
 				rep.Shards = append(rep.Shards, e)
 				fmt.Printf("%-22s %8d %14.1f %12d %12.2f %14.0f\n",
 					e.Name, e.Shards, e.SimUS, e.Events, e.WallMS, e.EventsPerSec)
+			}
+		}
+	}
+
+	if *collScale {
+		fmt.Printf("\n%-22s %8s %14s %12s %12s %14s\n",
+			"collective scaling", "ranks", "lat-us", "events", "wall-ms", "events/sec")
+		for _, op := range []string{"barrier", "allreduce"} {
+			allreduce := op == "allreduce"
+			for _, n := range []int{64, 256, 1024} {
+				for _, nic := range []bool{false, true} {
+					tree := "host"
+					if nic {
+						tree = "nic"
+					}
+					n, nic := n, nic
+					w := workload{
+						name: fmt.Sprintf("%s-%d-%s", op, n, tree),
+						run: func() (float64, int64) {
+							return experiments.CollectiveEvents(n, nic, allreduce, *shards)
+						},
+					}
+					r := measure(w, *reps)
+					e := collScaleEntry{Op: op, Ranks: n, NIC: nic, LatUS: r.SimUS,
+						Events: r.Events, WallMS: r.WallMS, EventsPerSec: r.EventsPerSec}
+					rep.CollScale = append(rep.CollScale, e)
+					fmt.Printf("%-22s %8d %14.2f %12d %12.2f %14.0f\n",
+						w.name, e.Ranks, e.LatUS, e.Events, e.WallMS, e.EventsPerSec)
+				}
 			}
 		}
 	}

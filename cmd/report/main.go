@@ -37,6 +37,11 @@ func main() {
 	cfg.Shards = *shards
 
 	claims := experiments.Claims(cfg)
+	// The collective-scaling figures are measured once; the offload
+	// claims (NIC tree beats host tree at >= 256 ranks) are derived from
+	// the same numbers, so the table and the figures always agree.
+	collFigs := experiments.CollScaleFigures(cfg)
+	claims = append(claims, experiments.CollScaleClaims(collFigs)...)
 	fmt.Println("# Replication report: Open MPI over Quadrics/Elan4")
 	fmt.Println()
 	fmt.Println("| claim | paper | measured | verdict |")
@@ -51,6 +56,11 @@ func main() {
 		fmt.Printf("| %s | %s | %s | %s |\n", c.ID, c.Paper, c.Measured, verdict)
 	}
 	fmt.Printf("\n%d/%d claims reproduced.\n", len(claims)-failed, len(claims))
+	fmt.Println()
+	fmt.Println("## Collective scaling (host vs NIC trees)")
+	for _, f := range collFigs {
+		fmt.Printf("\n```\n%s```\n", f.Render())
+	}
 	if *metrics {
 		// The figure sweeps above run untraced (the report body stays
 		// byte-identical); each table below is one representative point

@@ -60,6 +60,20 @@ type Spec struct {
 	// Cluster.Run appends the diagnostics to its deadlock error.
 	Watchdog *obs.Watchdog
 
+	// HWColl builds each rank's node of the NIC-resident collective tree
+	// at launch (after connection setup, before the mpi-init rendezvous),
+	// enabling the hardware Barrier/Allreduce path. Requires the Elan
+	// transport; with a Peers restriction in place, the peer sets must
+	// include every rank's tree neighbours (ptlelan4.HWCollPeers).
+	HWColl bool
+	// Peers, when non-nil, restricts connection setup: rank connects only
+	// to Peers(rank, nprocs) instead of every other rank. A 4096-rank
+	// full mesh is 16.7M connections of pure bringup; collective-only
+	// workloads list the log-P neighbourhoods they actually use. The sets
+	// must be symmetric (if a lists b, b must list a) and every rank the
+	// workload sends to must be listed. nil keeps the full mesh.
+	Peers func(rank, nprocs int) []int
+
 	// Shards is the worker-shard count of the conservative parallel kernel
 	// (see internal/simtime). 0 or 1 runs the classic sequential engine —
 	// the exact pre-sharding code path. With N > 1, node i (its host, NICs
@@ -284,12 +298,37 @@ func (c *Cluster) Launch(main func(p *Proc)) {
 		node := r % len(c.Hosts)
 		c.Hosts[node].Spawn(fmt.Sprintf("rank%d", r), func(th *simtime.Thread) {
 			p := c.bringup(th, r, node, ProcName(r))
-			// Everybody reachable from everybody: MPI_COMM_WORLD wiring.
-			for peer := 0; peer < c.nprocs; peer++ {
-				if peer == r {
-					continue
+			if c.spec.Peers != nil {
+				// Restricted wiring: only the declared neighbourhood.
+				for _, peer := range c.spec.Peers(r, c.nprocs) {
+					if peer == r {
+						continue
+					}
+					c.ConnectPeer(p, peer, ProcName(peer))
 				}
-				c.ConnectPeer(p, peer, ProcName(peer))
+			} else {
+				// Everybody reachable from everybody: MPI_COMM_WORLD wiring.
+				for peer := 0; peer < c.nprocs; peer++ {
+					if peer == r {
+						continue
+					}
+					c.ConnectPeer(p, peer, ProcName(peer))
+				}
+			}
+			if c.spec.HWColl {
+				if p.Elan == nil {
+					panic("cluster: HWColl requires the Elan transport")
+				}
+				members := make([]int, c.nprocs)
+				for i := range members {
+					members[i] = i
+				}
+				// Before the rendezvous: every rank's rings must exist
+				// before any member starts collective traffic (a QDMA to
+				// a missing ring is a hard fault, not a retry).
+				if !p.Elan.SetupHWColl(th, members, r) && c.nprocs > 1 {
+					panic(fmt.Sprintf("cluster: rank %d cannot build its NIC collective tree (missing tree neighbour in Peers?)", r))
+				}
 			}
 			c.Registry.Rendezvous(th, "mpi-init", c.nprocs)
 			// Bringup is all shared-service traffic (RTE joins, OOB

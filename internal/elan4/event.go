@@ -90,6 +90,16 @@ func (e *Event) DisarmInterrupt() {
 // relying on this operation.
 func (e *Event) setCount(n int64) { e.count = n }
 
+// Rearm resets the count from inside a chain closure, the one place a
+// reset is sound: the chain runs on the NIC at the instant the count
+// reached exactly zero, atomically with respect to further decrements, so
+// no completion can be lost in the window that makes the host-side reset
+// (ResetEventCountRacy) unsound. NIC-resident state machines — the
+// collective combine trees — use it to make an event reusable across
+// operations. Calling it outside a chain closure recreates the Fig. 5
+// race and must not be done.
+func (e *Event) Rearm(count int64) { e.count = count }
+
 // trigger is called by the NIC when an operation targeting this event
 // completes. It charges the NIC's event-update cost, then fires if the
 // count reaches exactly zero.

@@ -452,6 +452,19 @@ func (c *Context) ResetEventCountRacy(th *simtime.Thread, ev *Event, newCount in
 	})
 }
 
+// SetEvent is the host SETEVENT command: one decrement of ev's count,
+// issued through the command port (CmdIssue on the host, NICDispatch on
+// the NIC before the event update lands). This is how a host contributes
+// its local arrival to a NIC-resident combining event — the collective
+// trees count children's QDMA deposits plus one SETEVENT from the local
+// host.
+func (c *Context) SetEvent(th *simtime.Thread, ev *Event) {
+	th.Compute(c.nic.cfg.CmdIssue)
+	c.nic.sc.After(c.nic.cfg.NICDispatch, "elan4:setevent", func() {
+		ev.trigger()
+	})
+}
+
 func (c *Context) enqueueOp(op *dmaOp) {
 	n := c.nic
 	n.sc.After(n.cfg.NICDispatch, "elan4:dispatch", func() {

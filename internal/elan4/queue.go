@@ -36,6 +36,12 @@ type RecvQueue struct {
 	irqArmed  bool
 	irqSignal *simtime.Signal
 
+	// event, if set, is triggered (count decremented after the NIC's
+	// event-update cost) on every accepted deposit — the queue
+	// descriptor's event field in Elan4 hardware. The collective trees
+	// chain their combine step off it.
+	event *Event
+
 	deposits  int64
 	rejects   int64
 	highWater int // deepest occupancy ever seen
@@ -74,6 +80,13 @@ func (q *RecvQueue) HostWord() *simtime.Counter { return q.hostWord }
 // events can target arbitrary host words; transports use this to share one
 // "activity" word across many queues.
 func (q *RecvQueue) AddNotify(c *simtime.Counter) { q.notify = append(q.notify, c) }
+
+// SetEvent attaches an Elan event to the queue descriptor: every accepted
+// deposit triggers it (one count decrement, charged the NIC event-update
+// cost). This is how the NIC-resident collective trees learn of children's
+// contributions without any host polling — the queue fills, the event
+// counts down, and the chained combine fires.
+func (q *RecvQueue) SetEvent(ev *Event) { q.event = ev }
 
 // Slots returns the ring capacity.
 func (q *RecvQueue) Slots() int { return len(q.slots) }
@@ -153,6 +166,9 @@ func (q *RecvQueue) deposit(src int, data []byte) bool {
 		sig := q.irqSignal
 		q.irqSignal = nil
 		q.ctx.nic.raiseInterrupt(sig)
+	}
+	if q.event != nil {
+		q.event.trigger()
 	}
 	return true
 }

@@ -1,0 +1,72 @@
+package experiments
+
+import "testing"
+
+// TestCollectiveOffloadWins pins the tentpole result at a cheap size: the
+// NIC combine tree beats the host software trees for both barrier and
+// allreduce, and does it with fewer kernel events.
+func TestCollectiveOffloadWins(t *testing.T) {
+	for _, allreduce := range []bool{false, true} {
+		host, hostEv := CollectiveEvents(64, false, allreduce, 1)
+		nic, nicEv := CollectiveEvents(64, true, allreduce, 1)
+		if nic >= host {
+			t.Errorf("allreduce=%v: NIC tree %.2fus not faster than host %.2fus",
+				allreduce, nic, host)
+		}
+		if nicEv >= hostEv {
+			t.Errorf("allreduce=%v: NIC tree %d events not fewer than host %d",
+				allreduce, nicEv, hostEv)
+		}
+	}
+}
+
+// TestCollective4096Barrier is the scale acceptance gate: a 4096-rank
+// NIC-tree barrier run must build and complete within test timeouts.
+func TestCollective4096Barrier(t *testing.T) {
+	lat, ev := CollectiveEvents(4096, true, false, 1)
+	if lat <= 0 || ev <= 0 {
+		t.Fatalf("4096-rank barrier: lat=%.2f events=%d", lat, ev)
+	}
+	t.Logf("4096-rank NIC barrier: %.2fus, %d events", lat, ev)
+}
+
+// TestCollectiveShardIdentity: the collective measurements must be
+// byte-identical whether the simulation runs sequentially or across 4
+// PDES shards, for both algorithms.
+func TestCollectiveShardIdentity(t *testing.T) {
+	for _, nic := range []bool{false, true} {
+		for _, allreduce := range []bool{false, true} {
+			l1, e1 := CollectiveEvents(64, nic, allreduce, 1)
+			l4, e4 := CollectiveEvents(64, nic, allreduce, 4)
+			if l1 != l4 || e1 != e4 {
+				t.Errorf("nic=%v allreduce=%v: shards 1 (%.6f, %d) != shards 4 (%.6f, %d)",
+					nic, allreduce, l1, e1, l4, e4)
+			}
+		}
+	}
+}
+
+// TestCollPeersSymmetric: the restricted bringup topology must be
+// symmetric (ConnectPeer only wires the local side) and include the NIC
+// tree neighbours.
+func TestCollPeersSymmetric(t *testing.T) {
+	for _, n := range []int{2, 13, 64, 100} {
+		sets := make([]map[int]bool, n)
+		for r := 0; r < n; r++ {
+			sets[r] = make(map[int]bool)
+			for _, p := range CollPeers(r, n) {
+				if p < 0 || p >= n || p == r {
+					t.Fatalf("n=%d rank %d: bad peer %d", n, r, p)
+				}
+				sets[r][p] = true
+			}
+		}
+		for r := 0; r < n; r++ {
+			for p := range sets[r] {
+				if !sets[p][r] {
+					t.Errorf("n=%d: %d lists %d but not vice versa", n, r, p)
+				}
+			}
+		}
+	}
+}

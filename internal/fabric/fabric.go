@@ -93,18 +93,21 @@ type link struct {
 	bytes   int64
 }
 
-// linkKey identifies a directed link: the hop between level l-1 and level
-// l above subtree sw (level 0 "switch" indices are port numbers).
-type linkKey struct {
-	l, sw int
-}
-
 // route is one memoized up-down path through the tree. Deterministic
 // routing means the path per (src, dst) pair never changes, so it is
 // computed once and reused for every subsequent packet.
 type route struct {
 	links    []*link
 	switches int
+}
+
+// routeSlot is one entry of the bounded, direct-mapped route cache. A nil
+// route marks the slot empty; on a key collision the old route is simply
+// replaced (recomputing a path is cheap and deterministic, so eviction
+// affects only the hit/miss counters, never timing).
+type routeSlot struct {
+	key int64
+	r   *route
 }
 
 // portState is the per-port slice of fabric state: everything a sending
@@ -149,12 +152,23 @@ type Network struct {
 	// (entity-local) half and the committed (shared-path) half.
 	par bool
 
-	up   map[linkKey]*link // directed links by (level, subtree)
-	down map[linkKey]*link
+	// up and down hold the directed links, indexed [level][subtree]
+	// (level 0 "switch" indices are port numbers, so level 1 has one slot
+	// per port, level 2 one per leaf switch, and so on). The per-level
+	// pointer slices are preallocated at New — O(nports·arity/(arity-1))
+	// total — while the links themselves are still created on first use,
+	// so a 4096-port tree costs a few slices up front instead of a pair
+	// of maps grown to every link ever touched.
+	up   [][]*link
+	down [][]*link
 
 	// routes caches the up-down path per (src, dst) pair so routing cost
-	// is paid once per pair, not once per packet.
-	routes map[int64]*route
+	// is paid once per pair, not once per packet. It is a fixed-size
+	// direct-mapped cache rather than a map: at 4096 ports the full
+	// (src, dst) cross product is 16M routes, which an unbounded memo
+	// would happily hold. Bounding it keeps fabric memory O(nports).
+	routes     []routeSlot
+	routeShift uint
 
 	retransmits int64
 	routeHits   int64
@@ -220,9 +234,6 @@ func New(k *simtime.Kernel, p Params, nports int) *Network {
 		arity:  p.Arity,
 		ports:  make([]portState, nports),
 		par:    k.Sharded() > 0,
-		up:     make(map[linkKey]*link),
-		down:   make(map[linkKey]*link),
-		routes: make(map[int64]*route),
 	}
 	if n.par && p.LossRate > 0 {
 		// Loss draws consume the kernel's global random stream in send
@@ -238,6 +249,27 @@ func New(k *simtime.Kernel, p Params, nports int) *Network {
 		capacity *= n.arity
 		n.levels++
 	}
+	// Link tables: level l has one slot per level-(l-1) subtree.
+	n.up = make([][]*link, n.levels+1)
+	n.down = make([][]*link, n.levels+1)
+	span := 1
+	for l := 1; l <= n.levels; l++ {
+		count := (nports + span - 1) / span
+		n.up[l] = make([]*link, count)
+		n.down[l] = make([]*link, count)
+		span *= n.arity
+	}
+	// Route cache: ~16 slots per port, clamped to [2^8, 2^16] entries.
+	slots := 256
+	for slots < nports*16 && slots < 1<<16 {
+		slots *= 2
+	}
+	n.routes = make([]routeSlot, slots)
+	bits := uint(0)
+	for 1<<bits < slots {
+		bits++
+	}
+	n.routeShift = 64 - bits
 	return n
 }
 
@@ -278,35 +310,39 @@ func (n *Network) switchOf(id, l int) int {
 // linkFor returns (creating on demand) the directed link between level l-1
 // and level l above subtree sw, in the given direction. Level 0 "switch"
 // indices are port numbers (the node-NIC link).
-func (n *Network) linkFor(m map[linkKey]*link, l, sw int, dir string) *link {
-	key := linkKey{l: l, sw: sw}
-	lk, ok := m[key]
-	if !ok {
+func (n *Network) linkFor(m [][]*link, l, sw int, dir string) *link {
+	lk := m[l][sw]
+	if lk == nil {
 		bw := n.p.LinkBandwidth
 		// Fat up-links: multiply bandwidth per level above the first.
 		for i := 1; i < l; i++ {
 			bw *= float64(n.arity)
 		}
 		lk = &link{name: fmt.Sprintf("%s:l%d:s%d", dir, l, sw), bw: bw}
-		m[key] = lk
+		m[l][sw] = lk
 	}
 	return lk
 }
 
 // pathLinks returns the ordered links a packet traverses from src to dst,
 // and the number of switches crossed. Routes are deterministic, so the
-// result is memoized per (src, dst) pair: the first packet pays the tree
-// walk, every later packet is one map lookup. Only coordinator-context
-// code (legacy sends, commit replay, setup) may call it.
+// result is memoized per (src, dst) pair in the bounded direct-mapped
+// cache: the first packet (and any packet whose pair was evicted by a
+// collision) pays the tree walk, every other packet is one probe. Only
+// coordinator-context code (legacy sends, commit replay, setup) may call
+// it.
 func (n *Network) pathLinks(src, dst int) (links []*link, switches int) {
 	key := int64(src)<<32 | int64(uint32(dst))
-	if r, ok := n.routes[key]; ok {
+	// Fibonacci hashing spreads the (src, dst) pairs over the table.
+	slot := &n.routes[uint64(key)*0x9E3779B97F4A7C15>>n.routeShift]
+	if slot.r != nil && slot.key == key {
 		n.routeHits++
-		return r.links, r.switches
+		return slot.r.links, slot.r.switches
 	}
 	n.routeMisses++
 	links, switches = n.computePath(src, dst)
-	n.routes[key] = &route{links: links, switches: switches}
+	slot.key = key
+	slot.r = &route{links: links, switches: switches}
 	return links, switches
 }
 

@@ -1,0 +1,163 @@
+package fabric
+
+import (
+	"testing"
+
+	"qsmpi/internal/simtime"
+)
+
+// Multi-level routing at arity boundaries: nports one below, at, and one
+// above a power of the arity exercises the LCA walk where the tree gains
+// a level. Golden path lengths with testParams (arity 4, wire 0.1us,
+// switch 0.15us, zero overhead): a path through the level-l common
+// ancestor crosses 2l links and 2l-1 switches.
+func TestArityBoundaryPathGoldens(t *testing.T) {
+	cases := []struct {
+		nports     int
+		levels     int
+		src, dst   int
+		links, sws int
+	}{
+		// 4^2 - 1: two levels; cross-root and same-leaf pairs.
+		{15, 2, 0, 14, 4, 3},
+		{15, 2, 12, 14, 2, 1},
+		// 4^2: still two levels.
+		{16, 2, 0, 15, 4, 3},
+		// 4^2 + 1: three levels; port 16 sits alone under the second
+		// level-2 switch, so reaching it crosses the root.
+		{17, 3, 0, 16, 6, 5},
+		{17, 3, 0, 15, 4, 3},
+		// 4^3 ± 1.
+		{63, 3, 0, 62, 6, 5},
+		{64, 3, 0, 63, 6, 5},
+		{65, 4, 0, 64, 8, 7},
+		{65, 4, 60, 63, 2, 1},
+	}
+	for _, tc := range cases {
+		k := simtime.NewKernel()
+		net := New(k, testParams(), tc.nports)
+		if net.levels != tc.levels {
+			t.Errorf("nports=%d: %d levels, want %d", tc.nports, net.levels, tc.levels)
+		}
+		links, sws := net.computePath(tc.src, tc.dst)
+		if len(links) != tc.links || sws != tc.sws {
+			t.Errorf("nports=%d %d->%d: %d links %d switches, want %d/%d",
+				tc.nports, tc.src, tc.dst, len(links), sws, tc.links, tc.sws)
+		}
+		p := testParams()
+		want := simtime.Duration(tc.links)*p.WireLatency + simtime.Duration(tc.sws)*p.SwitchLatency
+		if got := net.ZeroByteLatency(tc.src, tc.dst); got != want {
+			t.Errorf("nports=%d %d->%d: zero-byte latency %v, want %v",
+				tc.nports, tc.src, tc.dst, got, want)
+		}
+	}
+}
+
+// Route determinism through the bounded cache: pathLinks must return the
+// identical link sequence on every call, including after the direct-mapped
+// slot was evicted by a colliding pair and recomputed.
+func TestRouteDeterminismUnderEviction(t *testing.T) {
+	k := simtime.NewKernel()
+	const nports = 65
+	net := New(k, testParams(), nports)
+	type flat struct {
+		links    []*link
+		switches int
+	}
+	first := make(map[[2]int]flat)
+	for s := 0; s < nports; s++ {
+		for d := 0; d < nports; d++ {
+			if s == d {
+				continue
+			}
+			l, sw := net.pathLinks(s, d)
+			first[[2]int{s, d}] = flat{links: append([]*link(nil), l...), switches: sw}
+		}
+	}
+	// Second pass: every result must match, link pointer for link pointer
+	// (same physical links, not just same shape), whatever the cache did.
+	for s := 0; s < nports; s++ {
+		for d := 0; d < nports; d++ {
+			if s == d {
+				continue
+			}
+			l, sw := net.pathLinks(s, d)
+			f := first[[2]int{s, d}]
+			if sw != f.switches || len(l) != len(f.links) {
+				t.Fatalf("%d->%d: path changed shape", s, d)
+			}
+			for i := range l {
+				if l[i] != f.links[i] {
+					t.Fatalf("%d->%d: link %d differs between passes", s, d, i)
+				}
+			}
+		}
+	}
+}
+
+// Route-cache accounting: hits + misses must equal calls, the cache array
+// must stay at its construction-time bound however many pairs are routed,
+// and a repeat of a just-routed pair must hit.
+func TestRouteCacheAccounting(t *testing.T) {
+	k := simtime.NewKernel()
+	const nports = 64
+	net := New(k, testParams(), nports)
+	bound := len(net.routes)
+	calls := int64(0)
+	for pass := 0; pass < 2; pass++ {
+		for s := 0; s < nports; s++ {
+			for d := 0; d < nports; d++ {
+				if s == d {
+					continue
+				}
+				net.pathLinks(s, d)
+				calls++
+			}
+		}
+	}
+	hits, misses := net.RouteCacheStats()
+	if hits+misses != calls {
+		t.Fatalf("hits %d + misses %d != calls %d", hits, misses, calls)
+	}
+	if misses < int64(nports*(nports-1)) {
+		t.Fatalf("misses %d below the cold-start floor %d", misses, nports*(nports-1))
+	}
+	if len(net.routes) != bound {
+		t.Fatalf("route cache grew: %d slots, bound %d", len(net.routes), bound)
+	}
+	// Back-to-back repeats always hit: the pair's slot cannot be evicted
+	// in between.
+	h0, _ := net.RouteCacheStats()
+	net.pathLinks(1, 2)
+	net.pathLinks(1, 2)
+	h1, _ := net.RouteCacheStats()
+	if h1 < h0+1 {
+		t.Fatalf("repeat lookup did not hit (%d -> %d)", h0, h1)
+	}
+}
+
+// A 4096-port fabric must build with O(nports) state: per-level link
+// tables bounded by the geometric series and a route cache at its clamp.
+func TestLargeFabricConstructionLean(t *testing.T) {
+	k := simtime.NewKernel()
+	const nports = 4096
+	net := New(k, testParams(), nports)
+	if net.levels != 6 {
+		t.Fatalf("levels = %d, want 6", net.levels)
+	}
+	slots := 0
+	for l := 1; l <= net.levels; l++ {
+		slots += len(net.up[l]) + len(net.down[l])
+	}
+	// Geometric series: 2 * (4096 + 1024 + ... + 1) < 2 * 4/3 * nports.
+	if slots > 3*nports {
+		t.Fatalf("link table slots %d exceed O(nports) bound %d", slots, 3*nports)
+	}
+	if len(net.routes) > 1<<16 {
+		t.Fatalf("route cache %d slots above clamp", len(net.routes))
+	}
+	// The far corners still route.
+	if d := net.ZeroByteLatency(0, nports-1); d <= 0 {
+		t.Fatalf("cross-root latency %v", d)
+	}
+}

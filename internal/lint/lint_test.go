@@ -36,6 +36,14 @@ func TestKernelOwnShardSched(t *testing.T) {
 	linttest.Run(t, lint.KernelOwn, "qsmpi/internal/tport")
 }
 
+func TestKernelOwnChainCallbacks(t *testing.T) {
+	// Rule 3 inside NIC chain callbacks: the fixture type-checks under the
+	// real libelan import path, a shard-resident layer, and registers
+	// closures in the shape the collective trees fire from the event
+	// engine.
+	linttest.Run(t, lint.KernelOwn, "qsmpi/internal/libelan")
+}
+
 func TestPoolUse(t *testing.T) {
 	linttest.Run(t, lint.PoolUse, "poolfix")
 }
@@ -44,6 +52,13 @@ func TestTraceCorr(t *testing.T) {
 	// The fixture type-checks under the real pml import path: tracecorr
 	// is scoped to the protocol layers.
 	linttest.Run(t, lint.TraceCorr, "qsmpi/internal/pml")
+}
+
+func TestTraceCorrCollective(t *testing.T) {
+	// The NIC-collective trace kinds under the real ptlelan4 import path:
+	// HWCollUp/HWCollDone literals need the correlator like any protocol
+	// event.
+	linttest.Run(t, lint.TraceCorr, "qsmpi/internal/ptlelan4")
 }
 
 // TestRepoIsClean is the meta-test the suite exists for: the real tree

@@ -1,0 +1,47 @@
+// Package libelan (fixture) type-checks under the import path
+// qsmpi/internal/libelan — a shard-resident layer — so kernelown rule 3
+// applies inside NIC chain callbacks: the closures an event fires when
+// its count reaches zero run on whichever shard owns the NIC, so any
+// clock read or follow-up event they create must go through the
+// entity-bound simtime.Sched, never a raw *simtime.Kernel (a raw
+// Kernel.After would land the event in the coordinator's heap and break
+// the sharded/sequential identity contract).
+package libelan
+
+import "qsmpi/internal/simtime"
+
+// combiner models a NIC-resident tree node: it registers chain
+// callbacks that fire from the event engine, not from a host thread.
+type combiner struct {
+	k     *simtime.Kernel
+	sc    simtime.Sched
+	chain []func()
+}
+
+func (c *combiner) onFire(fn func()) { c.chain = append(c.chain, fn) }
+
+func (c *combiner) badChainClock() {
+	c.onFire(func() {
+		_ = c.k.Now() // want `shard-resident layer calls Kernel\.Now`
+	})
+}
+
+func (c *combiner) badChainForward() {
+	c.onFire(func() {
+		c.k.After(simtime.Microsecond, "combine", func() {}) // want `shard-resident layer calls Kernel\.After`
+	})
+}
+
+// goodChain: the entity-bound Sched is the sanctioned path for both the
+// combine timestamp and the forwarded QDMA's wire event.
+func (c *combiner) goodChain() {
+	c.onFire(func() {
+		_ = c.sc.Now()
+		c.sc.After(simtime.Microsecond, "combine", func() {})
+	})
+}
+
+// steps: non-scheduling kernel accounting stays legal in callbacks too.
+func (c *combiner) steps() int64 {
+	return c.k.Steps()
+}

@@ -1,0 +1,39 @@
+// Package ptlelan4 (fixture) type-checks under the import path
+// qsmpi/internal/ptlelan4 — a protocol layer — so tracecorr applies to
+// the NIC-collective trace kinds exactly as to point-to-point ones: the
+// profiler correlates a collective's up-phase and completion through
+// Corr, and an uncorrelated HWCollUp/HWCollDone silently drops the
+// operation from the cross-rank timeline.
+package ptlelan4
+
+import "qsmpi/internal/trace"
+
+func CollUpWithoutCorr(r *trace.Recorder, rank, root int) {
+	r.Record(trace.Event{ // want `trace\.Event emitted without Corr`
+		Rank: rank, Layer: trace.LayerPTL, Kind: trace.HWCollUp, Peer: root,
+	})
+}
+
+func CollDoneWithoutCorr(r *trace.Recorder, rank int, bytes int) {
+	r.Record(trace.Event{ // want `trace\.Event emitted without Corr`
+		Rank: rank, Layer: trace.LayerPTL, Kind: trace.HWCollDone, Bytes: bytes,
+	})
+}
+
+// CollUpCorrelated mirrors the real module's traceCorr helper: the
+// collective's correlator is minted from (rank, sequence) like a send's.
+func CollUpCorrelated(r *trace.Recorder, rank int, seq uint64) {
+	r.Record(trace.Event{
+		Rank: rank, Layer: trace.LayerPTL, Kind: trace.HWCollUp,
+		Corr: trace.MsgID(rank, seq),
+	})
+}
+
+// CollDoneAllowed: the escape hatch still documents why when no
+// operation identity exists to correlate with.
+func CollDoneAllowed(r *trace.Recorder, rank int) {
+	//lint:allow tracecorr fixture event reports a torn-down tree, no op in flight
+	r.Record(trace.Event{
+		Rank: rank, Layer: trace.LayerPTL, Kind: trace.HWCollDone,
+	})
+}

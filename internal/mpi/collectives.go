@@ -15,12 +15,20 @@ func (c *Comm) collTag() int {
 	return collTagBase + c.seq.collSeq%(1<<20)
 }
 
-// Barrier blocks until every member has entered it (dissemination
-// algorithm: ceil(log2 n) rounds of zero-byte exchanges).
+// Barrier blocks until every member has entered it: over the NIC-resident
+// combine tree when a provider is installed and the group is eligible,
+// otherwise the dissemination algorithm (ceil(log2 n) rounds of zero-byte
+// exchanges).
 func (c *Comm) Barrier() {
 	n := c.Size()
 	if n == 1 {
 		return
+	}
+	if c.id == 0 && c.w.hw.coll != nil && c.w.hw.eligible {
+		c.seq.collSeq++ // keep collective sequencing aligned with fallback
+		if c.w.hw.coll.HWBarrier(c.w.th, c.ranks, c.w.rank) {
+			return
+		}
 	}
 	tag := c.collTag()
 	empty := datatype.Contiguous(0)
@@ -159,8 +167,18 @@ func (c *Comm) Reduce(root int, buf, recv []byte, op Op) {
 	}
 }
 
-// Allreduce is Reduce to rank 0 followed by Bcast.
+// Allreduce reduces every member's buf with op and leaves the result in
+// recv on all members: over the NIC-resident combine tree when a provider
+// is installed and the group is eligible, otherwise Reduce to rank 0
+// followed by Bcast.
 func (c *Comm) Allreduce(buf, recv []byte, op Op) {
+	if c.id == 0 && c.w.hw.coll != nil && c.w.hw.eligible && c.Size() > 1 {
+		c.seq.collSeq++ // keep collective sequencing aligned with fallback
+		copy(recv, buf)
+		if c.w.hw.coll.HWAllreduce(c.w.th, c.ranks, c.w.rank, recv[:len(buf)], op) {
+			return
+		}
+	}
 	c.Reduce(0, buf, recv, op)
 	c.Bcast(0, recv, datatype.Contiguous(len(recv)))
 }

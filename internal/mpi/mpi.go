@@ -57,11 +57,17 @@ func (u *Universe) commFor(parent uint16, seq int, color int) uint16 {
 	return id
 }
 
-// HWColl is an optional hardware-collective provider (QsNet's
-// switch-replicated broadcast). HWBcast returns false when the group
-// cannot be served, in which case the software tree runs instead.
+// HWColl is an optional hardware-collective provider: QsNet's
+// switch-replicated broadcast plus the NIC-resident combine trees for
+// barrier and allreduce. Each method returns false when the group cannot
+// be served, in which case the software tree runs instead; a provider
+// must make that decision identically on every member (the fallback is
+// collective too). The op passed to HWAllreduce must be associative — the
+// provider applies it in member-index order, never arrival order.
 type HWColl interface {
 	HWBcast(th *simtime.Thread, root int, members []int, me int, data []byte) bool
+	HWBarrier(th *simtime.Thread, members []int, me int) bool
+	HWAllreduce(th *simtime.Thread, members []int, me int, data []byte, op func(dst, src []byte)) bool
 }
 
 // World is one process's MPI endpoint.

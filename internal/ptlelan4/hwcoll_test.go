@@ -2,11 +2,20 @@ package ptlelan4_test
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"testing"
 
 	"qsmpi/internal/cluster"
+	"qsmpi/internal/pml"
 	"qsmpi/internal/ptlelan4"
+	"qsmpi/internal/simtime"
 )
+
+// hwSpec is elanSpec plus the NIC collective tree built at launch.
+func hwSpec(opts ptlelan4.Options) cluster.Spec {
+	return cluster.Spec{Elan: &opts, Progress: pml.Polling, HWColl: true}
+}
 
 func TestHWBcastModuleLevel(t *testing.T) {
 	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
@@ -66,6 +75,118 @@ func TestHWBcastConsecutiveDifferentRoots(t *testing.T) {
 	}
 	if bad != 0 {
 		t.Fatalf("%d interleaved broadcasts corrupted", bad)
+	}
+}
+
+func TestHWBarrierSynchronizes(t *testing.T) {
+	// 13 ranks (a ragged quaternary tree: interior nodes with 1–4
+	// children) run repeated NIC barriers with one straggler per round;
+	// nobody may leave a barrier before the straggler entered it.
+	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	const n = 13
+	c := cluster.New(hwSpec(opts), n)
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	enter := make([]simtime.Time, 4)
+	exit := make([][]simtime.Time, 4)
+	for r := range exit {
+		exit[r] = make([]simtime.Time, n)
+	}
+	c.Launch(func(p *cluster.Proc) {
+		for round := 0; round < 4; round++ {
+			straggler := round * 3 % n
+			if p.Rank == straggler {
+				p.Th.Compute(simtime.Micros(50))
+				enter[round] = p.Th.Now()
+			}
+			if !p.Elan.HWBarrier(p.Th, members, p.Rank) {
+				t.Errorf("rank %d: HWBarrier refused round %d", p.Rank, round)
+				return
+			}
+			exit[round][p.Rank] = p.Th.Now()
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		for r := 0; r < n; r++ {
+			if exit[round][r] < enter[round] {
+				t.Fatalf("round %d: rank %d left at %v before straggler entered at %v",
+					round, r, exit[round][r], enter[round])
+			}
+		}
+	}
+}
+
+func TestHWAllreduceSum(t *testing.T) {
+	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	const n = 10
+	c := cluster.New(hwSpec(opts), n)
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	sumF64 := func(dst, src []byte) {
+		d := math.Float64frombits(binary.LittleEndian.Uint64(dst))
+		s := math.Float64frombits(binary.LittleEndian.Uint64(src))
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(d+s))
+	}
+	bad := 0
+	c.Launch(func(p *cluster.Proc) {
+		buf := make([]byte, 8)
+		for round := 0; round < 3; round++ {
+			local := float64(p.Rank + 1 + round*100)
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(local))
+			if !p.Elan.HWAllreduce(p.Th, members, p.Rank, buf, sumF64) {
+				t.Errorf("rank %d: HWAllreduce refused round %d", p.Rank, round)
+				return
+			}
+			want := float64(n*(n+1)/2 + round*100*n)
+			if got := math.Float64frombits(binary.LittleEndian.Uint64(buf)); got != want {
+				t.Errorf("rank %d round %d: sum %v, want %v", p.Rank, round, got, want)
+				bad++
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("%d wrong reductions", bad)
+	}
+}
+
+func TestHWCombineFallbacks(t *testing.T) {
+	opts := ptlelan4.BestOptions(ptlelan4.RDMARead)
+	c := cluster.New(hwSpec(opts), 4)
+	members := []int{0, 1, 2, 3}
+	c.Launch(func(p *cluster.Proc) {
+		// Oversize operand: one QDMA frame is the hardware limit.
+		big := make([]byte, 4096)
+		if p.Elan.HWAllreduce(p.Th, members, p.Rank, big, func(dst, src []byte) {}) {
+			t.Error("oversize allreduce not refused")
+		}
+		// Group mismatch (a sub-communicator): the tree serves only the
+		// group it was built over.
+		if p.Rank < 2 {
+			if p.Elan.HWBarrier(p.Th, []int{0, 1}, p.Rank) {
+				t.Error("sub-group barrier not refused")
+			}
+		}
+		// Trivial singleton group succeeds without touching the tree.
+		if !p.Elan.HWBarrier(p.Th, []int{p.Rank}, p.Rank) {
+			t.Error("singleton barrier refused")
+		}
+		// The full group still works after the refusals.
+		if !p.Elan.HWBarrier(p.Th, members, p.Rank) {
+			t.Error("full-group barrier refused")
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
 	}
 }
 

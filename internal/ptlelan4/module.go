@@ -108,6 +108,11 @@ const (
 	qidRecv = 0
 	qidComp = 1
 	qidColl = 2
+	// NIC-resident collective tree rings (hwcoll.go): children's combine
+	// contributions flow up through qidHWUp, the release wave flows down
+	// through qidHWDown.
+	qidHWUp   = 3
+	qidHWDown = 4
 )
 
 // completion-record encoding (local loopback QDMA payload). The first byte
@@ -196,6 +201,10 @@ type Module struct {
 	// each outgoing QDMA (IssueQDMA copies synchronously, so staging can
 	// be released as soon as the issue call returns).
 	pool *bufpool.Pool
+
+	// hw is the NIC-resident collective combine tree, built once by
+	// SetupHWColl for static worlds (nil otherwise — software fallback).
+	hw *hwTree
 
 	peers       map[int]*peerInfo // by rank
 	outstanding []*localOp

@@ -90,6 +90,11 @@ const (
 	// Fabric kinds: wire packets.
 	PktSent
 	PktDelivered
+
+	// NIC-resident collective tree kinds: a host handing its local
+	// contribution to the tree, and the tree's release reaching it back.
+	HWCollUp
+	HWCollDone
 )
 
 func (k Kind) String() string {
@@ -148,6 +153,10 @@ func (k Kind) String() string {
 		return "pkt-sent"
 	case PktDelivered:
 		return "pkt-delivered"
+	case HWCollUp:
+		return "hwcoll-up"
+	case HWCollDone:
+		return "hwcoll-done"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

@@ -110,10 +110,11 @@ type Config struct {
 	// EagerLimit overrides the eager/rendezvous threshold (default 1984).
 	EagerLimit int
 
-	// HWBcast routes world Bcasts over QsNet's switch-replicated hardware
-	// broadcast while the world is static (an extension beyond the paper,
-	// which notes dynamic joiners preclude it; once Spawn grows the
-	// world, the software tree takes over automatically).
+	// HWBcast enables the hardware collectives while the world is static:
+	// world Bcasts over QsNet's switch-replicated hardware broadcast and
+	// world Barrier/Allreduce over NIC-resident combine trees (extensions
+	// beyond the paper, which notes dynamic joiners preclude them; once
+	// Spawn grows the world, the software trees take over automatically).
 	HWBcast bool
 
 	// DisableElan removes the Quadrics PTL (TCP-only runs).
@@ -134,6 +135,7 @@ func (cfg Config) spec() cluster.Spec {
 		Nodes:    cfg.Nodes,
 		DTP:      cfg.DatatypeEngine,
 		Progress: pml.Polling,
+		HWColl:   cfg.HWBcast && !cfg.DisableElan,
 	}
 	switch cfg.Progress {
 	case Interrupt:
