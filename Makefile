@@ -4,7 +4,7 @@ GO ?= go
 # by the tool binary's hash, so rebuilds only re-analyze what changed.
 QSMPILINT := bin/qsmpilint
 
-.PHONY: all build test check lint race bench figures perfbench report-par report-shards coll-shards
+.PHONY: all build test check lint race bench figures perfbench report-par report-shards coll-shards overlap-smoke
 
 all: build test
 
@@ -73,6 +73,17 @@ coll-shards:
 	$(GO) run ./cmd/collsmoke -shards 4 > /tmp/qsmpi-coll-s4.txt
 	diff /tmp/qsmpi-coll-s1.txt /tmp/qsmpi-coll-s4.txt
 	@echo "collective smoke identical at -shards 1 and -shards 4"
+
+# overlap-smoke extends the identity gate to the overlap harness and the
+# nonblocking-collective progress hooks: the per-mode overlap and
+# availability ratios at 64 KB — whose hot path is progress sweeps
+# interleaved with module threads and compute blocks — must be
+# byte-identical at -shards 1 and -shards 4.
+overlap-smoke:
+	$(GO) run ./cmd/overlapsmoke -shards 1 > /tmp/qsmpi-overlap-s1.txt
+	$(GO) run ./cmd/overlapsmoke -shards 4 > /tmp/qsmpi-overlap-s4.txt
+	diff /tmp/qsmpi-overlap-s1.txt /tmp/qsmpi-overlap-s4.txt
+	@echo "overlap smoke identical at -shards 1 and -shards 4"
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

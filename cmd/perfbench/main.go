@@ -131,6 +131,16 @@ type collScaleEntry struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+type overlapEntry struct {
+	Mode         string  `json:"mode"` // "basic" | "interrupt" | "one-thread" | "two-threads"
+	Side         string  `json:"side"` // "send" (overlap) | "recv" (availability)
+	Size         int     `json:"size"`
+	Ratio        float64 `json:"ratio"` // clamp((c + w - o)/c, 0, 1), w = c
+	Events       int64   `json:"events"`
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
 // report is the BENCH_wallclock.json schema.
 type report struct {
 	Generated  string           `json:"generated"`
@@ -148,6 +158,9 @@ type report struct {
 	// 8-byte allreduce at increasing rank counts, host software trees
 	// against the NIC combine trees.
 	CollScale []collScaleEntry `json:"collscale,omitempty"`
+	// Overlap is the compute/communication overlap table: sender overlap
+	// and receiver progress availability per progress mode and size.
+	Overlap []overlapEntry `json:"overlap,omitempty"`
 	NumCPU    int              `json:"num_cpu,omitempty"`
 	// SweepGeomean is the geometric-mean parallel-sweep speedup across
 	// the sweep workloads.
@@ -401,6 +414,7 @@ func main() {
 	shards := flag.Int("shards", 1, "worker shards for the workload runs (conservative parallel kernel; ≤1 = classic engine)")
 	shardScale := flag.Bool("shardscale", true, "record the sharded-kernel scaling curve (events/sec at 1/2/4 shards)")
 	collScale := flag.Bool("collscale", true, "record the collective-offload table (barrier/allreduce at 64/256/1024 ranks, host vs NIC tree)")
+	overlap := flag.Bool("overlap", true, "record the compute/communication overlap table (sender overlap and receiver availability per progress mode)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering every measured run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all runs) to this file")
 	flag.Parse()
@@ -490,6 +504,30 @@ func main() {
 					rep.CollScale = append(rep.CollScale, e)
 					fmt.Printf("%-22s %8d %14.2f %12d %12.2f %14.0f\n",
 						w.name, e.Ranks, e.LatUS, e.Events, e.WallMS, e.EventsPerSec)
+				}
+			}
+		}
+	}
+
+	if *overlap {
+		fmt.Printf("\n%-22s %6s %8s %10s %12s %12s %14s\n",
+			"overlap", "side", "size", "ratio", "events", "wall-ms", "events/sec")
+		for _, side := range []string{"send", "recv"} {
+			for _, size := range []int{4096, 65536} {
+				for _, mode := range experiments.OverlapModes {
+					side, size, mode := side, size, mode
+					w := workload{
+						name: fmt.Sprintf("overlap-%s-%s-%d", side, mode, size),
+						run: func() (float64, int64) {
+							return experiments.OverlapPoint(mode, side, size, *shards)
+						},
+					}
+					r := measure(w, *reps)
+					e := overlapEntry{Mode: mode, Side: side, Size: size, Ratio: r.SimUS,
+						Events: r.Events, WallMS: r.WallMS, EventsPerSec: r.EventsPerSec}
+					rep.Overlap = append(rep.Overlap, e)
+					fmt.Printf("%-22s %6s %8d %10.3f %12d %12.2f %14.0f\n",
+						w.name, e.Side, e.Size, e.Ratio, e.Events, e.WallMS, e.EventsPerSec)
 				}
 			}
 		}

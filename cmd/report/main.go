@@ -42,6 +42,11 @@ func main() {
 	// the same numbers, so the table and the figures always agree.
 	collFigs := experiments.CollScaleFigures(cfg)
 	claims = append(claims, experiments.CollScaleClaims(collFigs)...)
+	// Same single-measurement discipline for the overlap family: the
+	// asynchronous-progress claims (ratios are valid fractions, progress
+	// threads keep the 64 KB rendezvous advancing) read the figures.
+	overlapFigs := experiments.OverlapFigures(cfg)
+	claims = append(claims, experiments.OverlapClaims(overlapFigs)...)
 	fmt.Println("# Replication report: Open MPI over Quadrics/Elan4")
 	fmt.Println()
 	fmt.Println("| claim | paper | measured | verdict |")
@@ -59,6 +64,11 @@ func main() {
 	fmt.Println()
 	fmt.Println("## Collective scaling (host vs NIC trees)")
 	for _, f := range collFigs {
+		fmt.Printf("\n```\n%s```\n", f.Render())
+	}
+	fmt.Println()
+	fmt.Println("## Overlap & asynchronous progress")
+	for _, f := range overlapFigs {
 		fmt.Printf("\n```\n%s```\n", f.Render())
 	}
 	if *metrics {

@@ -527,6 +527,12 @@ func (c *Cluster) RegisterMetrics(r *obs.Registry) {
 			emit("pml", "match_attempts", p.Rank, float64(ps.MatchAttempts))
 			emit("pml", "match_bucket_hits", p.Rank, float64(ps.BucketHits))
 			emit("pml", "match_wildcard_hits", p.Rank, float64(ps.WildcardHits))
+			// Progress-engine duty cycle (DESIGN.md §8.3): virtual time in
+			// progress sweeps vs. parked in waits, plus probe/sweep counts.
+			emit("pml", "tests", p.Rank, float64(ps.Tests))
+			emit("pml", "progress_polls", p.Rank, float64(ps.ProgressPolls))
+			emit("pml", "progress_us", p.Rank, p.Stack.ProgressTime().Micros())
+			emit("pml", "idle_us", p.Rank, p.Stack.IdleTime().Micros())
 			for _, m := range p.Elans {
 				es := m.Stats()
 				emit("ptl", "eager_tx", p.Rank, float64(es.EagerTx))
@@ -543,6 +549,9 @@ func (c *Cluster) RegisterMetrics(r *obs.Registry) {
 				recvHW, compHW := m.QueueHighWater()
 				emit("ptl", "recvq_high_water", p.Rank, float64(recvHW))
 				emit("ptl", "cq_high_water", p.Rank, float64(compHW))
+				recvD, compD := m.QueueDepths()
+				emit("ptl", "recvq_depth", p.Rank, float64(recvD))
+				emit("ptl", "cq_depth", p.Rank, float64(compD))
 			}
 			if p.TCP != nil {
 				ts := p.TCP.Stats()
@@ -553,10 +562,15 @@ func (c *Cluster) RegisterMetrics(r *obs.Registry) {
 				emit("ptl", "tcp_bytes_tx", p.Rank, float64(ts.BytesTx))
 			}
 		}
-		// Cluster-level shape and clock.
+		// Cluster-level shape and clock. host_busy_us is each node's CPU
+		// busy time — the "compute" leg of the §8.3 duty-cycle split
+		// (progress_us / idle_us are the per-rank PML legs).
 		emit("cluster", "procs", -1, float64(len(c.procs)))
 		emit("cluster", "nodes", -1, float64(len(c.Hosts)))
 		emit("cluster", "now_us", -1, c.K.Now().Micros())
+		for node, h := range c.Hosts {
+			emit("cluster", "host_busy_us", node, h.BusyTime().Micros())
+		}
 	})
 }
 

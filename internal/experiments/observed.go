@@ -162,6 +162,8 @@ func FigureMetrics(cfg Config) []FigureMetric {
 			observedTport(4096, iters, warmup, 1).Metrics},
 		{"fig10", "PTL/Elan4-RDMA-Read, 64 KiB",
 			pp(elanSpec(ptlelan4.BestOptions(ptlelan4.RDMARead), false, pml.Polling), 65536)},
+		{"overlap", "Two progress threads, NBC workload, 16 KiB",
+			ObservedOverlap("two-threads", 16384, iters, warmup, 1).Metrics},
 	}
 }
 

@@ -36,6 +36,7 @@ const module = "qsmpi"
 // events (elan4, fabric) are exempt: raw descriptor and wire traffic may
 // legitimately be uncorrelated.
 var protocolPkgs = map[string]bool{
+	module + "/internal/mpi":      true,
 	module + "/internal/pml":      true,
 	module + "/internal/ptlelan4": true,
 	module + "/internal/ptltcp":   true,

@@ -54,6 +54,13 @@ func TestTraceCorr(t *testing.T) {
 	linttest.Run(t, lint.TraceCorr, "qsmpi/internal/pml")
 }
 
+func TestTraceCorrNonblocking(t *testing.T) {
+	// The nonblocking-collective trace kinds under the real mpi import
+	// path: NBC schedule spans need the correlator, and the per-rank
+	// ProgressDuty counter samples must opt out with an explicit zero.
+	linttest.Run(t, lint.TraceCorr, "qsmpi/internal/mpi")
+}
+
 func TestTraceCorrCollective(t *testing.T) {
 	// The NIC-collective trace kinds under the real ptlelan4 import path:
 	// HWCollUp/HWCollDone literals need the correlator like any protocol

@@ -1,0 +1,43 @@
+// Package mpi (fixture) type-checks under the import path
+// qsmpi/internal/mpi — the layer that emits the nonblocking-collective
+// schedule events — so tracecorr applies: NBCPosted/NBCPhase/
+// NBCCompleted literals must carry the Corr correlator, and the
+// deliberately per-rank ProgressDuty samples must say so with an
+// explicit Corr: 0.
+package mpi
+
+import "qsmpi/internal/trace"
+
+func EmitPhaseWithoutCorr(r *trace.Recorder, rank int, seq uint64) {
+	r.Record(trace.Event{ // want `trace\.Event emitted without Corr`
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.NBCPhase, ReqID: seq,
+	})
+}
+
+func EmitScheduleSpan(r *trace.Recorder, rank int, seq uint64) {
+	r.Record(trace.Event{
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.NBCPosted, ReqID: seq,
+		Corr: trace.MsgID(rank, seq),
+	})
+	r.Record(trace.Event{
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.NBCCompleted, ReqID: seq,
+		Corr: trace.MsgID(rank, seq),
+	})
+}
+
+// DutySampleZeroCorr: the counter-track sample is uncorrelated on
+// purpose — the explicit zero states that in review.
+func DutySampleZeroCorr(r *trace.Recorder, rank, permille int) {
+	r.Record(trace.Event{
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.ProgressDuty,
+		Bytes: permille, Corr: 0,
+	})
+}
+
+// AllowedUncorrelated: the escape hatch documents why.
+func AllowedUncorrelated(r *trace.Recorder, rank int) {
+	//lint:allow tracecorr fixture sample predates any schedule, no correlator exists
+	r.Record(trace.Event{
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.ProgressDuty,
+	})
+}

@@ -16,8 +16,8 @@ import (
 // exactly to end-to-end latency) degrades without any test failing.
 var TraceCorr = &analysis.Analyzer{
 	Name: "tracecorr",
-	Doc: "require trace.Event literals in protocol layers (pml, ptlelan4, " +
-		"ptltcp, tport) to set the Corr correlator",
+	Doc: "require trace.Event literals in protocol layers (mpi, pml, " +
+		"ptlelan4, ptltcp, tport) to set the Corr correlator",
 	Run: runTraceCorr,
 }
 

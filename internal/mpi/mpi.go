@@ -82,6 +82,10 @@ type World struct {
 	// hw is shared across thread-clones so eligibility changes (world
 	// growth) are visible everywhere.
 	hw *hwState
+
+	// nbcSeq numbers this process's nonblocking-collective schedules
+	// (trace identity); a pointer so thread-clones share the space.
+	nbcSeq *uint64
 }
 
 // hwState is the hardware-collective provider plus its eligibility: the
@@ -102,7 +106,7 @@ func (w *World) SetHWColl(h HWColl) {
 // NewWorld wraps a process's PML stack as an MPI endpoint of a job with
 // the given world size.
 func NewWorld(th *simtime.Thread, stack *pml.Stack, uni *Universe, rank, size int) *World {
-	w := &World{th: th, stack: stack, uni: uni, rank: rank, size: size, hw: &hwState{}}
+	w := &World{th: th, stack: stack, uni: uni, rank: rank, size: size, hw: &hwState{}, nbcSeq: new(uint64)}
 	ranks := make([]int, size)
 	for i := range ranks {
 		ranks[i] = i
@@ -229,31 +233,57 @@ func (c *Comm) commStatus(st Status) Status {
 	return st
 }
 
-// Request is a nonblocking operation handle.
+// Request is a nonblocking operation handle: a point-to-point send or
+// receive, or a nonblocking-collective schedule (Ibarrier/Ibcast/
+// Iallreduce) — exactly one of s, r, n is set.
 type Request struct {
 	c *Comm
 	s *pml.SendReq
 	r *pml.RecvReq
+	n *nbcOp
+
+	// completed caches a positive Wait/Test verdict: repeated Test calls
+	// on a finished request are idempotent and allocation-free — no
+	// progress sweep, no state change beyond the pml/test counter.
+	completed bool
 }
 
 // Wait blocks until the operation completes and returns its status
-// (meaningful for receives).
+// (meaningful for receives). Waiting again on a completed request
+// returns immediately.
 func (q *Request) Wait() Status {
-	if q.s != nil {
+	switch {
+	case q.s != nil:
 		q.s.Wait(q.c.w.th)
+		q.completed = true
+		return Status{}
+	case q.r != nil:
+		q.r.Wait(q.c.w.th)
+		q.completed = true
+		return q.c.commStatus(q.r.Status())
+	default:
+		// A collective schedule needs the waiting thread itself to keep
+		// sweeping (hooks advance in the progress pass), in every mode.
+		q.c.w.stack.WaitActive(q.c.w.th, &q.n.done)
+		q.completed = true
 		return Status{}
 	}
-	q.r.Wait(q.c.w.th)
-	return q.c.commStatus(q.r.Status())
 }
 
-// Test reports completion without blocking (after one progress sweep).
+// Test reports completion without blocking, recording one pml/test probe.
+// An incomplete request costs one progress sweep; once the request has
+// completed, further Tests return true immediately.
 func (q *Request) Test() bool {
-	q.c.w.stack.Progress(q.c.w.th)
-	if q.s != nil {
-		return q.s.Done()
+	q.c.w.stack.NoteTest()
+	if q.completed {
+		return true
 	}
-	return q.r.Done()
+	q.c.w.stack.Progress(q.c.w.th)
+	if q.done() {
+		q.completed = true
+		return true
+	}
+	return false
 }
 
 // ---- Point-to-point ----
@@ -429,11 +459,49 @@ func Waitany(reqs ...*Request) (int, Status) {
 	}
 }
 
-func (q *Request) done() bool {
-	if q.s != nil {
-		return q.s.Done()
+// Testany checks a set of requests without blocking: already-completed
+// requests win immediately; otherwise one progress sweep runs and the
+// first (lowest-index) completed request's index and status are
+// returned. ok is false when none has completed. Nil entries are
+// skipped; Testany of nothing (or all-nil) reports (-1, Status{}, false).
+// All requests must belong to the same process.
+func Testany(reqs ...*Request) (int, Status, bool) {
+	var w *World
+	for _, q := range reqs {
+		if q != nil {
+			w = q.c.w
+			break
+		}
 	}
-	return q.r.Done()
+	if w == nil {
+		return -1, Status{}, false
+	}
+	w.stack.NoteTest()
+	for i, q := range reqs {
+		if q != nil && (q.completed || q.done()) {
+			q.completed = true
+			return i, q.status(), true
+		}
+	}
+	w.stack.Progress(w.th)
+	for i, q := range reqs {
+		if q != nil && q.done() {
+			q.completed = true
+			return i, q.status(), true
+		}
+	}
+	return -1, Status{}, false
+}
+
+func (q *Request) done() bool {
+	switch {
+	case q.s != nil:
+		return q.s.Done()
+	case q.r != nil:
+		return q.r.Done()
+	default:
+		return q.n.done.Fired()
+	}
 }
 
 func (q *Request) status() Status {

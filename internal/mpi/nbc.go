@@ -1,0 +1,354 @@
+package mpi
+
+import (
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/pml"
+	"qsmpi/internal/simtime"
+	"qsmpi/internal/trace"
+)
+
+// Nonblocking collectives (MPI_Ibarrier/Ibcast/Iallreduce) as
+// schedule-based state machines advanced from the PML progress path.
+// Each operation captures the *exact* loop structure of its blocking
+// counterpart — the dissemination barrier, the binomial broadcast tree,
+// Reduce-to-0 + Bcast-from-0 — as a resumable advance() function, and
+// registers it as a pml.ProgressHook. Every progress sweep (a blocking
+// wait's polling loop, Request.Test, an explicit Progress) retires the
+// phases whose point-to-point sub-requests have completed and posts the
+// next phase's, so results are bit-for-bit identical to the blocking
+// calls and the communicator's collective tag sequence advances exactly
+// as it would have.
+//
+// Progress guarantee: like any software NBC without a dedicated
+// collective progress thread, the schedule advances only inside MPI
+// calls of the owning process. Request.Wait on a collective therefore
+// drives pml.Stack.WaitActive — a poll-between-activity-bumps loop in
+// every progress mode, Threaded included, because module progress
+// threads complete the point-to-point sub-requests but only a progress
+// sweep moves the schedule to its next phase.
+
+// nbcCorrBit tags nonblocking-collective correlators inside the 40-bit
+// request space of trace.MsgID, so schedule spans never collide with a
+// genuine send request's lifecycle in the critical-path profiler.
+const nbcCorrBit = uint64(1) << 39
+
+// nbcOp is one outstanding nonblocking collective schedule.
+type nbcOp struct {
+	c   *Comm
+	seq uint64 // per-process NBC sequence: trace identity
+
+	phase int // retired phases (trace only)
+	done  simtime.Signal
+
+	// advance retires every phase whose sub-requests have completed and
+	// posts the next phase's; it returns true once the whole schedule
+	// has run. All sub-operations use the sweeping thread th, which is
+	// always a thread of the owning process.
+	advance func(th *simtime.Thread) bool
+}
+
+func (c *Comm) newNBC() *nbcOp {
+	*c.w.nbcSeq++
+	return &nbcOp{c: c, seq: *c.w.nbcSeq}
+}
+
+// start runs the first advance at post time (phase 0 begins
+// communicating immediately, like its blocking counterpart) and
+// registers the progress hook that drives the rest of the schedule.
+func (op *nbcOp) start(th *simtime.Thread, bytes int) *Request {
+	op.trace(th, trace.NBCPosted, 0, bytes)
+	if op.advance(th) {
+		op.complete(th)
+		return &Request{c: op.c, n: op, completed: true}
+	}
+	op.c.w.stack.AddProgressHook(func(ht *simtime.Thread) bool {
+		if !op.advance(ht) {
+			return true
+		}
+		op.complete(ht)
+		return false
+	})
+	return &Request{c: op.c, n: op}
+}
+
+// complete fires the schedule's completion signal. Completion is
+// progress: the activity bump wakes any thread parked between sweeps.
+func (op *nbcOp) complete(th *simtime.Thread) {
+	op.trace(th, trace.NBCCompleted, op.phase, 0)
+	op.dutySample(th)
+	op.done.Fire()
+	op.c.w.stack.Activity().Add(1)
+}
+
+func (op *nbcOp) phaseDone(th *simtime.Thread) {
+	op.phase++
+	op.trace(th, trace.NBCPhase, op.phase, 0)
+}
+
+// trace records a collective-phase event carrying the schedule's
+// correlator; free when no tracer is attached (zero perturbation).
+func (op *nbcOp) trace(th *simtime.Thread, kind trace.Kind, tag, bytes int) {
+	tr := op.c.w.stack.Tracer
+	if tr == nil {
+		return
+	}
+	tr.Record(trace.Event{
+		At: th.Now(), Rank: op.c.w.rank, Layer: trace.LayerPML, Kind: kind,
+		ReqID: op.seq, Peer: -1, Tag: tag, Bytes: bytes,
+		Corr: trace.MsgID(op.c.w.rank, nbcCorrBit|op.seq),
+	})
+}
+
+// dutySample emits this rank's cumulative progress duty cycle (per-mille
+// of virtual time spent inside progress sweeps) as a ProgressDuty event;
+// obs.WritePerfetto turns the samples into a counter track.
+func (op *nbcOp) dutySample(th *simtime.Thread) {
+	tr := op.c.w.stack.Tracer
+	if tr == nil {
+		return
+	}
+	now := th.Now()
+	permille := 0
+	if us := now.Micros(); us > 0 {
+		permille = int(1000 * op.c.w.stack.ProgressTime().Micros() / us)
+	}
+	tr.Record(trace.Event{
+		At: now, Rank: op.c.w.rank, Layer: trace.LayerPML,
+		Kind: trace.ProgressDuty, ReqID: op.seq, Peer: -1, Bytes: permille,
+		Corr: 0, // a per-rank sample, deliberately uncorrelated
+	})
+}
+
+// Ibarrier starts a nonblocking barrier: Barrier's dissemination
+// algorithm as a schedule, one zero-byte exchange round per phase.
+func (c *Comm) Ibarrier() *Request {
+	op := c.newNBC()
+	n := c.Size()
+	if n == 1 {
+		op.trace(c.w.th, trace.NBCPosted, 0, 0)
+		op.complete(c.w.th)
+		return &Request{c: c, n: op, completed: true}
+	}
+	tag := c.collTag()
+	empty := datatype.Contiguous(0)
+	dist := 1
+	var rq *pml.RecvReq
+	var sq *pml.SendReq
+	op.advance = func(th *simtime.Thread) bool {
+		for {
+			if rq != nil {
+				if !rq.Done() || !sq.Done() {
+					return false
+				}
+				rq, sq = nil, nil
+				dist *= 2
+				op.phaseDone(th)
+			}
+			if dist >= n {
+				return true
+			}
+			to := (c.myIdx + dist) % n
+			from := (c.myIdx - dist + n) % n
+			// Sendrecv posts the receive before the send; mirror it.
+			rq = c.w.stack.Recv(th, c.worldOf(from), tag, c.id, nil, empty)
+			sq = c.w.stack.Send(th, c.worldOf(to), tag, c.id, nil, empty)
+		}
+	}
+	return op.start(c.w.th, 0)
+}
+
+// Ibcast starts a nonblocking broadcast over Bcast's binomial software
+// tree. The hardware broadcast path is not used for schedules; every
+// member makes the same choice, so collective sequencing stays aligned.
+func (c *Comm) Ibcast(root int, buf []byte, dt *datatype.Datatype) *Request {
+	op := c.newNBC()
+	n := c.Size()
+	if n == 1 {
+		op.trace(c.w.th, trace.NBCPosted, 0, dt.Size())
+		op.complete(c.w.th)
+		return &Request{c: c, n: op, completed: true}
+	}
+	tag := c.collTag()
+	rel := (c.myIdx - root + n) % n
+	started := false
+	m := 0
+	var rq *pml.RecvReq
+	var sq *pml.SendReq
+	op.advance = func(th *simtime.Thread) bool {
+		if !started {
+			started = true
+			// Non-roots receive from their binomial parent first.
+			if rel != 0 {
+				mask := 1
+				for mask < n {
+					if rel&mask != 0 {
+						parent := (c.myIdx - mask + n) % n
+						rq = c.w.stack.Recv(th, c.worldOf(parent), tag, c.id, buf, dt)
+						break
+					}
+					mask *= 2
+				}
+			}
+			mask := 1
+			for mask < n {
+				if rel&mask != 0 {
+					break
+				}
+				mask *= 2
+			}
+			m = mask / 2
+		}
+		if rq != nil {
+			if !rq.Done() {
+				return false
+			}
+			rq = nil
+			op.phaseDone(th)
+		}
+		// Forward to children sequentially, largest sub-tree first —
+		// the same send order as the blocking tree.
+		for {
+			if sq != nil {
+				if !sq.Done() {
+					return false
+				}
+				sq = nil
+				m /= 2
+				op.phaseDone(th)
+			}
+			for m >= 1 && rel+m >= n {
+				m /= 2
+			}
+			if m < 1 {
+				return true
+			}
+			child := (c.myIdx + m) % n
+			sq = c.w.stack.Send(th, c.worldOf(child), tag, c.id, buf, dt)
+		}
+	}
+	return op.start(c.w.th, dt.Size())
+}
+
+// Iallreduce starts a nonblocking allreduce: the software Reduce-to-0 +
+// Bcast-from-0 composition of Allreduce as one schedule. Both collective
+// tags are claimed up front, so the communicator's sequence advances
+// exactly as the blocking call's would; the combine runs in increasing
+// mask order, identical to Reduce, making the result bit-for-bit equal.
+func (c *Comm) Iallreduce(buf, recv []byte, opFn Op) *Request {
+	op := c.newNBC()
+	n := c.Size()
+	tagR := c.collTag() // Reduce's tag, claimed even at n == 1
+	if n == 1 {
+		copy(recv, buf)
+		op.trace(c.w.th, trace.NBCPosted, 0, len(buf))
+		op.complete(c.w.th)
+		return &Request{c: c, n: op, completed: true}
+	}
+	tagB := c.collTag() // Bcast's tag
+	dtR := datatype.Contiguous(len(buf))
+	dtB := datatype.Contiguous(len(recv))
+	acc := append([]byte(nil), buf...)
+	tmp := make([]byte, len(buf))
+	rel := c.myIdx // both stages are rooted at comm rank 0
+	const (
+		stReduce = iota
+		stBcastRecv
+		stBcastSend
+	)
+	stage := stReduce
+	mask := 1
+	bm := 0
+	bstarted := false
+	var rq *pml.RecvReq
+	var sq *pml.SendReq
+	op.advance = func(th *simtime.Thread) bool {
+		for stage == stReduce {
+			if rq != nil {
+				if !rq.Done() {
+					return false
+				}
+				rq = nil
+				opFn(acc, tmp)
+				mask *= 2
+				op.phaseDone(th)
+			}
+			if sq != nil {
+				if !sq.Done() {
+					return false
+				}
+				sq = nil
+				op.phaseDone(th)
+				stage = stBcastRecv
+				break
+			}
+			if mask >= n {
+				stage = stBcastRecv
+				break
+			}
+			if rel&mask != 0 {
+				parent := (c.myIdx - mask + n) % n
+				sq = c.w.stack.Send(th, c.worldOf(parent), tagR, c.id, acc, dtR)
+				continue
+			}
+			if peer := rel + mask; peer < n {
+				rq = c.w.stack.Recv(th, c.worldOf(peer), tagR, c.id, tmp, dtR)
+				continue
+			}
+			mask *= 2
+		}
+		if stage == stBcastRecv {
+			if !bstarted {
+				bstarted = true
+				if c.myIdx == 0 {
+					copy(recv, acc) // Reduce's root delivery
+				}
+				if rel != 0 {
+					bmask := 1
+					for bmask < n {
+						if rel&bmask != 0 {
+							parent := (c.myIdx - bmask + n) % n
+							rq = c.w.stack.Recv(th, c.worldOf(parent), tagB, c.id, recv, dtB)
+							break
+						}
+						bmask *= 2
+					}
+				}
+				bmask := 1
+				for bmask < n {
+					if rel&bmask != 0 {
+						break
+					}
+					bmask *= 2
+				}
+				bm = bmask / 2
+			}
+			if rq != nil {
+				if !rq.Done() {
+					return false
+				}
+				rq = nil
+				op.phaseDone(th)
+			}
+			stage = stBcastSend
+		}
+		for {
+			if sq != nil {
+				if !sq.Done() {
+					return false
+				}
+				sq = nil
+				bm /= 2
+				op.phaseDone(th)
+			}
+			for bm >= 1 && rel+bm >= n {
+				bm /= 2
+			}
+			if bm < 1 {
+				return true
+			}
+			child := (c.myIdx + bm) % n
+			sq = c.w.stack.Send(th, c.worldOf(child), tagB, c.id, recv, dtB)
+		}
+	}
+	return op.start(c.w.th, len(buf))
+}

@@ -308,3 +308,51 @@ func TestWritePerfettoMetadata(t *testing.T) {
 		t.Errorf("thread metadata = %v", threads)
 	}
 }
+
+// TestWritePerfettoCounterTracks validates the derived "C" counter
+// tracks: PML request posts/completions step the per-rank pml-inflight
+// queue-depth counter (tport-layer lifecycle events are excluded), NBC
+// schedules pair into "nbc" X spans, and ProgressDuty samples land on
+// the progress-duty track with their per-mille value.
+func TestWritePerfettoCounterTracks(t *testing.T) {
+	us := func(v float64) simtime.Time { return simtime.Time(simtime.Micros(v)) }
+	doc := perfetto(t, []trace.Event{
+		{At: us(1), Rank: 0, Layer: trace.LayerPML, Kind: trace.SendPosted, ReqID: 1},
+		{At: us(2), Rank: 0, Layer: trace.LayerPML, Kind: trace.RecvPosted, ReqID: 2},
+		{At: us(3), Rank: 0, Layer: trace.LayerTport, Kind: trace.SendPosted, ReqID: 9},
+		{At: us(4), Rank: 0, Layer: trace.LayerPML, Kind: trace.NBCPosted, ReqID: 5},
+		{At: us(5), Rank: 0, Layer: trace.LayerPML, Kind: trace.SendCompleted, ReqID: 1},
+		{At: us(6), Rank: 0, Layer: trace.LayerPML, Kind: trace.RecvCompleted, ReqID: 2},
+		{At: us(7), Rank: 0, Layer: trace.LayerPML, Kind: trace.NBCCompleted, ReqID: 5},
+		{At: us(7), Rank: 0, Layer: trace.LayerPML, Kind: trace.ProgressDuty, Bytes: 250},
+	})
+	var inflight []float64
+	var duty []float64
+	nbcSpan := false
+	for _, e := range doc["traceEvents"].([]any) {
+		m := e.(map[string]any)
+		switch {
+		case m["ph"] == "C" && m["name"] == "pml-inflight":
+			inflight = append(inflight, m["args"].(map[string]any)["inflight"].(float64))
+		case m["ph"] == "C" && m["name"] == "progress-duty":
+			duty = append(duty, m["args"].(map[string]any)["permille"].(float64))
+		case m["ph"] == "X" && m["name"] == "nbc":
+			nbcSpan = true
+		}
+	}
+	want := []float64{1, 2, 1, 0}
+	if len(inflight) != len(want) {
+		t.Fatalf("pml-inflight samples = %v, want %v (tport post must not count)", inflight, want)
+	}
+	for i := range want {
+		if inflight[i] != want[i] {
+			t.Errorf("pml-inflight[%d] = %v, want %v", i, inflight[i], want[i])
+		}
+	}
+	if len(duty) != 1 || duty[0] != 250 {
+		t.Errorf("progress-duty samples = %v, want [250]", duty)
+	}
+	if !nbcSpan {
+		t.Error("NBCPosted/NBCCompleted did not pair into an nbc span")
+	}
+}

@@ -199,6 +199,7 @@ func TestPerfettoExportOfRendezvous(t *testing.T) {
 	}
 	layers := map[string]bool{}
 	spans := map[string]int{}
+	counters := map[string]int{}
 	for _, e := range doc.TraceEvents {
 		switch e.Ph {
 		case "M":
@@ -210,6 +211,8 @@ func TestPerfettoExportOfRendezvous(t *testing.T) {
 				t.Fatalf("span %q without valid dur", e.Name)
 			}
 			spans[e.Name]++
+		case "C":
+			counters[e.Name]++
 		case "i":
 		default:
 			t.Fatalf("unexpected phase %q", e.Ph)
@@ -224,6 +227,11 @@ func TestPerfettoExportOfRendezvous(t *testing.T) {
 		if spans[s] == 0 {
 			t.Errorf("span %q missing from export (have %v)", s, spans)
 		}
+	}
+	// The PML posts/completions of the exchange feed the queue-depth
+	// counter track.
+	if counters["pml-inflight"] == 0 {
+		t.Errorf("pml-inflight counter track missing from export (have %v)", counters)
 	}
 }
 

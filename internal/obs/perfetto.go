@@ -10,6 +10,11 @@
 //     on the elan4 track — paired by (rank, layer, ReqID)
 //   - "i" instant events for everything unpaired (matching, control
 //     traffic, deposits, packets)
+//   - "C" counter events for the derived per-rank counter tracks:
+//     "pml-inflight" (outstanding PML requests, stepped on every
+//     post/complete — the request-queue depth over time) and
+//     "progress-duty" (the progress engine's cumulative duty cycle in
+//     per-mille, from ProgressDuty samples)
 //   - "M" metadata events naming each process/thread
 //
 // Virtual time is deterministic, so the exported JSON is byte-identical
@@ -50,6 +55,7 @@ var spanPairs = map[trace.Kind]trace.Kind{
 	trace.QDMAIssued:      trace.DMACompleted,
 	trace.RDMAWriteIssued: trace.DMACompleted,
 	trace.RDMAReadIssued:  trace.DMACompleted,
+	trace.NBCPosted:       trace.NBCCompleted,
 }
 
 var spanNames = map[trace.Kind]string{
@@ -58,10 +64,24 @@ var spanNames = map[trace.Kind]string{
 	trace.QDMAIssued:      "qdma",
 	trace.RDMAWriteIssued: "rdma-write",
 	trace.RDMAReadIssued:  "rdma-read",
+	trace.NBCPosted:       "nbc",
 }
 
 func isSpanClose(k trace.Kind) bool {
-	return k == trace.SendCompleted || k == trace.RecvCompleted || k == trace.DMACompleted
+	return k == trace.SendCompleted || k == trace.RecvCompleted ||
+		k == trace.DMACompleted || k == trace.NBCCompleted
+}
+
+// inflightDelta maps PML request lifecycle kinds to their effect on the
+// per-rank outstanding-request counter track.
+func inflightDelta(k trace.Kind) (int, bool) {
+	switch k {
+	case trace.SendPosted, trace.RecvPosted:
+		return 1, true
+	case trace.SendCompleted, trace.RecvCompleted:
+		return -1, true
+	}
+	return 0, false
 }
 
 // WritePerfettoFrom writes a recorder's events as Chrome trace-event
@@ -122,8 +142,29 @@ func writePerfetto(w io.Writer, events []trace.Event, dropped int64) error {
 		return a
 	}
 
+	inflight := make(map[int]int)
 	for _, e := range evs {
 		track(e.Rank, e.Layer)
+		// Duty-cycle samples become points on a per-rank counter track.
+		if e.Kind == trace.ProgressDuty {
+			out = append(out, perfEvent{
+				Name: "progress-duty", Ph: "C",
+				TS: e.At.Micros(), PID: e.Rank, TID: 0,
+				Args: map[string]any{"permille": e.Bytes},
+			})
+			continue
+		}
+		// Request posts/completions step the queue-depth counter track
+		// (tport-layer lifecycle events are the NIC's view, not queue
+		// occupancy, so only the PML layer feeds the counter).
+		if d, ok := inflightDelta(e.Kind); ok && e.Layer == trace.LayerPML {
+			inflight[e.Rank] += d
+			out = append(out, perfEvent{
+				Name: "pml-inflight", Ph: "C",
+				TS: e.At.Micros(), PID: e.Rank, TID: 0,
+				Args: map[string]any{"inflight": inflight[e.Rank]},
+			})
+		}
 		if close, ok := spanPairs[e.Kind]; ok {
 			// Span open: remember it; if an earlier open with the same key
 			// never closed, flush it as an instant so nothing is lost.

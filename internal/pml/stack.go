@@ -74,6 +74,11 @@ type Stats struct {
 	BucketHits          int64 // resolved through a specific (src,tag) bucket
 	WildcardHits        int64 // resolved through the wildcard path
 	UnexpectedHighWater int64 // peak unexpected-queue depth
+
+	// Progress-engine activity: completed-request probes (MPI_Test
+	// traffic) and progress sweeps driven through this stack.
+	Tests         int64
+	ProgressPolls int64
 }
 
 // Stack is one process's PML: the device-neutral message management layer
@@ -123,7 +128,27 @@ type Stack struct {
 	selfPeer *ptl.Peer
 
 	stats Stats
+
+	// hooks are schedule-advancement callbacks (nonblocking collectives)
+	// run at the end of every progress sweep; inHooks guards against a
+	// sweep nested inside a hook's own sub-operations re-entering them.
+	hooks   []ProgressHook
+	inHooks bool
+
+	// Duty-cycle accounting (DESIGN.md §8.3): virtual time spent inside
+	// progress sweeps and parked in blocking waits. progressDepth keeps
+	// nested sweeps (a wait loop polling Progress) from double-counting.
+	progressDepth int
+	progressTime  simtime.Duration
+	idleTime      simtime.Duration
 }
+
+// ProgressHook is a schedule-advancement callback driven from the PML
+// progress path: nonblocking collectives register one per outstanding
+// schedule, and every progress sweep gives it a chance to retire phases
+// whose point-to-point sub-requests have completed. A hook returns false
+// once its schedule has finished, which removes it.
+type ProgressHook func(th *simtime.Thread) bool
 
 // NewStack creates the PML for one process. dtp selects the datatype copy
 // engine (true) or the generic-memcpy substitution the paper uses for
@@ -162,6 +187,27 @@ func (s *Stack) SetBlocker(b Blocker) { s.blocker = b }
 
 // Stats returns a copy of the PML counters.
 func (s *Stack) Stats() Stats { return s.stats }
+
+// NoteTest counts one MPI_Test-style completion probe against this stack.
+func (s *Stack) NoteTest() { s.stats.Tests++ }
+
+// ProgressTime returns the virtual time this rank has spent inside
+// progress sweeps (module polling plus hook advancement) — the "progress"
+// share of the duty-cycle split progress / idle / compute (§8.3).
+func (s *Stack) ProgressTime() simtime.Duration { return s.progressTime }
+
+// IdleTime returns the virtual time this rank has spent parked in
+// blocking waits, net of the progress sweeps run while waiting — the
+// "idle" share of the duty-cycle split.
+func (s *Stack) IdleTime() simtime.Duration { return s.idleTime }
+
+// AddProgressHook registers a schedule-advancement hook. Hooks run on
+// every progress sweep until they return false; registration order is
+// preserved, so concurrently outstanding schedules advance
+// deterministically.
+func (s *Stack) AddProgressHook(h ProgressHook) {
+	s.hooks = append(s.hooks, h)
+}
 
 // PoolStats returns a copy of the staging buffer-pool counters.
 func (s *Stack) PoolStats() bufpool.Stats { return s.pool.Stats() }
@@ -745,15 +791,62 @@ func (s *Stack) Probe(th *simtime.Thread, src, tag int, comm uint16) Status {
 
 // ---- Progress engine ----
 
-// Progress polls every module once.
+// Progress polls every module once, then advances any registered
+// schedule hooks.
 func (s *Stack) Progress(th *simtime.Thread) {
+	t0 := s.sc.Now()
+	s.progressDepth++
+	s.stats.ProgressPolls++
 	for _, m := range s.mods {
 		m.Progress(th)
 	}
+	s.runHooks(th)
+	s.progressDepth--
+	if s.progressDepth == 0 {
+		s.progressTime += s.sc.Now().Sub(t0)
+	}
+}
+
+// runHooks advances every registered schedule hook once. A hook's
+// sub-operations may park the thread mid-advance (request posting charges
+// CPU), during which another thread's sweep must not re-enter the hooks;
+// inHooks makes the advancement mutually exclusive. Hooks registered
+// while the loop runs are picked up in the same pass (len is
+// re-evaluated), and finished hooks are compacted out in place.
+func (s *Stack) runHooks(th *simtime.Thread) {
+	if s.inHooks || len(s.hooks) == 0 {
+		return
+	}
+	s.inHooks = true
+	finished := false
+	for i := 0; i < len(s.hooks); i++ {
+		h := s.hooks[i]
+		if h == nil {
+			continue
+		}
+		if !h(th) {
+			s.hooks[i] = nil
+			finished = true
+		}
+	}
+	if finished {
+		live := s.hooks[:0]
+		for _, h := range s.hooks {
+			if h != nil {
+				live = append(live, h)
+			}
+		}
+		s.hooks = live
+	}
+	s.inHooks = false
 }
 
 // waitOn blocks until sig fires, driving progress according to the mode.
 func (s *Stack) waitOn(th *simtime.Thread, sig *simtime.Signal) {
+	t0, p0 := s.sc.Now(), s.progressTime
+	defer func() {
+		s.idleTime += s.sc.Now().Sub(t0) - (s.progressTime - p0)
+	}()
 	switch s.mode {
 	case Threaded:
 		// Progress threads inside the modules complete requests; the
@@ -776,6 +869,39 @@ func (s *Stack) waitOn(th *simtime.Thread, sig *simtime.Signal) {
 			} else {
 				s.activity.WaitFor(th.Proc(), v+1)
 			}
+		}
+	}
+}
+
+// WaitActive blocks until sig fires, polling Progress between activity
+// bumps in every progress mode. Request waits under Threaded progress
+// park until a module progress thread completes the request (waitOn);
+// a caller waiting on a *schedule* needs the blocked thread itself to
+// keep sweeping, because module threads only complete point-to-point
+// sub-requests — advancing the schedule to its next phase happens in the
+// hook pass of Progress. Under Threaded mode each wake pays the same
+// thread handoff a request wake pays (§3).
+func (s *Stack) WaitActive(th *simtime.Thread, sig *simtime.Signal) {
+	t0, p0 := s.sc.Now(), s.progressTime
+	defer func() {
+		s.idleTime += s.sc.Now().Sub(t0) - (s.progressTime - p0)
+	}()
+	for !sig.Fired() {
+		s.Progress(th)
+		if sig.Fired() {
+			return
+		}
+		v := s.activity.Value()
+		if sig.Fired() {
+			return
+		}
+		if s.mode == InterruptWait && s.blocker != nil {
+			s.blocker.BlockActivity(th)
+			continue
+		}
+		s.activity.WaitFor(th.Proc(), v+1)
+		if s.mode == Threaded {
+			th.Compute(s.cfg.ThreadHandoff)
 		}
 	}
 }

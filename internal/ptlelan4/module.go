@@ -340,6 +340,19 @@ func (m *Module) QueueHighWater() (recv, comp int) {
 	return recv, comp
 }
 
+// QueueDepths reports the *current* occupancy of the receive queue and
+// (when configured) the completion queue — the instantaneous gauge behind
+// the recvq_depth/cq_depth metrics, complementing the high-water marks.
+func (m *Module) QueueDepths() (recv, comp int) {
+	if m.recvQ != nil {
+		recv = m.recvQ.Raw().Pending()
+	}
+	if m.compQ != nil {
+		comp = m.compQ.Raw().Pending()
+	}
+	return recv, comp
+}
+
 // PoolStats returns a copy of the staging buffer-pool counters.
 func (m *Module) PoolStats() bufpool.Stats { return m.pool.Stats() }
 

@@ -95,6 +95,20 @@ const (
 	// contribution to the tree, and the tree's release reaching it back.
 	HWCollUp
 	HWCollDone
+
+	// Nonblocking-collective kinds: a schedule posted (Ibarrier/Ibcast/
+	// Iallreduce), one phase of it retired by the progress engine, and the
+	// whole schedule completed. ReqID is the rank's NBC sequence number;
+	// Tag carries the phase index on NBCPhase events.
+	NBCPosted
+	NBCPhase
+	NBCCompleted
+
+	// ProgressDuty is a duty-cycle sample emitted when a blocking wait
+	// returns: Bytes carries the per-mille of virtual time this rank has
+	// spent inside progress sweeps so far. Exported as a Perfetto counter
+	// track (obs.WritePerfetto).
+	ProgressDuty
 )
 
 func (k Kind) String() string {
@@ -157,6 +171,14 @@ func (k Kind) String() string {
 		return "hwcoll-up"
 	case HWCollDone:
 		return "hwcoll-done"
+	case NBCPosted:
+		return "nbc-posted"
+	case NBCPhase:
+		return "nbc-phase"
+	case NBCCompleted:
+		return "nbc-completed"
+	case ProgressDuty:
+		return "progress-duty"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -322,7 +344,7 @@ func layerByName() map[string]uint8 {
 // kindByName maps every kind's rendered name back to its value.
 func kindByName() map[string]uint8 {
 	out := make(map[string]uint8)
-	for k := SendPosted; k <= PktDelivered; k++ {
+	for k := SendPosted; k <= ProgressDuty; k++ {
 		out[k.String()] = uint8(k)
 	}
 	return out
