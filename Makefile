@@ -4,7 +4,7 @@ GO ?= go
 # by the tool binary's hash, so rebuilds only re-analyze what changed.
 QSMPILINT := bin/qsmpilint
 
-.PHONY: all build test check lint race bench figures perfbench report-par report-shards coll-shards overlap-smoke
+.PHONY: all build test check lint race bench figures perfbench report-par report-shards coll-shards overlap-smoke waitstate-smoke
 
 all: build test
 
@@ -84,6 +84,18 @@ overlap-smoke:
 	$(GO) run ./cmd/overlapsmoke -shards 4 > /tmp/qsmpi-overlap-s4.txt
 	diff /tmp/qsmpi-overlap-s1.txt /tmp/qsmpi-overlap-s4.txt
 	@echo "overlap smoke identical at -shards 1 and -shards 4"
+
+# waitstate-smoke extends the identity gate to the telemetry pipeline:
+# the wait-state attribution report over the seeded scenarios and the
+# sampler heatmaps of a mixed workload — whose hot path is the
+# kernel-timer sampler ticking at coordinator barriers while gauge
+# probes read shard-owned state — must be byte-identical at -shards 1
+# and -shards 4.
+waitstate-smoke:
+	$(GO) run ./cmd/wssmoke -shards 1 > /tmp/qsmpi-waitstate-s1.txt
+	$(GO) run ./cmd/wssmoke -shards 4 > /tmp/qsmpi-waitstate-s4.txt
+	diff /tmp/qsmpi-waitstate-s1.txt /tmp/qsmpi-waitstate-s4.txt
+	@echo "wait-state smoke identical at -shards 1 and -shards 4"
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

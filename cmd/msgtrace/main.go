@@ -13,6 +13,9 @@
 //	msgtrace -size 100000 -o trace.json      # open in ui.perfetto.dev
 //	msgtrace -size 100000 -metrics           # cross-layer counter table
 //	msgtrace -size 100000 -breakdown -flows  # phase decomposition + flow table
+//	msgtrace -size 100000 -heatmap           # sampler heatmaps (rank×time, link×time)
+//	msgtrace -size 512 -unexpected -waitstates  # wait-state attribution
+
 //	msgtrace -layer pml,ptl -kind matched    # filter the timeline
 package main
 
@@ -40,6 +43,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the cross-layer metrics table after the timeline")
 	breakdown := flag.Bool("breakdown", false, "print the per-path phase decomposition and critical path")
 	flows := flag.Bool("flows", false, "print the per-(src,dst) flow accounting table")
+	heatmap := flag.Bool("heatmap", false, "attach the virtual-time sampler and print rank-by-time and link-by-time heatmaps")
+	waitstates := flag.Bool("waitstates", false, "print the wait-state attribution report for the exchange")
 	layers := flag.String("layer", "", "only show events of these layers (comma-separated: pml,ptl,elan4,fabric,tport,cluster)")
 	kinds := flag.String("kind", "", "only show events of these kinds (comma-separated, e.g. matched,qdma-issued)")
 	rank := flag.Int("rank", -1, "only show events of this rank (-1 = all)")
@@ -57,6 +62,13 @@ func main() {
 	if *metrics {
 		reg = obs.New()
 		spec.Metrics = reg
+	}
+	var smp *obs.Sampler
+	if *heatmap {
+		// A single exchange spans tens of microseconds, so sample densely
+		// enough for the heatmap columns to resolve the protocol phases.
+		smp = obs.NewSampler(2*simtime.Microsecond, 0)
+		spec.Sampler = smp
 	}
 	c := cluster.New(spec, 2)
 	c.Launch(func(p *cluster.Proc) {
@@ -99,6 +111,17 @@ func main() {
 			fmt.Printf("\n")
 			fmt.Print(prof.RenderFlows())
 		}
+	}
+	if *waitstates {
+		fmt.Printf("\n")
+		fmt.Print(obs.AnalyzeWaits(rec.Events()).Render())
+	}
+	if smp != nil {
+		fmt.Printf("\nsampler: period %s, %d ticks\n", smp.Period(), smp.Ticks())
+		fmt.Print(smp.RankMatrix(obs.GaugeDuty).Heatmap(72))
+		fmt.Print(smp.RankMatrix(obs.GaugeRecvQDepth).Heatmap(72))
+		fmt.Print(smp.RankMatrix(obs.GaugePendingSends).Heatmap(72))
+		fmt.Print(smp.LinkMatrix(obs.LinkGaugeBytes).Deltas().Heatmap(72))
 	}
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -15,6 +15,7 @@
 //	perfbench -baseline old.json -out BENCH_wallclock.json
 //	perfbench -shards 4                   # workloads on the sharded kernel
 //	perfbench -shardscale=false           # skip the 1/2/4-shard scaling curve
+//	perfbench -waitstates=false           # skip the sampler-overhead section
 //	perfbench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // The -baseline flag takes a previously written report and records the
@@ -48,10 +49,12 @@ import (
 	"qsmpi/internal/cluster"
 	"qsmpi/internal/datatype"
 	"qsmpi/internal/experiments"
+	"qsmpi/internal/obs"
 	"qsmpi/internal/parsweep"
 	"qsmpi/internal/pml"
 	"qsmpi/internal/ptlelan4"
 	"qsmpi/internal/ptltcp"
+	"qsmpi/internal/trace"
 )
 
 // workloadResult is one workload's measurement.
@@ -141,6 +144,21 @@ type overlapEntry struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+// waitStateResult records the telemetry sampler's wall-clock cost —
+// the same seeded workload with and without the sampler attached — and
+// the wait-state analyzer's cost over the recorded stream.
+type waitStateResult struct {
+	SamplerOffWallMS float64 `json:"sampler_off_wall_ms"`
+	SamplerOnWallMS  float64 `json:"sampler_on_wall_ms"`
+	// SamplerOverhead is on/off wall time; 1.05 means the sampler's tick
+	// events and probe reads cost 5% on this workload.
+	SamplerOverhead float64 `json:"sampler_overhead"`
+	SamplerTicks    uint64  `json:"sampler_ticks"`
+	GaugeEvents     int64   `json:"gauge_events"`
+	AnalyzerWallMS  float64 `json:"analyzer_wall_ms"`
+	AnalyzerWaits   int     `json:"analyzer_waits"`
+}
+
 // report is the BENCH_wallclock.json schema.
 type report struct {
 	Generated  string           `json:"generated"`
@@ -161,6 +179,9 @@ type report struct {
 	// Overlap is the compute/communication overlap table: sender overlap
 	// and receiver progress availability per progress mode and size.
 	Overlap []overlapEntry `json:"overlap,omitempty"`
+	// WaitStates is the telemetry-sampler overhead and wait-state
+	// analyzer cost section.
+	WaitStates *waitStateResult `json:"waitstates,omitempty"`
 	NumCPU    int              `json:"num_cpu,omitempty"`
 	// SweepGeomean is the geometric-mean parallel-sweep speedup across
 	// the sweep workloads.
@@ -415,6 +436,7 @@ func main() {
 	shardScale := flag.Bool("shardscale", true, "record the sharded-kernel scaling curve (events/sec at 1/2/4 shards)")
 	collScale := flag.Bool("collscale", true, "record the collective-offload table (barrier/allreduce at 64/256/1024 ranks, host vs NIC tree)")
 	overlap := flag.Bool("overlap", true, "record the compute/communication overlap table (sender overlap and receiver availability per progress mode)")
+	waitstates := flag.Bool("waitstates", true, "record the telemetry-sampler overhead and wait-state analyzer cost")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering every measured run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all runs) to this file")
 	flag.Parse()
@@ -531,6 +553,65 @@ func main() {
 				}
 			}
 		}
+	}
+
+	if *waitstates {
+		// The sampler-overhead comparison runs the identical seeded
+		// workload with and without the sampler attached; any on/off gap
+		// is the tick events plus the probe reads, since the sampler
+		// never perturbs the workload itself (zero-perturbation is
+		// asserted by the experiments tests).
+		const wsRanks, wsIters = 8, 8
+		offBest, onBest := time.Duration(1<<63-1), time.Duration(1<<63-1)
+		var ticks uint64
+		var gaugeEvents int64
+		var waits int
+		var analyzeBest time.Duration = 1<<63 - 1
+		for r := 0; r < *reps; r++ {
+			start := time.Now() //lint:allow detclock perfbench measures real wall time by design
+			experiments.UnsampledRun(wsRanks, wsIters, *shards)
+			//lint:allow detclock perfbench measures real wall time by design
+			if d := time.Since(start); d < offBest {
+				offBest = d
+			}
+			start = time.Now() //lint:allow detclock perfbench measures real wall time by design
+			smp, rec := experiments.SampledRun(wsRanks, wsIters, *shards, 0)
+			//lint:allow detclock perfbench measures real wall time by design
+			if d := time.Since(start); d < onBest {
+				onBest = d
+			}
+			ticks = smp.Ticks()
+			events := rec.Events()
+			gaugeEvents = 0
+			for _, e := range events {
+				if e.Kind == trace.GaugeSample {
+					gaugeEvents++
+				}
+			}
+			start = time.Now() //lint:allow detclock perfbench measures real wall time by design
+			wp := obs.AnalyzeWaits(events)
+			//lint:allow detclock perfbench measures real wall time by design
+			if d := time.Since(start); d < analyzeBest {
+				analyzeBest = d
+			}
+			waits = len(wp.Waits)
+		}
+		ws := &waitStateResult{
+			SamplerOffWallMS: float64(offBest.Nanoseconds()) / 1e6,
+			SamplerOnWallMS:  float64(onBest.Nanoseconds()) / 1e6,
+			SamplerOverhead:  float64(onBest.Nanoseconds()) / float64(offBest.Nanoseconds()),
+			SamplerTicks:     ticks,
+			GaugeEvents:      gaugeEvents,
+			AnalyzerWallMS:   float64(analyzeBest.Nanoseconds()) / 1e6,
+			AnalyzerWaits:    waits,
+		}
+		rep.WaitStates = ws
+		fmt.Printf("\n%-22s %12s %12s %10s %8s %12s %12s %8s\n",
+			"waitstates", "off ms", "on ms", "overhead", "ticks", "gauge-evs", "analyze-ms", "waits")
+		fmt.Printf("%-22s %12.2f %12.2f %9.3fx %8d %12d %12.2f %8d\n",
+			fmt.Sprintf("sampled-%dx%d", wsRanks, wsIters),
+			ws.SamplerOffWallMS, ws.SamplerOnWallMS, ws.SamplerOverhead,
+			ws.SamplerTicks, ws.GaugeEvents, ws.AnalyzerWallMS, ws.AnalyzerWaits)
 	}
 
 	if *sweeps {

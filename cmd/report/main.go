@@ -8,6 +8,7 @@
 //	go run ./cmd/report -j 8         # eight sweep workers
 //	go run ./cmd/report -stats       # engine counters on stderr
 //	go run ./cmd/report -metrics     # per-figure cross-layer metrics
+//	go run ./cmd/report -waitstates  # wait-state attribution + heatmaps
 //
 // The report body is byte-identical at any -j: the parallel sweep
 // engine only changes wall-clock time.
@@ -28,6 +29,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print sweep-engine worker stats to stderr")
 	metrics := flag.Bool("metrics", false, "append per-figure cross-layer metrics tables (representative instrumented reruns)")
 	breakdown := flag.Bool("breakdown", false, "append per-figure phase-decomposition tables (representative instrumented reruns)")
+	waitstates := flag.Bool("waitstates", false, "append wait-state attribution tables and arrival-skew histograms (seeded scenarios rerun sequentially)")
 	shards := flag.Int("shards", 1, "worker shards per measurement cluster (conservative parallel kernel; the report body is byte-identical at any value)")
 	flag.Parse()
 	var st parsweep.Stats
@@ -90,6 +92,17 @@ func main() {
 			fmt.Printf("\n### %s — %s\n\n```\n%s\n%s```\n",
 				fb.ID, fb.Note, fb.Profile.RenderBreakdown(), fb.Profile.RenderCritical())
 		}
+	}
+	if *waitstates {
+		// The seeded scenarios rerun sequentially like -metrics and
+		// -breakdown; their reports are byte-identical at any -shards and
+		// any -j (the wait-state reruns never touch the sweep engine).
+		fmt.Println()
+		fmt.Println("## Wait-state attribution (seeded scenarios)")
+		fmt.Printf("\n```\n%s```\n", experiments.WaitStateReport(cfg.Shards))
+		fmt.Println()
+		fmt.Println("## Sampler heatmaps (8-rank mixed workload)")
+		fmt.Printf("\n```\n%s```\n", experiments.HeatmapReport(8, 6, cfg.Shards, 72))
 	}
 	if *stats {
 		fmt.Fprint(os.Stderr, st.String())

@@ -59,6 +59,14 @@ type Spec struct {
 	// watchdog's window is dumped as a structured stall diagnostic, and
 	// Cluster.Run appends the diagnostics to its deadlock error.
 	Watchdog *obs.Watchdog
+	// Sampler, when non-nil, is the virtual-time telemetry sampler: a
+	// coordinator timer snapshots every rank's gauges (queue depths,
+	// progress duty, pending requests) and every node's fabric link
+	// counters into rank×time and link×time matrices on a fixed virtual
+	// period, emitting GaugeSample trace events when a Tracer is also
+	// attached. Like the watchdog it reads state but never charges
+	// virtual time; absent, nothing is armed.
+	Sampler *obs.Sampler
 
 	// HWColl builds each rank's node of the NIC-resident collective tree
 	// at launch (after connection setup, before the mpi-init rendezvous),
@@ -238,6 +246,22 @@ func New(spec Spec, nprocs int) *Cluster {
 	if spec.Watchdog != nil {
 		spec.Watchdog.Bind(k, spec.Tracer)
 	}
+	if spec.Sampler != nil {
+		spec.Sampler.Bind(k)
+		for r, net := range c.RailNets {
+			for i := 0; i < len(c.Hosts); i++ {
+				net, i := net, i
+				spec.Sampler.RegisterLink(i, r, c.tracerFor(i), func() [obs.NumLinkGauges]int64 {
+					pc := net.PortCounters(i)
+					var v [obs.NumLinkGauges]int64
+					v[obs.LinkGaugePackets] = pc.UplinkPackets
+					v[obs.LinkGaugeBytes] = pc.UplinkBytes
+					v[obs.LinkGaugeBytesIn] = pc.BytesIn
+					return v
+				})
+			}
+		}
+	}
 	return c
 }
 
@@ -352,7 +376,11 @@ func (c *Cluster) bringup(th *simtime.Thread, rank, node int, name string) *Proc
 	p := &Proc{Rank: rank, Th: th}
 	p.Stack = pml.NewStack(c.K, c.Hosts[node], c.Cfg, rank, c.spec.DTP, c.spec.Progress)
 	if c.spec.Tracer != nil {
-		p.Stack.Tracer = c.spec.Tracer
+		// Through tracerFor, not Spec.Tracer directly: under a sharded
+		// kernel the stack runs inside a worker shard and must append to
+		// its node's private recorder (merged at Run), never to the
+		// shared one another worker may be appending to concurrently.
+		p.Stack.Tracer = c.tracerFor(node)
 	}
 	if c.spec.Metrics != nil {
 		p.Stack.SendLatency = c.spec.Metrics.Histogram("pml", "send_latency", rank)
@@ -377,6 +405,22 @@ func (c *Cluster) bringup(th *simtime.Thread, rank, node int, name string) *Proc
 			},
 		})
 	}
+	if c.spec.Sampler != nil {
+		c.spec.Sampler.RegisterRank(rank, node, c.tracerFor(node), func(now simtime.Time) [obs.NumRankGauges]int64 {
+			var v [obs.NumRankGauges]int64
+			v[obs.GaugeDuty] = int64(p.Stack.DutyPermille(now))
+			v[obs.GaugePendingSends] = int64(p.Stack.PendingSends())
+			v[obs.GaugePendingRecvs] = int64(p.Stack.PendingRecvs())
+			v[obs.GaugeUnexpected] = int64(p.Stack.UnexpectedDepth())
+			for _, m := range p.Elans {
+				recvD, compD := m.QueueDepths()
+				v[obs.GaugeRecvQDepth] += int64(recvD)
+				v[obs.GaugeCQDepth] += int64(compD)
+				v[obs.GaugeSendBufs] += int64(m.SendBufInFlight())
+			}
+			return v
+		})
+	}
 
 	if c.spec.Elan != nil {
 		ctxID := c.Registry.AllocContext(node)
@@ -388,7 +432,7 @@ func (c *Cluster) bringup(th *simtime.Thread, rank, node int, name string) *Proc
 			st := libelan.Attach(ctx, c.Cfg)
 			mod := ptlelan4.New(c.K, c.Hosts[node], st, p.RTE, p.Stack, p.Stack.Activity(), c.Cfg, *c.spec.Elan)
 			if c.spec.Tracer != nil {
-				mod.SetTracer(c.spec.Tracer)
+				mod.SetTracer(c.tracerFor(node))
 			}
 			mod.Init(th)
 			p.Stack.AddModule(mod)
@@ -405,7 +449,7 @@ func (c *Cluster) bringup(th *simtime.Thread, rank, node int, name string) *Proc
 	if c.spec.TCP != nil {
 		p.TCP = ptltcp.New(c.K, c.Hosts[node], c.EthNet, node, p.RTE, p.Stack, p.Stack.Activity(), c.Cfg, *c.spec.TCP)
 		if c.spec.Tracer != nil {
-			p.TCP.SetTracer(c.spec.Tracer)
+			p.TCP.SetTracer(c.tracerFor(node))
 		}
 		p.TCP.Init(th)
 		p.Stack.AddModule(p.TCP)

@@ -128,6 +128,7 @@ type portState struct {
 	sent      int64
 	delivered int64
 	bytesOut  int64
+	bytesIn   int64
 }
 
 // getPacket takes a packet from the port's free list, or allocates one.
@@ -698,6 +699,7 @@ func (n *Network) deliverAt(t simtime.Time, pkt *Packet) {
 			d.pkt = nil
 			nn := d.n
 			d.ps.delivered++
+			d.ps.bytesIn += int64(p.Size)
 			nn.tracePkt(trace.PktDelivered, d.at, p.Src, p.Dst, p.Size)
 			h := d.ps.handler
 			if h == nil {
@@ -723,6 +725,39 @@ func (n *Network) Stats() (sent, delivered int64) {
 		delivered += n.ports[i].delivered
 	}
 	return sent, delivered
+}
+
+// PortCounters is one port's cumulative traffic snapshot — what the
+// telemetry sampler (obs.Sampler) reads on each tick. Sent/Delivered and
+// BytesOut/BytesIn are payload-level port counters; UplinkPackets and
+// UplinkBytes are the wire-level totals (payload plus overhead, every
+// serialization pass) of the port's exclusive node→switch up-link, the
+// hop whose utilization bounds what the NIC can inject.
+type PortCounters struct {
+	Sent, Delivered   int64
+	BytesOut, BytesIn int64
+	UplinkPackets     int64
+	UplinkBytes       int64
+}
+
+// PortCounters returns port id's traffic snapshot. All counters are
+// entity-local (bumped on the owning shard) or replayed at epoch
+// barriers before any coordinator event, so reading them from a
+// GlobalEntity timer tick is deterministic at any shard count.
+func (n *Network) PortCounters(id int) PortCounters {
+	if id < 0 || id >= n.nports {
+		panic(fmt.Sprintf("fabric: counters of invalid port %d", id))
+	}
+	ps := &n.ports[id]
+	up := ps.uplink
+	if up == nil {
+		up = n.linkFor(n.up, 1, id, "up")
+	}
+	return PortCounters{
+		Sent: ps.sent, Delivered: ps.delivered,
+		BytesOut: ps.bytesOut, BytesIn: ps.bytesIn,
+		UplinkPackets: up.packets, UplinkBytes: up.bytes,
+	}
 }
 
 // Retransmits reports link-level CRC retransmissions.

@@ -41,3 +41,32 @@ func AllowedUncorrelated(r *trace.Recorder, rank int) {
 		Rank: rank, Layer: trace.LayerPML, Kind: trace.ProgressDuty,
 	})
 }
+
+// EmitCollEnterWithoutCorr: the collective-epoch markers are correlated
+// events — an epoch literal that forgets its correlator is a defect.
+func EmitCollEnterWithoutCorr(r *trace.Recorder, rank int, epoch uint64) {
+	r.Record(trace.Event{ // want `trace\.Event emitted without Corr`
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.CollEnter, ReqID: epoch,
+	})
+}
+
+// EmitCollEpoch: enter/exit carry the rank-scoped epoch correlator.
+func EmitCollEpoch(r *trace.Recorder, rank int, epoch uint64) {
+	r.Record(trace.Event{
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.CollEnter, ReqID: epoch,
+		Tag: trace.CollOpBarrier, Corr: trace.MsgID(rank, epoch),
+	})
+	r.Record(trace.Event{
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.CollExit, ReqID: epoch,
+		Tag: trace.CollOpBarrier, Corr: trace.MsgID(rank, epoch),
+	})
+}
+
+// GaugeSampleZeroCorr: sampler snapshots are deliberately uncorrelated
+// counter points, like ProgressDuty — the explicit zero states that.
+func GaugeSampleZeroCorr(r *trace.Recorder, rank int, tick uint64, val int) {
+	r.Record(trace.Event{
+		Rank: rank, Layer: trace.LayerPML, Kind: trace.GaugeSample,
+		ReqID: tick, Bytes: val, Corr: 0,
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"qsmpi/internal/datatype"
+	"qsmpi/internal/trace"
 )
 
 // collTag allocates the next collective tag for this communicator. MPI
@@ -13,6 +14,33 @@ import (
 func (c *Comm) collTag() int {
 	c.seq.collSeq++
 	return collTagBase + c.seq.collSeq%(1<<20)
+}
+
+// collCorrBit tags collective-epoch correlators inside the 40-bit request
+// space of trace.MsgID (below nbcCorrBit), so CollEnter/CollExit spans
+// never collide with point-to-point lifecycles or NBC schedules in the
+// profiler.
+const collCorrBit = uint64(1) << 38
+
+// collEvent records one collective-epoch boundary event: this rank
+// entering (CollEnter) or leaving (CollExit) epoch's collective. op is a
+// trace.CollOp code, nic distinguishes the NIC-offloaded path (Peer 1)
+// from the host software trees (Peer 0). Free when no tracer is attached
+// — collectives charge no extra virtual time either way.
+func (c *Comm) collEvent(kind trace.Kind, op, epoch int, nic bool, bytes int) {
+	tr := c.w.stack.Tracer
+	if tr == nil {
+		return
+	}
+	path := 0
+	if nic {
+		path = 1
+	}
+	tr.Record(trace.Event{
+		At: c.w.th.Now(), Rank: c.w.rank, Layer: trace.LayerPML, Kind: kind,
+		ReqID: uint64(c.id)<<22 | uint64(epoch)&(1<<22-1), Peer: path, Tag: op, Bytes: bytes,
+		Corr: trace.MsgID(c.w.rank, collCorrBit|uint64(c.id)<<22|uint64(epoch)&(1<<22-1)),
+	})
 }
 
 // Barrier blocks until every member has entered it: over the NIC-resident
@@ -24,9 +52,13 @@ func (c *Comm) Barrier() {
 	if n == 1 {
 		return
 	}
-	if c.id == 0 && c.w.hw.coll != nil && c.w.hw.eligible {
+	epoch := c.seq.collSeq + 1
+	hw := c.id == 0 && c.w.hw.coll != nil && c.w.hw.eligible
+	c.collEvent(trace.CollEnter, trace.CollOpBarrier, epoch, hw, 0)
+	if hw {
 		c.seq.collSeq++ // keep collective sequencing aligned with fallback
 		if c.w.hw.coll.HWBarrier(c.w.th, c.ranks, c.w.rank) {
+			c.collEvent(trace.CollExit, trace.CollOpBarrier, epoch, true, 0)
 			return
 		}
 	}
@@ -37,6 +69,7 @@ func (c *Comm) Barrier() {
 		from := (c.myIdx - dist + n) % n
 		c.Sendrecv(to, tag, nil, empty, from, tag, nil, empty)
 	}
+	c.collEvent(trace.CollExit, trace.CollOpBarrier, epoch, false, 0)
 }
 
 // Bcast broadcasts root's buf to every member: over the QsNet hardware
@@ -47,9 +80,13 @@ func (c *Comm) Bcast(root int, buf []byte, dt *datatype.Datatype) {
 	if n == 1 {
 		return
 	}
-	if c.id == 0 && c.w.hw.coll != nil && c.w.hw.eligible && dt.Contig() {
+	epoch := c.seq.collSeq + 1
+	hw := c.id == 0 && c.w.hw.coll != nil && c.w.hw.eligible && dt.Contig()
+	c.collEvent(trace.CollEnter, trace.CollOpBcast, epoch, hw, dt.Size())
+	if hw {
 		c.seq.collSeq++ // keep collective sequencing aligned with fallback
 		if c.w.hw.coll.HWBcast(c.w.th, c.worldOf(root), c.ranks, c.w.rank, buf[:dt.Size()]) {
+			c.collEvent(trace.CollExit, trace.CollOpBcast, epoch, true, dt.Size())
 			return
 		}
 	}
@@ -81,6 +118,7 @@ func (c *Comm) Bcast(root int, buf []byte, dt *datatype.Datatype) {
 			c.Send(child, tag, buf, dt)
 		}
 	}
+	c.collEvent(trace.CollExit, trace.CollOpBcast, epoch, false, dt.Size())
 }
 
 // Op combines src into dst elementwise; both are the packed representation
@@ -172,15 +210,20 @@ func (c *Comm) Reduce(root int, buf, recv []byte, op Op) {
 // is installed and the group is eligible, otherwise Reduce to rank 0
 // followed by Bcast.
 func (c *Comm) Allreduce(buf, recv []byte, op Op) {
-	if c.id == 0 && c.w.hw.coll != nil && c.w.hw.eligible && c.Size() > 1 {
+	epoch := c.seq.collSeq + 1
+	hw := c.id == 0 && c.w.hw.coll != nil && c.w.hw.eligible && c.Size() > 1
+	c.collEvent(trace.CollEnter, trace.CollOpAllreduce, epoch, hw, len(buf))
+	if hw {
 		c.seq.collSeq++ // keep collective sequencing aligned with fallback
 		copy(recv, buf)
 		if c.w.hw.coll.HWAllreduce(c.w.th, c.ranks, c.w.rank, recv[:len(buf)], op) {
+			c.collEvent(trace.CollExit, trace.CollOpAllreduce, epoch, true, len(buf))
 			return
 		}
 	}
 	c.Reduce(0, buf, recv, op)
 	c.Bcast(0, recv, datatype.Contiguous(len(recv)))
+	c.collEvent(trace.CollExit, trace.CollOpAllreduce, epoch, false, len(buf))
 }
 
 // Gather concentrates equal-size contributions at root; recv must hold

@@ -108,10 +108,7 @@ func (op *nbcOp) dutySample(th *simtime.Thread) {
 		return
 	}
 	now := th.Now()
-	permille := 0
-	if us := now.Micros(); us > 0 {
-		permille = int(1000 * op.c.w.stack.ProgressTime().Micros() / us)
-	}
+	permille := op.c.w.stack.DutyPermille(now)
 	tr.Record(trace.Event{
 		At: now, Rank: op.c.w.rank, Layer: trace.LayerPML,
 		Kind: trace.ProgressDuty, ReqID: op.seq, Peer: -1, Bytes: permille,

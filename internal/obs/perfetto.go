@@ -14,7 +14,11 @@
 //     "pml-inflight" (outstanding PML requests, stepped on every
 //     post/complete — the request-queue depth over time) and
 //     "progress-duty" (the progress engine's cumulative duty cycle in
-//     per-mille, from ProgressDuty samples)
+//     per-mille, from ProgressDuty samples); sampler GaugeSample events
+//     become one counter track per gauge — per-rank queue depths and
+//     duty on the rank's process, per-link utilization (cumulative
+//     uplink packets/bytes) on synthetic "link port N" processes keyed
+//     off the fabric layer, one thread per rail
 //   - "M" metadata events naming each process/thread
 //
 // Virtual time is deterministic, so the exported JSON is byte-identical
@@ -142,8 +146,40 @@ func writePerfetto(w io.Writer, events []trace.Event, dropped int64) error {
 		return a
 	}
 
+	// Link counter tracks live on synthetic processes far above any rank
+	// pid so port numbers never collide with rank numbers.
+	const linkPIDBase = 1 << 20
+	linkProc := make(map[int]bool)
+
 	inflight := make(map[int]int)
 	for _, e := range evs {
+		// Sampler gauge snapshots become counter tracks: one per gauge on
+		// the rank's process, one per link gauge on the port's process.
+		if e.Kind == trace.GaugeSample {
+			if e.Layer == trace.LayerFabric {
+				pid := linkPIDBase + e.Rank
+				if !linkProc[pid] {
+					linkProc[pid] = true
+					out = append(out, perfEvent{
+						Name: "process_name", Ph: "M", PID: pid, TID: 0,
+						Args: map[string]any{"name": fmt.Sprintf("link port %d", e.Rank)},
+					})
+				}
+				out = append(out, perfEvent{
+					Name: LinkGauge(e.Tag).String(), Ph: "C",
+					TS: e.At.Micros(), PID: pid, TID: e.Peer,
+					Args: map[string]any{"value": e.Bytes},
+				})
+			} else {
+				track(e.Rank, e.Layer)
+				out = append(out, perfEvent{
+					Name: Gauge(e.Tag).String(), Ph: "C",
+					TS: e.At.Micros(), PID: e.Rank, TID: 0,
+					Args: map[string]any{"value": e.Bytes},
+				})
+			}
+			continue
+		}
 		track(e.Rank, e.Layer)
 		// Duty-cycle samples become points on a per-rank counter track.
 		if e.Kind == trace.ProgressDuty {

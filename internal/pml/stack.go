@@ -201,6 +201,17 @@ func (s *Stack) ProgressTime() simtime.Duration { return s.progressTime }
 // "idle" share of the duty-cycle split.
 func (s *Stack) IdleTime() simtime.Duration { return s.idleTime }
 
+// DutyPermille returns the cumulative progress duty cycle as of now: the
+// per-mille of elapsed virtual time spent inside progress sweeps. It is
+// the value behind the ProgressDuty trace samples and the telemetry
+// sampler's duty gauge.
+func (s *Stack) DutyPermille(now simtime.Time) int {
+	if us := now.Micros(); us > 0 {
+		return int(1000 * s.progressTime.Micros() / us)
+	}
+	return 0
+}
+
 // AddProgressHook registers a schedule-advancement hook. Hooks run on
 // every progress sweep until they return false; registration order is
 // preserved, so concurrently outstanding schedules advance

@@ -353,6 +353,13 @@ func (m *Module) QueueDepths() (recv, comp int) {
 	return recv, comp
 }
 
+// SendBufInFlight reports how many preallocated send buffers are
+// currently held by outstanding QDMAs — the instantaneous companion to
+// the SendBufHighWater statistic, read by the telemetry sampler.
+func (m *Module) SendBufInFlight() int {
+	return m.opts.QueueSlots - m.sendBufs.Available()
+}
+
 // PoolStats returns a copy of the staging buffer-pool counters.
 func (m *Module) PoolStats() bufpool.Stats { return m.pool.Stats() }
 

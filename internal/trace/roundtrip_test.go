@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestKindNamesRoundTrip walks the full Kind enum — [SendPosted,
+// kindSentinel) — and proves every kind renders a real name and resolves
+// back to itself through kindByName. This is the registration gate new
+// kinds go through: a kind added to the enum without a String case (the
+// PR-8 HWColl range bug, where kindByName's loop bound silently excluded
+// the new HWColl kinds) now fails here instead of surfacing as an
+// "unknown kind" error in cmd/msgtrace.
+func TestKindNamesRoundTrip(t *testing.T) {
+	table := kindByName()
+	for k := SendPosted; k < kindSentinel; k++ {
+		name := k.String()
+		if strings.HasPrefix(name, "Kind(") {
+			t.Errorf("Kind %d has no String case (renders %q)", uint8(k), name)
+			continue
+		}
+		got, ok := table[name]
+		if !ok {
+			t.Errorf("kindByName missing %q (Kind %d)", name, uint8(k))
+			continue
+		}
+		if got != uint8(k) {
+			t.Errorf("kindByName[%q] = %d, want %d (duplicate name?)", name, got, uint8(k))
+		}
+	}
+	if want := int(kindSentinel - SendPosted); len(table) != want {
+		t.Errorf("kindByName has %d entries, want %d — two kinds share a name", len(table), want)
+	}
+}
+
+// TestLayerNamesRoundTrip is the same gate for the Layer enum.
+func TestLayerNamesRoundTrip(t *testing.T) {
+	table := layerByName()
+	for l := LayerPML; l < layerSentinel; l++ {
+		name := l.String()
+		if strings.HasPrefix(name, "Layer(") {
+			t.Errorf("Layer %d has no String case (renders %q)", uint8(l), name)
+			continue
+		}
+		got, ok := table[name]
+		if !ok {
+			t.Errorf("layerByName missing %q (Layer %d)", name, uint8(l))
+			continue
+		}
+		if got != uint8(l) {
+			t.Errorf("layerByName[%q] = %d, want %d (duplicate name?)", name, got, uint8(l))
+		}
+	}
+	if want := int(layerSentinel - LayerPML); len(table) != want {
+		t.Errorf("layerByName has %d entries, want %d — two layers share a name", len(table), want)
+	}
+}
+
+// TestFilterAcceptsEveryRegisteredName feeds each registered kind and
+// layer name through Filter: registration implies filterability.
+func TestFilterAcceptsEveryRegisteredName(t *testing.T) {
+	for k := SendPosted; k < kindSentinel; k++ {
+		if _, err := Filter(nil, "", k.String(), -1); err != nil {
+			t.Errorf("Filter rejects registered kind %q: %v", k, err)
+		}
+	}
+	for l := LayerPML; l < layerSentinel; l++ {
+		if _, err := Filter(nil, l.String(), "", -1); err != nil {
+			t.Errorf("Filter rejects registered layer %q: %v", l, err)
+		}
+	}
+}
+
+// TestSentinelBeyondEveryNamedKind pins the sentinel itself: the value
+// just past the enum must render as unnamed, so the sentinel cannot
+// drift below a real kind.
+func TestSentinelBeyondEveryNamedKind(t *testing.T) {
+	if got, want := kindSentinel.String(), fmt.Sprintf("Kind(%d)", uint8(kindSentinel)); got != want {
+		t.Errorf("kindSentinel renders %q — a named kind sits at or past the sentinel", got)
+	}
+	if got, want := layerSentinel.String(), fmt.Sprintf("Layer(%d)", uint8(layerSentinel)); got != want {
+		t.Errorf("layerSentinel renders %q — a named layer sits at or past the sentinel", got)
+	}
+}

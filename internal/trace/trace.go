@@ -109,6 +109,28 @@ const (
 	// spent inside progress sweeps so far. Exported as a Perfetto counter
 	// track (obs.WritePerfetto).
 	ProgressDuty
+
+	// Collective-epoch kinds: a rank entering a blocking collective and
+	// the same rank leaving it. ReqID is the communicator's collective
+	// sequence number (the epoch), Tag identifies the operation (see
+	// CollOp), and Peer distinguishes the host software path (0) from the
+	// NIC-offloaded path (1). Corr carries MsgID(rank, collCorrBit|epoch)
+	// so the wait-state analyzer can pair enter/exit per rank per epoch.
+	CollEnter
+	CollExit
+
+	// GaugeSample is one telemetry-sampler reading (obs.Sampler): ReqID is
+	// the tick index, Tag the sampled gauge's identity (see obs gauge ids),
+	// Bytes the value. Rank is the sampled rank, or the port id for
+	// LayerFabric link samples. Uncorrelated by design (Corr 0): samples
+	// describe a rank at an instant, not a message.
+	GaugeSample
+
+	// kindSentinel marks the end of the Kind enum. Every kind above must
+	// also appear in Kind.String; the exhaustive round-trip test in
+	// trace_test.go walks [SendPosted, kindSentinel) so a kind added
+	// without a name (the PR-8 HWColl range bug) fails loudly.
+	kindSentinel
 )
 
 func (k Kind) String() string {
@@ -179,6 +201,12 @@ func (k Kind) String() string {
 		return "nbc-completed"
 	case ProgressDuty:
 		return "progress-duty"
+	case CollEnter:
+		return "coll-enter"
+	case CollExit:
+		return "coll-exit"
+	case GaugeSample:
+		return "gauge-sample"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -201,6 +229,28 @@ type Event struct {
 	Tag   int
 	Bytes int
 	Corr  uint64
+}
+
+// Collective op codes, carried in the Tag of CollEnter/CollExit events.
+// Defined here (not in mpi) so the wait-state analyzer can name them
+// without importing the MPI layer.
+const (
+	CollOpBarrier   = 1
+	CollOpBcast     = 2
+	CollOpAllreduce = 3
+)
+
+// CollOpName renders a collective op code.
+func CollOpName(op int) string {
+	switch op {
+	case CollOpBarrier:
+		return "barrier"
+	case CollOpBcast:
+		return "bcast"
+	case CollOpAllreduce:
+		return "allreduce"
+	}
+	return fmt.Sprintf("coll-op-%d", op)
 }
 
 // MsgID packs a message's global identity — the sending rank and its
@@ -332,10 +382,14 @@ func Filter(events []Event, layers, kinds string, rank int) ([]Event, error) {
 	return out, nil
 }
 
+// layerSentinel marks the end of the Layer enum; layerByName and the
+// round-trip test walk [LayerPML, layerSentinel).
+const layerSentinel = LayerCluster + 1
+
 // layerByName maps every layer's rendered name back to its value.
 func layerByName() map[string]uint8 {
 	out := make(map[string]uint8)
-	for l := LayerPML; l <= LayerCluster; l++ {
+	for l := LayerPML; l < layerSentinel; l++ {
 		out[l.String()] = uint8(l)
 	}
 	return out
@@ -344,7 +398,7 @@ func layerByName() map[string]uint8 {
 // kindByName maps every kind's rendered name back to its value.
 func kindByName() map[string]uint8 {
 	out := make(map[string]uint8)
-	for k := SendPosted; k <= ProgressDuty; k++ {
+	for k := SendPosted; k < kindSentinel; k++ {
 		out[k.String()] = uint8(k)
 	}
 	return out
