@@ -4,7 +4,7 @@ GO ?= go
 # by the tool binary's hash, so rebuilds only re-analyze what changed.
 QSMPILINT := bin/qsmpilint
 
-.PHONY: all build test check lint race bench figures perfbench report-par report-shards coll-shards overlap-smoke waitstate-smoke
+.PHONY: all build test check lint lint-sarif lintbench race bench figures perfbench report-par report-shards coll-shards overlap-smoke waitstate-smoke
 
 all: build test
 
@@ -31,14 +31,28 @@ check: lint
 	$(GO) test -race ./internal/experiments ./internal/parsweep
 	$(GO) test -race -count=1 ./internal/obs ./internal/trace
 
-# lint runs go vet with the repo's own analyzer suite loaded on top of the
-# standard checks: detclock, maporder, kernelown, pooluse and tracecorr
-# (see internal/lint and DESIGN.md §9). The suite turns the simulator's
-# determinism, ownership and pooling invariants into build failures.
+# lint runs go vet with the repo's own analyzer suite loaded on top of
+# the standard checks: detclock, maporder, kernelown, pooluse, tracecorr,
+# reqlife and collorder, plus the //lint:allow suppression audit (see
+# internal/lint and DESIGN.md §9). The suite turns the simulator's
+# determinism, ownership, pooling and MPI-protocol invariants into build
+# failures; collorder's CallsCollective facts flow between compilation
+# units through the vetx files.
 lint:
 	$(GO) vet ./...
 	$(GO) build -o $(QSMPILINT) ./cmd/qsmpilint
 	$(GO) vet -vettool=$(QSMPILINT) ./...
+
+# lint-sarif writes the machine-readable report the nightly CI uploads.
+# The standalone driver shards packages across GOMAXPROCS workers; output
+# is byte-identical at any parallelism.
+lint-sarif:
+	$(GO) run ./cmd/qsmpilint -sarif -o lint.sarif ./...
+
+# lintbench records the lint suite's serial-vs-sharded wall-clock in the
+# lint section of BENCH_wallclock.json (other sections untouched).
+lintbench:
+	$(GO) run ./cmd/perfbench -lintbench -out BENCH_wallclock.json
 
 # race runs the entire test suite under the race detector — the nightly
 # CI gate. check covers the concurrency-critical packages on every push;

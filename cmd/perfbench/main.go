@@ -49,6 +49,8 @@ import (
 	"qsmpi/internal/cluster"
 	"qsmpi/internal/datatype"
 	"qsmpi/internal/experiments"
+	"qsmpi/internal/lint"
+	lintdriver "qsmpi/internal/lint/driver"
 	"qsmpi/internal/obs"
 	"qsmpi/internal/parsweep"
 	"qsmpi/internal/pml"
@@ -159,6 +161,20 @@ type waitStateResult struct {
 	AnalyzerWaits   int     `json:"analyzer_waits"`
 }
 
+// lintBenchResult is the qsmpilint wall-clock section: the standalone
+// driver's full-repo run, serial (the pre-sharding behavior) against the
+// GOMAXPROCS-sharded dependency-ordered scheduler. On a single-core box
+// the two mostly measure the same thing; the section exists so multi-core
+// CI records the sharding win (and any regression) over time.
+type lintBenchResult struct {
+	Packages     int     `json:"packages"`
+	Reps         int     `json:"reps"`
+	SerialWallMS float64 `json:"serial_wall_ms"`
+	ParWorkers   int     `json:"par_workers"`
+	ParWallMS    float64 `json:"par_wall_ms"`
+	Speedup      float64 `json:"speedup"`
+}
+
 // report is the BENCH_wallclock.json schema.
 type report struct {
 	Generated  string           `json:"generated"`
@@ -182,7 +198,11 @@ type report struct {
 	// WaitStates is the telemetry-sampler overhead and wait-state
 	// analyzer cost section.
 	WaitStates *waitStateResult `json:"waitstates,omitempty"`
-	NumCPU    int              `json:"num_cpu,omitempty"`
+	// Lint is the qsmpilint serial-vs-sharded wall-clock section,
+	// written by `perfbench -lintbench` (which patches this field into an
+	// existing report without re-running the simulator workloads).
+	Lint   *lintBenchResult `json:"lint,omitempty"`
+	NumCPU int              `json:"num_cpu,omitempty"`
 	// SweepGeomean is the geometric-mean parallel-sweep speedup across
 	// the sweep workloads.
 	SweepGeomean float64        `json:"sweep_geomean,omitempty"`
@@ -195,6 +215,79 @@ type report struct {
 	Baseline           string          `json:"baseline,omitempty"`
 	ObsOverhead        []overheadEntry `json:"obs_overhead,omitempty"`
 	ObsOverheadGeomean float64         `json:"obs_overhead_geomean,omitempty"`
+}
+
+// measureLintBench times the standalone qsmpilint driver over the full
+// repo at par=1 (the pre-sharding serial loader) and par=GOMAXPROCS (the
+// dependency-ordered sharded scheduler), best of reps each. Both runs
+// include the `go list -export` load — that is what `make lint` pays.
+func measureLintBench(reps int) *lintBenchResult {
+	l, err := lintdriver.Load(".", "./...")
+	if err != nil {
+		log.Fatalf("perfbench: lint load: %v", err)
+	}
+	pkgs := 0
+	for _, p := range l.Pkgs {
+		if !p.Standard && len(p.GoFiles) > 0 {
+			pkgs++
+		}
+	}
+
+	run := func(par int) float64 {
+		best := math.MaxFloat64
+		for i := 0; i < reps; i++ {
+			start := time.Now() //lint:allow detclock lint benchmarking measures real wall time by design
+			findings, err := lintdriver.CheckParallel(".", lint.Analyzers(), par, "./...")
+			if err != nil {
+				log.Fatalf("perfbench: lint run: %v", err)
+			}
+			//lint:allow detclock lint benchmarking measures real wall time by design
+			if ms := float64(time.Since(start).Nanoseconds()) / 1e6; ms < best {
+				best = ms
+			}
+			if len(findings) > 0 {
+				fmt.Fprintf(os.Stderr, "perfbench: lint reported %d findings; timings cover a dirty tree\n", len(findings))
+			}
+		}
+		return best
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	res := &lintBenchResult{Packages: pkgs, Reps: reps, ParWorkers: workers}
+	res.SerialWallMS = run(1)
+	res.ParWallMS = run(workers)
+	res.Speedup = res.SerialWallMS / res.ParWallMS
+	fmt.Printf("%-22s %8s %12s %12s %10s\n", "lint", "pkgs", "par=1 ms", fmt.Sprintf("par=%d ms", workers), "speedup")
+	fmt.Printf("%-22s %8d %12.2f %12.2f %9.2fx\n", "qsmpilint ./...", res.Packages, res.SerialWallMS, res.ParWallMS, res.Speedup)
+	return res
+}
+
+// patchLintSection updates only the lint section of an existing
+// BENCH_wallclock.json (creating a minimal report if the file is absent),
+// leaving every simulator measurement untouched.
+func patchLintSection(path string, res *lintBenchResult) {
+	rep := &report{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, rep); err != nil {
+			log.Fatalf("perfbench: %s: %v", path, err)
+		}
+	} else {
+		//lint:allow detclock report timestamp is wall-clock metadata, not simulation state
+		rep.Generated = time.Now().UTC().Format(time.RFC3339)
+		rep.GoVersion = runtime.Version()
+		rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		rep.NumCPU = runtime.NumCPU()
+	}
+	rep.Lint = res
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("perfbench: %v", err)
+	}
+	fmt.Printf("wrote lint section of %s\n", path)
 }
 
 // sweepWorkload is one figure/claim sweep run under a worker count; it
@@ -439,7 +532,16 @@ func main() {
 	waitstates := flag.Bool("waitstates", true, "record the telemetry-sampler overhead and wait-state analyzer cost")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering every measured run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all runs) to this file")
+	lintbench := flag.Bool("lintbench", false, "measure the qsmpilint serial-vs-sharded wall-clock and patch the lint section of -out (skips every other workload)")
 	flag.Parse()
+
+	if *lintbench {
+		res := measureLintBench(*reps)
+		if *out != "" {
+			patchLintSection(*out, res)
+		}
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -1,18 +1,23 @@
 // Command qsmpilint runs the repo's invariant analyzers (internal/lint):
-// detclock, maporder, kernelown, pooluse and tracecorr. It speaks two
+// detclock, maporder, kernelown, pooluse, tracecorr, reqlife and
+// collorder, plus the //lint:allow suppression audit. It speaks two
 // dialects:
 //
 //	go vet -vettool=$(command -v qsmpilint) ./...   # unitchecker protocol
-//	qsmpilint ./...                                 # standalone, via go list
+//	qsmpilint [-sarif|-json] [-o file] [-par N] ./... # standalone, via go list
 //
 // `make lint` (folded into `make check`) uses the vet form so findings
 // participate in go vet's caching; the standalone form needs no vet
-// plumbing and is what the fixture meta-test drives.
+// plumbing, shards packages across GOMAXPROCS workers, and is what the
+// fixture meta-test and the nightly SARIF upload drive. Interprocedural
+// facts (collorder's CallsCollective) flow through both dialects.
 package main
 
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 
 	"qsmpi/internal/lint"
@@ -32,30 +37,118 @@ func main() {
 		}
 	}
 
-	if len(args) == 1 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help") {
-		fmt.Println("qsmpilint checks the qsmpi determinism, ownership and pooling invariants.")
-		fmt.Println("\nusage: qsmpilint [packages]    (default ./...)")
-		fmt.Println("\nanalyzers:")
-		for _, a := range lint.Analyzers() {
-			fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+	var (
+		sarif   bool
+		jsonOut bool
+		outPath string
+		par     = runtime.GOMAXPROCS(0)
+	)
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "help" || a == "-h" || a == "--help":
+			usage()
+			return
+		case a == "-sarif":
+			sarif = true
+		case a == "-json":
+			jsonOut = true
+		case a == "-o":
+			i++
+			if i == len(args) {
+				fatal("-o requires a file argument")
+			}
+			outPath = args[i]
+		case strings.HasPrefix(a, "-o="):
+			outPath = a[len("-o="):]
+		case a == "-par":
+			i++
+			if i == len(args) {
+				fatal("-par requires a worker count")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 1 {
+				fatal("-par requires a positive integer")
+			}
+			par = n
+		case strings.HasPrefix(a, "-par="):
+			n, err := strconv.Atoi(a[len("-par="):])
+			if err != nil || n < 1 {
+				fatal("-par requires a positive integer")
+			}
+			par = n
+		case strings.HasPrefix(a, "-"):
+			fatal("unknown flag %s (see qsmpilint help)", a)
+		default:
+			patterns = append(patterns, a)
 		}
-		fmt.Println("\nsuppress a finding with //lint:allow <analyzer> <reason> on or above the line.")
-		return
 	}
-
-	patterns := args
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := driver.Check(".", lint.Analyzers(), patterns...)
+
+	findings, err := driver.CheckParallel(".", lint.Analyzers(), par, patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "qsmpilint: %v\n", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
-	for _, f := range findings {
-		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	switch {
+	case sarif:
+		root, _ := os.Getwd()
+		data, err := driver.SARIF(findings, lint.Analyzers(), root)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(out, "%s\n", data)
+	case jsonOut:
+		data, err := driver.JSONReport(findings)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(out, "%s\n", data)
+	default:
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+		}
 	}
 	if len(findings) > 0 {
+		// SARIF mode is for CI report upload: the report itself is the
+		// product, so producing one is success even when it has results —
+		// the annotation surface decides what blocks. Text and -json modes
+		// gate, like vet.
+		if sarif && outPath != "" {
+			return
+		}
 		os.Exit(1)
 	}
+}
+
+func usage() {
+	fmt.Println("qsmpilint checks the qsmpi determinism, ownership, pooling and MPI protocol invariants.")
+	fmt.Println("\nusage: qsmpilint [-sarif|-json] [-o file] [-par N] [packages]    (default ./...)")
+	fmt.Println("\nflags:")
+	fmt.Println("  -sarif     emit a SARIF 2.1.0 report (stdout, or -o file)")
+	fmt.Println("  -json      emit findings as a JSON array")
+	fmt.Println("  -o file    write the report to file instead of stdout")
+	fmt.Println("  -par N     shard package analysis across N workers (default GOMAXPROCS)")
+	fmt.Println("\nanalyzers:")
+	for _, a := range lint.Analyzers() {
+		fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println("\nsuppress a finding with //lint:allow <analyzer> <reason> on or above the line.")
+	fmt.Println("unused or unknown //lint:allow directives are flagged by the suppression audit.")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qsmpilint: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -32,14 +32,19 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description printed by `qsmpilint help`.
 	Doc string
+	// FactTypes lists prototypes of every Fact type the analyzer exports
+	// or imports, for gob registration (see facts.go). Nil for purely
+	// intraprocedural analyzers.
+	FactTypes []Fact
 	// Run inspects the package and reports diagnostics via pass.Report.
 	Run func(*Pass) error
 }
 
 // A Diagnostic is one reported violation.
 type Diagnostic struct {
-	Pos     token.Pos
-	Message string
+	Pos      token.Pos
+	Message  string
+	Analyzer string
 }
 
 // A Pass holds one type-checked package being analyzed.
@@ -50,11 +55,52 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// Imports holds the merged facts of the package's dependency closure
+	// (read-only); Exports receives the facts this package proves. Either
+	// may be nil when the driver carries no facts (single-analyzer fixture
+	// runs); the accessor methods below tolerate that.
+	Imports *Facts
+	Exports *Facts
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// ExportObjectFact records fact for the package-level object obj.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Exports != nil {
+		p.Exports.ExportObject(obj, fact)
+	}
+}
+
+// ImportObjectFact copies the fact of fact's concrete type recorded for
+// obj — by a dependency, or by this pass earlier — into fact, reporting
+// whether one existed. Own exports take precedence so intra-package
+// fixpoints and cross-package lookups go through one call.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.Exports != nil && p.Exports.ImportObject(obj, fact) {
+		return true
+	}
+	return p.Imports.ImportObject(obj, fact)
+}
+
+// ExportPackageFact records a whole-package fact for this package.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.Exports != nil {
+		p.Exports.ExportPackage(p.Pkg.Path(), fact)
+	}
+}
+
+// ImportPackageFact copies the package-level fact recorded for pkgPath
+// into fact, reporting whether one existed.
+func (p *Pass) ImportPackageFact(pkgPath string, fact Fact) bool {
+	if p.Exports != nil && p.Exports.ImportPackage(pkgPath, fact) {
+		return true
+	}
+	return p.Imports.ImportPackage(pkgPath, fact)
 }
 
 // IsTestFile reports whether the file containing pos is a _test.go file.
@@ -64,21 +110,64 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
-// Run type-checks nothing itself: it executes one analyzer over an
-// already-loaded package and returns the diagnostics that survive
-// //lint:allow suppression, in source order. Drivers (vet mode,
-// standalone mode, linttest) all funnel through here so the directive
-// semantics cannot drift between them.
-func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	pass := &Pass{
-		Analyzer:  a,
+// SuppressionName is the diagnostic label of the suppression audit run
+// by RunSuite: an unused //lint:allow — one matching no diagnostic of its
+// analyzer — is itself a diagnostic, so escape hatches cannot silently
+// outlive the violation they excused. Audit findings are deliberately not
+// suppressible; the fix is always to delete the stale directive.
+const SuppressionName = "suppression"
+
+// A Unit is one loaded, type-checked package flowing through the suite:
+// the shared inputs every analyzer sees, the fact sets crossing the
+// package boundary, and the record of which //lint:allow directives
+// earned their keep. Drivers (vet mode, standalone mode, linttest) all
+// funnel through here so directive and fact semantics cannot drift
+// between them.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Imports holds the merged facts of the dependency closure; Exports
+	// accumulates this package's own proved facts across analyzers.
+	Imports *Facts
+	Exports *Facts
+
+	// used records the positions of directives that suppressed at least
+	// one diagnostic, for the suppression audit.
+	used map[token.Pos]bool
+}
+
+// NewUnit builds a Unit over an already-loaded package. imports may be
+// nil when the caller carries no cross-package facts.
+func NewUnit(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, imports *Facts) *Unit {
+	return &Unit{
 		Fset:      fset,
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
+		Imports:   imports,
+		Exports:   NewFacts(),
+		used:      map[token.Pos]bool{},
+	}
+}
+
+// Run executes one analyzer over the unit and returns the diagnostics
+// that survive //lint:allow suppression, in report order.
+func (u *Unit) Run(a *Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      u.Fset,
+		Files:     u.Files,
+		Pkg:       u.Pkg,
+		TypesInfo: u.TypesInfo,
+		Imports:   u.Imports,
+		Exports:   u.Exports,
 		Report: func(d Diagnostic) {
-			if !allowed(fset, files, a.Name, d.Pos) {
+			d.Analyzer = a.Name
+			if !u.allowed(a.Name, d.Pos) {
 				diags = append(diags, d)
 			}
 		},
@@ -89,12 +178,76 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 	return diags, nil
 }
 
+// RunSuite executes every analyzer over the unit, then audits the
+// package's //lint:allow directives: well-formed directives that
+// suppressed nothing, and directives naming no analyzer in the suite, are
+// appended as SuppressionName diagnostics.
+func RunSuite(analyzers []*Analyzer, u *Unit) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		ds, err := u.Run(a)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	diags = append(diags, u.AuditSuppressions(known)...)
+	return diags, nil
+}
+
+// Run is the single-analyzer convenience used by fixture tests: a fresh
+// Unit with no cross-package facts and no suppression audit.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	return NewUnit(fset, files, pkg, info, nil).Run(a)
+}
+
+// AuditSuppressions returns a diagnostic for every //lint:allow directive
+// that could never suppress anything: unknown analyzer name, or no
+// diagnostic of its analyzer on the covered lines. Must run after every
+// analyzer in known has run over the unit — before that, "unused" is not
+// yet decidable.
+func (u *Unit) AuditSuppressions(known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				switch {
+				case !known[name]:
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: SuppressionName,
+						Message: fmt.Sprintf(
+							"//lint:allow names unknown analyzer %q: this directive can never suppress anything", name),
+					})
+				case !u.used[c.Pos()]:
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: SuppressionName,
+						Message: fmt.Sprintf(
+							"unused //lint:allow %s: no %s diagnostic on this or the next line — delete the stale suppression", name, name),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
 // allowed reports whether a //lint:allow directive with a reason covers a
 // diagnostic of the named analyzer at pos: the directive must sit on the
 // diagnostic's line or the line immediately above it, in the same file.
-func allowed(fset *token.FileSet, files []*ast.File, name string, pos token.Pos) bool {
+// Matching directives are recorded as used for the suppression audit.
+func (u *Unit) allowed(name string, pos token.Pos) bool {
 	var file *ast.File
-	for _, f := range files {
+	for _, f := range u.Files {
 		if f.FileStart <= pos && pos <= f.FileEnd {
 			file = f
 			break
@@ -103,14 +256,15 @@ func allowed(fset *token.FileSet, files []*ast.File, name string, pos token.Pos)
 	if file == nil {
 		return false
 	}
-	line := fset.Position(pos).Line
+	line := u.Fset.Position(pos).Line
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			cl := fset.Position(c.Pos()).Line
+			cl := u.Fset.Position(c.Pos()).Line
 			if cl != line && cl != line-1 {
 				continue
 			}
-			if directiveAllows(c.Text, name) {
+			if dn, ok := parseDirective(c.Text); ok && dn == name {
+				u.used[c.Pos()] = true
 				return true
 			}
 		}
@@ -118,21 +272,28 @@ func allowed(fset *token.FileSet, files []*ast.File, name string, pos token.Pos)
 	return false
 }
 
-// directiveAllows parses one comment's text as a lint:allow directive.
-func directiveAllows(text, name string) bool {
-	body, ok := strings.CutPrefix(text, "//")
-	if !ok {
-		return false
+// parseDirective parses one comment's text as a lint:allow directive,
+// returning the analyzer it names. Only well-formed directives — name
+// plus a non-empty reason — count; a bare //lint:allow <analyzer> does
+// not suppress and is not audited (it is inert text, the same as any
+// other comment).
+func parseDirective(text string) (name string, ok bool) {
+	body, found := strings.CutPrefix(text, "//")
+	if !found {
+		return "", false
 	}
 	body = strings.TrimSpace(body)
-	rest, ok := strings.CutPrefix(body, "lint:allow")
-	if !ok {
-		return false
+	rest, found := strings.CutPrefix(body, "lint:allow")
+	if !found {
+		return "", false
 	}
 	fields := strings.Fields(rest)
 	// fields[0] is the analyzer name; everything after is the mandatory
 	// reason.
-	return len(fields) >= 2 && fields[0] == name
+	if len(fields) < 2 {
+		return "", false
+	}
+	return fields[0], true
 }
 
 // ---- shared type-query helpers used by several analyzers ----

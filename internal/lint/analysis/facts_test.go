@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type tFact struct{ N int }
+
+func (*tFact) AFact() {}
+
+type tPkgFact struct{ Tag string }
+
+func (*tPkgFact) AFact() {}
+
+func testAnalyzers() []*Analyzer {
+	return []*Analyzer{{
+		Name:      "tfacts",
+		Doc:       "test",
+		FactTypes: []Fact{(*tFact)(nil), (*tPkgFact)(nil)},
+		Run:       func(*Pass) error { return nil },
+	}}
+}
+
+func newTestPkg(t *testing.T) (*types.Package, *types.Func, *types.Func) {
+	t.Helper()
+	pkg := types.NewPackage("example.com/facts", "facts")
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	free := types.NewFunc(token.NoPos, pkg, "Helper", sig)
+	pkg.Scope().Insert(free)
+
+	named := types.NewNamed(types.NewTypeName(token.NoPos, pkg, "T", nil), types.NewStruct(nil, nil), nil)
+	pkg.Scope().Insert(named.Obj())
+	recv := types.NewVar(token.NoPos, pkg, "t", types.NewPointer(named))
+	msig := types.NewSignatureType(recv, nil, nil, nil, nil, false)
+	method := types.NewFunc(token.NoPos, pkg, "Do", msig)
+	return pkg, free, method
+}
+
+// TestObjectKey pins the stable naming scheme facts are keyed by.
+func TestObjectKey(t *testing.T) {
+	_, free, method := newTestPkg(t)
+	if k, ok := ObjectKey(free); !ok || k != "Helper" {
+		t.Errorf("free function key = %q, %v; want Helper, true", k, ok)
+	}
+	if k, ok := ObjectKey(method); !ok || k != "T.Do" {
+		t.Errorf("method key = %q, %v; want T.Do, true", k, ok)
+	}
+	local := types.NewVar(token.NoPos, nil, "x", types.Typ[types.Int])
+	if _, ok := ObjectKey(local); ok {
+		t.Error("package-less object must not be exportable")
+	}
+}
+
+// TestFactsRoundTrip drives the full wire path both drivers share:
+// export, gob-encode, decode in a "fresh process", import.
+func TestFactsRoundTrip(t *testing.T) {
+	RegisterFactTypes(testAnalyzers())
+	pkg, free, method := newTestPkg(t)
+
+	out := NewFacts()
+	out.ExportObject(free, &tFact{N: 7})
+	out.ExportObject(method, &tFact{N: 11})
+	out.ExportPackage(pkg.Path(), &tPkgFact{Tag: "whole-package"})
+
+	raw, err := out.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := DecodeFacts(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() != 3 {
+		t.Fatalf("decoded %d facts; want 3", in.Len())
+	}
+
+	var f tFact
+	if !in.ImportObject(free, &f) || f.N != 7 {
+		t.Errorf("Helper fact = %+v, want N=7", f)
+	}
+	if !in.ImportObject(method, &f) || f.N != 11 {
+		t.Errorf("T.Do fact = %+v, want N=11", f)
+	}
+	var pf tPkgFact
+	if !in.ImportPackage(pkg.Path(), &pf) || pf.Tag != "whole-package" {
+		t.Errorf("package fact = %+v, want Tag=whole-package", pf)
+	}
+	if in.ImportPackage("example.com/other", &pf) {
+		t.Error("fact imported for a package that exported none")
+	}
+}
+
+// TestFactsEncodeDeterministic asserts insertion order never reaches the
+// wire: the encoded bytes are what vet caches and the parallel driver
+// hands between workers, so they must be canonical.
+func TestFactsEncodeDeterministic(t *testing.T) {
+	RegisterFactTypes(testAnalyzers())
+	pkg, free, method := newTestPkg(t)
+
+	a := NewFacts()
+	a.ExportObject(free, &tFact{N: 1})
+	a.ExportObject(method, &tFact{N: 2})
+	a.ExportPackage(pkg.Path(), &tPkgFact{Tag: "x"})
+
+	b := NewFacts()
+	b.ExportPackage(pkg.Path(), &tPkgFact{Tag: "x"})
+	b.ExportObject(method, &tFact{N: 2})
+	b.ExportObject(free, &tFact{N: 1})
+
+	ea, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Error("same facts, different insertion order: encodings differ")
+	}
+}
+
+// TestDecodeEmpty covers the zero-byte vetx files written for std units.
+func TestDecodeEmpty(t *testing.T) {
+	f, err := DecodeFacts(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 0 {
+		t.Errorf("empty input decoded %d facts", f.Len())
+	}
+}
+
+// TestMergeTransitive mirrors the re-export step: a dependent sees its
+// transitive closure through direct imports alone.
+func TestMergeTransitive(t *testing.T) {
+	RegisterFactTypes(testAnalyzers())
+	_, free, _ := newTestPkg(t)
+
+	base := NewFacts()
+	base.ExportObject(free, &tFact{N: 3})
+	mid := NewFacts()
+	mid.Merge(base)
+	mid.ExportPackage("example.com/mid", &tPkgFact{Tag: "mid"})
+
+	raw, err := mid.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := DecodeFacts(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f tFact
+	if !top.ImportObject(free, &f) || f.N != 3 {
+		t.Error("fact from the transitive dep lost in the merge/re-export hop")
+	}
+}

@@ -1,0 +1,347 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"qsmpi/internal/lint/analysis"
+)
+
+// CollOrder flags collective operations that are only reachable on a
+// subset of ranks. MPI's collective contract (DESIGN.md §4) is that every
+// member of a communicator enters the same collectives in the same order;
+// a Barrier inside `if rank == 0 { ... }` deadlocks every other rank (or,
+// with NBC schedules, silently mismatches correlators and corrupts the
+// reduction). The bug class is insidious because the guard and the
+// collective are often separated by helper calls — so collorder is
+// interprocedural: analyzing each package exports a CallsCollective fact
+// for every package-level function or method that (transitively) enters a
+// collective, and call sites consult the facts of their imports. The
+// root-rank idiom — `if rank == root { fill payload }` followed by the
+// collective *outside* the guard — is clean by construction: only
+// collectives lexically inside a rank-dependent region are flagged.
+//
+// Rank-dependence is a local taint: a condition is rank-dependent when it
+// mentions a Rank() call (on mpi.Comm, mpi.World or the qsmpi.World
+// facade) or a variable derived from one. The mpi package itself is
+// exempt — it implements the collectives over point-to-point, so its
+// internals are rank-divergent by design.
+var CollOrder = &analysis.Analyzer{
+	Name: "collorder",
+	Doc: "flag collective operations reachable only under rank-dependent " +
+		"branches, where ranks would enter collectives in divergent order",
+	FactTypes: []analysis.Fact{(*CallsCollective)(nil)},
+	Run:       runCollOrder,
+}
+
+// CallsCollective marks a function that directly or transitively enters
+// an MPI collective. Name records one representative collective for the
+// diagnostic at the call site.
+type CallsCollective struct {
+	Name string
+}
+
+// AFact marks CallsCollective as an analysis fact.
+func (*CallsCollective) AFact() {}
+
+// collectiveMethods are the *mpi.Comm (and aliased qsmpi.Comm) entry
+// points that every rank of the communicator must reach together. Dup,
+// Split and WinCreate are communicator-management calls but collective
+// all the same.
+var collectiveMethods = map[string]bool{
+	"Barrier": true, "Bcast": true, "Reduce": true, "Allreduce": true,
+	"Gather": true, "Allgather": true, "Scatter": true, "Alltoall": true,
+	"Gatherv": true, "Scatterv": true, "Allgatherv": true, "Alltoallv": true,
+	"ReduceScatter": true, "Scan": true,
+	"Ibarrier": true, "Ibcast": true, "Iallreduce": true,
+	"Dup": true, "Split": true, "WinCreate": true,
+}
+
+// hwCollMethods are the NIC-offload entry points on the HWColl interface.
+var hwCollMethods = map[string]bool{
+	"HWBcast": true, "HWBarrier": true, "HWAllreduce": true,
+}
+
+// collRecvTypes are the receiver types whose collectiveMethods calls
+// count. qsmpi.Comm is a type alias of mpi.Comm, so the facade resolves
+// to the same named type.
+func isCollectiveRecv(recv *types.Named) bool {
+	return analysis.IsNamed(recv, mpiPkg, "Comm") ||
+		analysis.IsNamed(recv, mpiPkg, "HWColl")
+}
+
+// isDirectCollective reports whether call enters a collective directly,
+// returning the collective's name.
+func isDirectCollective(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	recv := analysis.ReceiverNamed(pass.TypesInfo, call)
+	if recv == nil {
+		return "", false
+	}
+	if analysis.IsNamed(recv, mpiPkg, "Comm") && collectiveMethods[fn.Name()] {
+		return fn.Name(), true
+	}
+	if analysis.IsNamed(recv, mpiPkg, "HWColl") && hwCollMethods[fn.Name()] {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// isRankCall reports whether call is <comm or world>.Rank().
+func isRankCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Rank" {
+		return false
+	}
+	recv := analysis.ReceiverNamed(pass.TypesInfo, call)
+	return analysis.IsNamed(recv, mpiPkg, "Comm") ||
+		analysis.IsNamed(recv, mpiPkg, "World") ||
+		analysis.IsNamed(recv, module, "World")
+}
+
+func runCollOrder(pass *analysis.Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Path() == mpiPkg {
+		// The collective implementations themselves: rank-divergent
+		// Send/Recv trees are the whole point down here.
+		return nil
+	}
+
+	// Step 1: map every function declaration in the package to its
+	// *types.Func object and detect which enter a collective, running an
+	// intra-package fixpoint so chains of local helpers converge.
+	// Imported callees are resolved through CallsCollective facts.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	// calleeCollective resolves whether a call enters a collective, via
+	// direct match, the local fixpoint set, or an imported fact.
+	local := map[*types.Func]string{}
+	calleeCollective := func(call *ast.CallExpr) (string, bool) {
+		if name, ok := isDirectCollective(pass, call); ok {
+			return name, true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return "", false
+		}
+		if name, ok := local[fn]; ok {
+			return name, true
+		}
+		if fn.Pkg() != nil && pass.Pkg != nil && fn.Pkg() != pass.Pkg {
+			var fact CallsCollective
+			if pass.ImportObjectFact(fn, &fact) {
+				return fact.Name, true
+			}
+		}
+		return "", false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if _, done := local[fn]; done {
+				continue
+			}
+			var found string
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if found != "" {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if name, ok := calleeCollective(call); ok {
+						found = name
+						return false
+					}
+				}
+				return true
+			})
+			if found != "" {
+				local[fn] = found
+				changed = true
+			}
+		}
+	}
+
+	// Step 2: export facts for package-level functions and methods so
+	// dependent packages see through them.
+	for fn, name := range local {
+		if _, exportable := analysis.ObjectKey(fn); exportable {
+			pass.ExportObjectFact(fn, &CallsCollective{Name: name})
+		}
+	}
+
+	// Step 3: report collectives lexically inside rank-dependent regions.
+	for _, fd := range decls {
+		checkCollFunc(pass, fd.Body, calleeCollective)
+	}
+	return nil
+}
+
+// checkCollFunc taints rank-derived variables, then walks the body
+// flagging collective-entering calls inside regions guarded by a tainted
+// condition.
+func checkCollFunc(pass *analysis.Pass, body *ast.BlockStmt,
+	calleeCollective func(*ast.CallExpr) (string, bool)) {
+
+	// Taint pass: variables assigned (transitively) from Rank().
+	tainted := map[types.Object]bool{}
+	exprTainted := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		hot := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if hot {
+				return false
+			}
+			switch m := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if isRankCall(pass, m) {
+					hot = true
+					return false
+				}
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[m]; obj != nil && tainted[obj] {
+					hot = true
+					return false
+				}
+			}
+			return true
+		})
+		return hot
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				if !exprTainted(rhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Region walk: divergent > 0 while inside a block whose guard is
+	// rank-tainted. Conditions themselves execute on every rank, so they
+	// are scanned at the *enclosing* divergence level.
+	var walk func(n ast.Node, divergent bool)
+	reportCalls := func(n ast.Node, divergent bool) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := calleeCollective(call); ok && divergent {
+				site := "collective " + name
+				if direct, isDirect := isDirectCollective(pass, call); !isDirect {
+					if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
+						site = "call to " + fn.Name() + " (enters collective " + name + ")"
+					}
+				} else {
+					site = "collective " + direct
+				}
+				pass.Reportf(call.Pos(),
+					"%s is only reachable under a rank-dependent condition: ranks would enter collectives in divergent order — hoist the collective out of the rank branch (root-rank work belongs inside, the collective outside)",
+					site)
+				return false // one report per outermost divergent call
+			}
+			return true
+		})
+	}
+	walk = func(n ast.Node, divergent bool) {
+		switch s := n.(type) {
+		case nil:
+			return
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				walk(st, divergent)
+			}
+		case *ast.IfStmt:
+			walk(s.Init, divergent)
+			reportCalls(s.Cond, divergent)
+			branchDiv := divergent || exprTainted(s.Cond)
+			walk(s.Body, branchDiv)
+			walk(s.Else, branchDiv)
+		case *ast.ForStmt:
+			walk(s.Init, divergent)
+			reportCalls(s.Cond, divergent)
+			bodyDiv := divergent || exprTainted(s.Cond)
+			walk(s.Post, bodyDiv)
+			walk(s.Body, bodyDiv)
+		case *ast.SwitchStmt:
+			walk(s.Init, divergent)
+			reportCalls(s.Tag, divergent)
+			caseDiv := divergent || exprTainted(s.Tag)
+			for _, cc := range s.Body.List {
+				c := cc.(*ast.CaseClause)
+				div := caseDiv
+				for _, ce := range c.List {
+					reportCalls(ce, divergent)
+					if exprTainted(ce) {
+						div = true
+					}
+				}
+				for _, st := range c.Body {
+					walk(st, div)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			walk(s.Init, divergent)
+			walk(s.Body, divergent)
+		case *ast.CaseClause:
+			for _, st := range s.Body {
+				walk(st, divergent)
+			}
+		case *ast.SelectStmt:
+			walk(s.Body, divergent)
+		case *ast.CommClause:
+			reportCalls(s.Comm, divergent)
+			for _, st := range s.Body {
+				walk(st, divergent)
+			}
+		case *ast.RangeStmt:
+			// Ranging over a rank-derived bound is uniform-count only if
+			// the value is; stay conservative and treat the body at the
+			// enclosing level unless the range expression is tainted.
+			reportCalls(s.X, divergent)
+			walk(s.Body, divergent || exprTainted(s.X))
+		case *ast.LabeledStmt:
+			walk(s.Stmt, divergent)
+		case ast.Stmt:
+			reportCalls(s, divergent)
+		}
+	}
+	walk(body, false)
+}

@@ -24,6 +24,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 
 	"qsmpi/internal/lint/analysis"
@@ -40,13 +41,17 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
 }
 
-// A Package is the slice of `go list` output the driver needs.
+// A Package is the slice of `go list` output the driver needs. Imports
+// drives the dependency-ordered scheduling of CheckAll: a package's
+// analyzers may consult facts exported by everything it imports, so the
+// imports must be analyzed first.
 type Package struct {
 	Dir        string
 	ImportPath string
 	Name       string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 }
@@ -66,7 +71,7 @@ type Loader struct {
 func Load(dir string, patterns ...string) (*Loader, error) {
 	args := []string{
 		"list", "-export", "-deps",
-		"-json=Dir,ImportPath,Name,Export,GoFiles,Standard,DepOnly",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,Imports,Standard,DepOnly",
 	}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
@@ -94,14 +99,28 @@ func Load(dir string, patterns ...string) (*Loader, error) {
 			l.exports[p.ImportPath] = p.Export
 		}
 	}
-	l.imp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+	l.imp = l.newImporter()
+	return l, nil
+}
+
+// newImporter builds a fresh gc export-data importer over the loader's
+// (concurrency-safe) FileSet and export index. The importer itself is NOT
+// safe for concurrent use, so CheckAll gives each worker its own; the
+// serial entry points share l.imp.
+func (l *Loader) newImporter() types.Importer {
+	return importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := l.exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(f)
 	})
-	return l, nil
+}
+
+// Importer exposes the loader's shared (serial-use) importer, for
+// callers — linttest — that compose it with synthetic fixture packages.
+func (l *Loader) Importer() types.Importer {
+	return l.imp
 }
 
 // NewInfo returns a types.Info with every map the analyzers consult.
@@ -146,55 +165,210 @@ func (l *Loader) TypeCheck(path string, files []*ast.File) (*types.Package, *typ
 	return pkg, info, nil
 }
 
-// CheckPackage parses, type-checks and runs every analyzer over one
-// package, returning its findings in source order.
-func (l *Loader) CheckPackage(p *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+// checkJob is one package dispatched to a CheckAll worker, with the
+// already-encoded fact sets of its (transitively analyzed) dependencies.
+type checkJob struct {
+	p        *Package
+	depFacts [][]byte
+}
+
+// checkResult is what a worker hands back: findings (empty for DepOnly
+// packages — their facts matter, their diagnostics are not ours to
+// report) and the package's merged fact set, gob-encoded.
+type checkResult struct {
+	p        *Package
+	findings []Finding
+	facts    []byte
+	err      error
+}
+
+// checkOne analyzes a single package with the given importer, decoding
+// dependency facts from their serialized form — the standalone driver
+// round-trips facts through gob exactly as vet mode does, so both modes
+// exercise the same wire format.
+func (l *Loader) checkOne(job checkJob, imp types.Importer, analyzers []*analysis.Analyzer) checkResult {
+	p := job.p
 	files, err := l.ParseFiles(p.Dir, p.GoFiles)
 	if err != nil {
-		return nil, err
+		return checkResult{p: p, err: err}
 	}
-	pkg, info, err := l.TypeCheck(p.ImportPath, files)
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(p.ImportPath, l.Fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		return checkResult{p: p, err: fmt.Errorf("%s: %v", p.ImportPath, err)}
+	}
+	imports := analysis.NewFacts()
+	for _, raw := range job.depFacts {
+		deps, err := analysis.DecodeFacts(raw)
+		if err != nil {
+			return checkResult{p: p, err: fmt.Errorf("%s: %v", p.ImportPath, err)}
+		}
+		imports.Merge(deps)
+	}
+	u := analysis.NewUnit(l.Fset, files, pkg, info, imports)
+	diags, err := analysis.RunSuite(analyzers, u)
+	if err != nil {
+		return checkResult{p: p, err: fmt.Errorf("%s: %v", p.ImportPath, err)}
 	}
 	var findings []Finding
-	for _, a := range analyzers {
-		diags, err := analysis.Run(a, l.Fset, files, pkg, info)
-		if err != nil {
-			return nil, err
-		}
+	if !p.DepOnly {
 		for _, d := range diags {
 			findings = append(findings, Finding{
-				Analyzer: a.Name,
+				Analyzer: d.Analyzer,
 				Pos:      l.Fset.Position(d.Pos),
 				Message:  d.Message,
 			})
 		}
+	}
+	// Re-export the dependency closure's facts alongside our own so a
+	// dependent sees the transitive set from its direct imports alone.
+	imports.Merge(u.Exports)
+	enc, err := imports.Encode()
+	if err != nil {
+		return checkResult{p: p, err: fmt.Errorf("%s: %v", p.ImportPath, err)}
+	}
+	return checkResult{p: p, findings: findings, facts: enc}
+}
+
+// CheckAll runs the suite over every loaded non-standard package, sharded
+// across par workers. Packages are scheduled in dependency order so that
+// fact producers finish before their consumers start; findings are sorted
+// globally at the end, so the output is byte-identical at any
+// parallelism. Each worker owns its importer (gc export-data importers
+// are not concurrency-safe); the FileSet is shared and safe.
+func (l *Loader) CheckAll(analyzers []*analysis.Analyzer, par int) ([]Finding, error) {
+	analysis.RegisterFactTypes(analyzers)
+	if par < 1 {
+		par = 1
+	}
+
+	// Targets: every module (non-std) package with sources. DepOnly
+	// packages are analyzed for their facts but report nothing.
+	byPath := map[string]*Package{}
+	var targets []*Package
+	for _, p := range l.Pkgs {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		targets = append(targets, p)
+		byPath[p.ImportPath] = p
+	}
+	// Dependency graph restricted to targets.
+	indegree := map[string]int{}
+	dependents := map[string][]string{}
+	moduleDeps := map[string][]string{}
+	for _, p := range targets {
+		indegree[p.ImportPath] = 0
+	}
+	for _, p := range targets {
+		for _, imp := range p.Imports {
+			if _, ok := byPath[imp]; !ok {
+				continue
+			}
+			moduleDeps[p.ImportPath] = append(moduleDeps[p.ImportPath], imp)
+			dependents[imp] = append(dependents[imp], p.ImportPath)
+			indegree[p.ImportPath]++
+		}
+	}
+
+	jobs := make(chan checkJob, len(targets))
+	results := make(chan checkResult, len(targets))
+	for w := 0; w < par; w++ {
+		imp := l.newImporter()
+		go func() {
+			for job := range jobs {
+				results <- l.checkOne(job, imp, analyzers)
+			}
+		}()
+	}
+	defer close(jobs)
+
+	factsOf := map[string][]byte{}
+	dispatch := func(p *Package) {
+		var deps [][]byte
+		for _, d := range moduleDeps[p.ImportPath] {
+			deps = append(deps, factsOf[d])
+		}
+		jobs <- checkJob{p: p, depFacts: deps}
+	}
+	// Seed with every leaf, in path order (scheduling order does not
+	// affect output — findings are globally sorted — but determinism in
+	// dispatch keeps wall-clock stable too).
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	for _, p := range targets {
+		if indegree[p.ImportPath] == 0 {
+			dispatch(p)
+		}
+	}
+
+	var findings []Finding
+	var firstErr error
+	failed := map[string]bool{}
+	done := 0
+	// finish marks a package complete (analyzed or skipped because a
+	// dependency failed) and releases or cancels its dependents — failures
+	// must propagate, or the receive loop below would wait forever for
+	// packages that can never be dispatched.
+	var finish func(path string, ok bool)
+	finish = func(path string, ok bool) {
+		done++
+		if !ok {
+			failed[path] = true
+		}
+		for _, dep := range dependents[path] {
+			indegree[dep]--
+			if indegree[dep] != 0 {
+				continue
+			}
+			blocked := false
+			for _, d := range moduleDeps[dep] {
+				if failed[d] {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				finish(dep, false)
+			} else {
+				dispatch(byPath[dep])
+			}
+		}
+	}
+	for done < len(targets) {
+		res := <-results
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			finish(res.p.ImportPath, false)
+			continue
+		}
+		findings = append(findings, res.findings...)
+		factsOf[res.p.ImportPath] = res.facts
+		finish(res.p.ImportPath, true)
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	sortFindings(findings)
 	return findings, nil
 }
 
 // Check is the standalone entry point: load the patterns from dir and run
-// the suite over every non-dependency, non-standard package.
+// the suite over every package, sharded across GOMAXPROCS workers.
 func Check(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Finding, error) {
+	return CheckParallel(dir, analyzers, runtime.GOMAXPROCS(0), patterns...)
+}
+
+// CheckParallel is Check with an explicit worker count (the determinism
+// test runs the suite at par=1 and par=4 and asserts identical bytes).
+func CheckParallel(dir string, analyzers []*analysis.Analyzer, par int, patterns ...string) ([]Finding, error) {
 	l, err := Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
-	for _, p := range l.Pkgs {
-		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
-			continue
-		}
-		fs, err := l.CheckPackage(p, analyzers)
-		if err != nil {
-			return nil, err
-		}
-		findings = append(findings, fs...)
-	}
-	sortFindings(findings)
-	return findings, nil
+	return l.CheckAll(analyzers, par)
 }
 
 func sortFindings(fs []Finding) {

@@ -79,7 +79,12 @@ func VetMain(analyzers []*analysis.Analyzer) {
 	os.Exit(0)
 }
 
-// runVetUnit analyzes one compilation unit from its vet config.
+// runVetUnit analyzes one compilation unit from its vet config. Facts
+// ride the vetx files: each unit decodes the fact sets of its direct
+// imports (PackageVetx), and writes its own merged set (imports plus
+// fresh exports) to VetxOutput, so dependents see the transitive closure
+// from their direct imports alone — the same handoff CheckAll performs
+// in-process, through the identical gob wire format.
 func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -89,22 +94,47 @@ func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) {
 	if err := json.Unmarshal(data, cfg); err != nil {
 		fatalf("cannot decode JSON config file %s: %v", cfgPath, err)
 	}
+	analysis.RegisterFactTypes(analyzers)
 
-	// The suite carries no cross-package facts, but vet requires the vetx
-	// output to exist for caching and for dependents' PackageVetx.
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	// writeVetx persists this unit's outgoing facts (possibly none): vet
+	// requires the file to exist for caching and dependents' PackageVetx.
+	writeVetx := func(facts *analysis.Facts) {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		var payload []byte
+		if facts.Len() > 0 {
+			var err error
+			if payload, err = facts.Encode(); err != nil {
 				fatalf("%v", err)
 			}
 		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
-	// Dependency units (including all of std) are visited in VetxOnly mode
-	// purely to propagate facts; with none to compute, finish immediately.
-	if cfg.VetxOnly {
-		writeVetx()
+	// Standard-library dependency units can carry no facts of ours: write
+	// the empty vetx without parsing a line. Everything else — module
+	// packages reached as dependencies of a narrower vet pattern, the
+	// facade, test helper modules — must be analyzed even in VetxOnly
+	// mode, or CallsCollective would go blind through those imports.
+	if cfg.VetxOnly && (cfg.Standard[cfg.ImportPath] || stdShaped(cfg.ImportPath)) {
+		writeVetx(analysis.NewFacts())
 		os.Exit(0)
+	}
+
+	imports := analysis.NewFacts()
+	for path, vetxFile := range cfg.PackageVetx {
+		raw, err := os.ReadFile(vetxFile)
+		if err != nil {
+			fatalf("reading facts of %s: %v", path, err)
+		}
+		deps, err := analysis.DecodeFacts(raw)
+		if err != nil {
+			fatalf("decoding facts of %s: %v", path, err)
+		}
+		imports.Merge(deps)
 	}
 
 	fset := token.NewFileSet()
@@ -112,7 +142,7 @@ func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) {
 	files, err := l.ParseFiles(cfg.Dir, cfg.GoFiles)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx()
+			writeVetx(imports)
 			os.Exit(0)
 		}
 		fatalf("%v", err)
@@ -136,27 +166,41 @@ func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) {
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx()
+			writeVetx(imports)
 			os.Exit(0)
 		}
 		fatalf("%v", err)
 	}
 
+	u := analysis.NewUnit(fset, files, pkg, info, imports)
+	diags, err := analysis.RunSuite(analyzers, u)
 	exit := 0
-	for _, a := range analyzers {
-		diags, err := analysis.Run(a, fset, files, pkg, info)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
-			exit = 1
-			continue
-		}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		exit = 1
+	}
+	if !cfg.VetxOnly {
 		for _, d := range diags {
 			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 			exit = 1
 		}
 	}
-	writeVetx()
+	imports.Merge(u.Exports)
+	writeVetx(imports)
 	os.Exit(exit)
+}
+
+// stdShaped reports whether an import path looks like the standard
+// library: no dot in the first path element (module paths carry a domain)
+// and not this module itself. Belt-and-braces next to cfg.Standard, so a
+// vet config that omits the Standard map cannot make us typecheck all of
+// std in VetxOnly mode.
+func stdShaped(path string) bool {
+	if path == "qsmpi" || strings.HasPrefix(path, "qsmpi/") {
+		return false
+	}
+	head, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(head, ".")
 }
 
 func fatalf(format string, args ...any) {

@@ -1,11 +1,16 @@
-// Package lint is the qsmpilint analyzer suite: five static checkers
+// Package lint is the qsmpilint analyzer suite: seven static checkers
 // that turn the simulator's prose invariants — virtual-time determinism,
 // byte-identical output at any -j, the per-kernel ownership rule of
-// DESIGN.md §7.1, lock-free pool discipline and the profiler's
-// correlator contract — into rules that fail `make check`. The analyzers
+// DESIGN.md §7.1, lock-free pool discipline, the profiler's correlator
+// contract, and the MPI protocol contracts (request lifecycle, uniform
+// collective order) — into rules that fail `make check`. The analyzers
 // run over the real tree via `go vet -vettool=$(qsmpilint)` (make lint)
 // or `qsmpilint ./...`, and over seeded-violation fixtures under
-// testdata/src via the analysistest-style runner in linttest.
+// testdata/src via the analysistest-style runner in linttest. reqlife
+// and collorder are protocol-aware; collorder is interprocedural,
+// seeing through helpers via CallsCollective facts that both driver
+// modes serialize between packages. Unused //lint:allow directives are
+// themselves diagnostics (the suppression audit in analysis.RunSuite).
 package lint
 
 import (
@@ -22,6 +27,8 @@ func Analyzers() []*analysis.Analyzer {
 		KernelOwn,
 		PoolUse,
 		TraceCorr,
+		ReqLife,
+		CollOrder,
 	}
 }
 

@@ -1,6 +1,11 @@
 package lint_test
 
 import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"qsmpi/internal/lint"
@@ -66,6 +71,124 @@ func TestTraceCorrCollective(t *testing.T) {
 	// HWCollUp/HWCollDone literals need the correlator like any protocol
 	// event.
 	linttest.Run(t, lint.TraceCorr, "qsmpi/internal/ptlelan4")
+}
+
+func TestReqLife(t *testing.T) {
+	linttest.Run(t, lint.ReqLife, "qsmpi/reqlifefix")
+}
+
+func TestCollOrder(t *testing.T) {
+	linttest.Run(t, lint.CollOrder, "qsmpi/collorderfix")
+}
+
+func TestCollOrderFacts(t *testing.T) {
+	// The collective hides one package away: only the CallsCollective
+	// fact exported by the dep fixture — and gob-round-tripped by the
+	// runner, as both real drivers do — can reveal it.
+	linttest.RunDeps(t, lint.CollOrder, "qsmpi/collorderfacts", "qsmpi/collhelperdep")
+}
+
+func TestSuppressionAudit(t *testing.T) {
+	// The full suite plus the audit: an earned //lint:allow stays silent,
+	// a stale one and an unknown-analyzer one are findings.
+	linttest.RunSuite(t, lint.Analyzers(), "qsmpi/suppressfix")
+}
+
+// TestCheckParallelDeterminism asserts the standalone driver's sharded
+// mode is byte-identical to serial: scheduling order must never leak into
+// the report.
+func TestCheckParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite over the tree twice")
+	}
+	root := linttest.ModuleRoot(t)
+	render := func(par int) string {
+		findings, err := driver.CheckParallel(root, lint.Analyzers(), par, "./...")
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		var sb strings.Builder
+		for _, f := range findings {
+			fmt.Fprintln(&sb, f)
+		}
+		return sb.String()
+	}
+	serial, parallel := render(1), render(4)
+	if serial != parallel {
+		t.Errorf("par=1 and par=4 reports differ:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestVetModeFacts drives the real `go vet -vettool` protocol end to end
+// from an external module: the helper package's CallsCollective fact must
+// cross the compilation-unit boundary through the vetx files for the
+// rank-guarded call in the app package to be flagged.
+func TestVetModeFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds qsmpilint and runs go vet over a scratch module")
+	}
+	root := linttest.ModuleRoot(t)
+	tmp := t.TempDir()
+
+	tool := filepath.Join(tmp, "qsmpilint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/qsmpilint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building qsmpilint: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "vetapp")
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", fmt.Sprintf("module example.com/vetapp\n\ngo 1.22\n\nrequire qsmpi v0.0.0\n\nreplace qsmpi => %s\n", root))
+	write("helper/helper.go", `package helper
+
+import "qsmpi"
+
+// Sync hides a collective behind a package boundary.
+func Sync(c *qsmpi.Comm) {
+	c.Barrier()
+}
+`)
+	write("app/app.go", `package app
+
+import (
+	"example.com/vetapp/helper"
+	"qsmpi"
+)
+
+// Divergent guards the helper call on rank: only the imported fact can
+// reveal the Barrier behind it.
+func Divergent(c *qsmpi.Comm) {
+	if c.Rank() == 0 {
+		helper.Sync(c)
+	}
+}
+`)
+
+	tidy := exec.Command("go", "mod", "tidy")
+	tidy.Dir = mod
+	if out, err := tidy.CombinedOutput(); err != nil {
+		t.Fatalf("go mod tidy: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed; want a collorder finding\n%s", out)
+	}
+	if !strings.Contains(string(out), "enters collective Barrier") {
+		t.Fatalf("go vet failed without the expected collorder finding:\n%s", out)
+	}
 }
 
 // TestRepoIsClean is the meta-test the suite exists for: the real tree

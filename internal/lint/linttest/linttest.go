@@ -14,6 +14,8 @@ package linttest
 
 import (
 	"fmt"
+	"go/ast"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -88,13 +90,51 @@ var wantRx = regexp.MustCompile("// want `([^`]*)`")
 // the intended package identity) and checks diagnostics against wants.
 func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
+	runFixture(t, []*analysis.Analyzer{a}, pkgPath, nil, false)
+}
+
+// RunDeps is Run with fixture dependencies: each dep (an import path
+// under testdata/src) is type-checked and analyzed first, its exported
+// facts gob-round-tripped — the same wire format both real drivers use —
+// into the import set of what follows. The final package's diagnostics
+// are checked against its wants; this is how the helper-indirection
+// fixtures prove facts actually see through package boundaries.
+func RunDeps(t *testing.T, a *analysis.Analyzer, pkgPath string, deps ...string) {
+	t.Helper()
+	runFixture(t, []*analysis.Analyzer{a}, pkgPath, deps, false)
+}
+
+// RunSuite runs a full analyzer suite plus the suppression audit over the
+// fixture — what the real drivers do — so fixtures can assert audit
+// diagnostics and cross-analyzer suppression behavior.
+func RunSuite(t *testing.T, analyzers []*analysis.Analyzer, pkgPath string, deps ...string) {
+	t.Helper()
+	runFixture(t, analyzers, pkgPath, deps, true)
+}
+
+// fixtureImporter resolves fixture dep packages from memory and
+// everything else through the loader's export-data importer.
+type fixtureImporter struct {
+	base types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.pkgs[path]; ok {
+		return p, nil
+	}
+	return fi.base.Import(path)
+}
+
+// loadFixture parses one fixture package's files.
+func loadFixture(t *testing.T, pkgPath string) (dir string, names []string, files []*ast.File) {
+	t.Helper()
 	l := Loader(t)
-	dir := filepath.Join(ModuleRoot(t), "internal", "lint", "testdata", "src", filepath.FromSlash(pkgPath))
+	dir = filepath.Join(ModuleRoot(t), "internal", "lint", "testdata", "src", filepath.FromSlash(pkgPath))
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var names []string
 	for _, e := range ents {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
 			names = append(names, e.Name())
@@ -104,18 +144,68 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
 	if len(names) == 0 {
 		t.Fatalf("no fixture files in %s", dir)
 	}
-
-	files, err := l.ParseFiles(dir, names)
+	files, err = l.ParseFiles(dir, names)
 	if err != nil {
 		t.Fatalf("parsing fixtures: %v", err)
 	}
-	pkg, info, err := l.TypeCheck(pkgPath, files)
+	return dir, names, files
+}
+
+func runFixture(t *testing.T, analyzers []*analysis.Analyzer, pkgPath string, deps []string, audit bool) {
+	t.Helper()
+	l := Loader(t)
+	analysis.RegisterFactTypes(analyzers)
+	fi := &fixtureImporter{base: l.Importer(), pkgs: map[string]*types.Package{}}
+	imports := analysis.NewFacts()
+
+	for _, dep := range deps {
+		depDir, _, depFiles := loadFixture(t, dep)
+		info := driver.NewInfo()
+		conf := types.Config{Importer: fi}
+		pkg, err := conf.Check(dep, l.Fset, depFiles, info)
+		if err != nil {
+			t.Fatalf("type-checking dep fixture %s (%s): %v", dep, depDir, err)
+		}
+		u := analysis.NewUnit(l.Fset, depFiles, pkg, info, imports)
+		for _, a := range analyzers {
+			if _, err := u.Run(a); err != nil {
+				t.Fatalf("%s over dep %s: %v", a.Name, dep, err)
+			}
+		}
+		fi.pkgs[dep] = pkg
+		// Round-trip the accumulated facts through the gob wire format, so
+		// fixture tests fail if serialization loses what the drivers carry.
+		imports.Merge(u.Exports)
+		raw, err := imports.Encode()
+		if err != nil {
+			t.Fatalf("encoding facts of %s: %v", dep, err)
+		}
+		if imports, err = analysis.DecodeFacts(raw); err != nil {
+			t.Fatalf("decoding facts of %s: %v", dep, err)
+		}
+	}
+
+	dir, names, files := loadFixture(t, pkgPath)
+	info := driver.NewInfo()
+	conf := types.Config{Importer: fi}
+	pkg, err := conf.Check(pkgPath, l.Fset, files, info)
 	if err != nil {
 		t.Fatalf("type-checking fixtures: %v", err)
 	}
-	diags, err := analysis.Run(a, l.Fset, files, pkg, info)
-	if err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
+	u := analysis.NewUnit(l.Fset, files, pkg, info, imports)
+	var diags []analysis.Diagnostic
+	if audit {
+		if diags, err = analysis.RunSuite(analyzers, u); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		for _, a := range analyzers {
+			ds, err := u.Run(a)
+			if err != nil {
+				t.Fatalf("%s: %v", a.Name, err)
+			}
+			diags = append(diags, ds...)
+		}
 	}
 
 	wants := collectWants(t, dir, names)

@@ -1,0 +1,678 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"qsmpi/internal/lint/analysis"
+)
+
+// ReqLife audits the MPI request lifecycle. The protocol contract behind
+// every nonblocking operation (DESIGN.md §3, §8.3) has three clauses:
+// a request returned by Isend/Irecv/Issend (or started on a persistent
+// handle) must reach a completion call — Wait, Test, Waitall, Waitany,
+// Testany — on every path, or the send buffer is pinned and the match
+// queues retain the posting forever (the leak only surfaces when the
+// virtual-time watchdog fires, long after the culprit returned); a
+// request must not be waited twice without an intervening start; and the
+// buffer handed to the post must not be written — or handed to a second
+// post — until the operation completes, because the PML may still be
+// draining it (eager copy-out) or landing bytes in it (rendezvous).
+//
+// The analysis is function-local and conservative in the same way
+// pooluse is: a request that escapes the function (returned, stored into
+// a field, slice or map, passed to a helper) transfers its obligation to
+// code we cannot see and goes silent — which is exactly what makes
+// `reqs = append(reqs, c.Isend(...))` followed by mpi.Waitall(reqs...)
+// clean. `defer r.Wait()` counts as completion (it runs on every path),
+// and aliases (`r2 := r`) share their original's fate.
+var ReqLife = &analysis.Analyzer{
+	Name: "reqlife",
+	Doc: "require every mpi request to reach Wait/Test/Waitall on all paths, " +
+		"forbid double waits without an intervening start, and forbid writing " +
+		"or re-posting a buffer while its request is in flight",
+	Run: runReqLife,
+}
+
+// mpiPkg is the import path of the MPI layer whose request discipline
+// reqlife enforces.
+const mpiPkg = module + "/internal/mpi"
+
+// postMethods are the *mpi.Comm methods that post a nonblocking
+// operation and return a *mpi.Request; the value is the index of the
+// buffer argument.
+var postMethods = map[string]int{
+	"Isend":  2,
+	"Irecv":  2,
+	"Issend": 2,
+}
+
+// persistentInitMethods create persistent handles (PersistentSend /
+// PersistentRecv); the operation is posted by Start, not by the init.
+var persistentInitMethods = map[string]int{
+	"SendInit": 2,
+	"RecvInit": 2,
+}
+
+// waitFuncs are the package-level completion functions; both the mpi
+// package and the qsmpi facade re-export count.
+var waitFuncs = map[string]map[string]bool{
+	mpiPkg: {"Waitall": true, "Waitany": true, "Testany": true},
+	module: {"Waitall": true, "Waitany": true},
+}
+
+func runReqLife(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkReqFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// isPostCall reports whether call posts a nonblocking operation on an
+// *mpi.Comm, returning the buffer argument's root object (nil when the
+// buffer is not a trackable variable, e.g. make([]byte, n) inline).
+func isPostCall(pass *analysis.Pass, call *ast.CallExpr) (buf types.Object, ok bool) {
+	return commMethodBuf(pass, call, postMethods)
+}
+
+// isPersistentInit reports whether call creates a persistent handle.
+func isPersistentInit(pass *analysis.Pass, call *ast.CallExpr) (buf types.Object, ok bool) {
+	return commMethodBuf(pass, call, persistentInitMethods)
+}
+
+func commMethodBuf(pass *analysis.Pass, call *ast.CallExpr, methods map[string]int) (types.Object, bool) {
+	recv := analysis.ReceiverNamed(pass.TypesInfo, call)
+	if !analysis.IsNamed(recv, mpiPkg, "Comm") {
+		return nil, false
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return nil, false
+	}
+	argIdx, hot := methods[fn.Name()]
+	if !hot || len(call.Args) <= argIdx {
+		return nil, false
+	}
+	if root := analysis.RootIdent(call.Args[argIdx]); root != nil {
+		if obj, isVar := pass.TypesInfo.ObjectOf(root).(*types.Var); isVar {
+			return obj, true
+		}
+	}
+	return nil, true
+}
+
+// isWaitallCall reports whether call is one of the package-level
+// completion functions (mpi.Waitall and friends, or the qsmpi facade).
+func isWaitallCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || analysis.FuncSig(fn).Recv() != nil {
+		return false
+	}
+	names := waitFuncs[fn.Pkg().Path()]
+	return names != nil && names[fn.Name()]
+}
+
+// reqMethodCall matches r.<name>() where r's root resolves to an object:
+// the completion (Wait/Test) and persistent (Start) shapes.
+func reqMethodCall(pass *analysis.Pass, call *ast.CallExpr) (obj types.Object, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	recv := analysis.ReceiverNamed(pass.TypesInfo, call)
+	switch {
+	case analysis.IsNamed(recv, mpiPkg, "Request"),
+		analysis.IsNamed(recv, mpiPkg, "PersistentSend"),
+		analysis.IsNamed(recv, mpiPkg, "PersistentRecv"):
+	default:
+		return nil, ""
+	}
+	root := analysis.RootIdent(sel.X)
+	if root == nil {
+		return nil, ""
+	}
+	return pass.TypesInfo.ObjectOf(root), sel.Sel.Name
+}
+
+// reqTracked is one request-producing site under obligation.
+type reqTracked struct {
+	pos        token.Pos
+	post       string // Isend/Irecv/Issend, or Start for persistents
+	persistent bool
+	buf        types.Object // nil when the buffer is not a simple variable
+}
+
+// checkReqFunc runs all three reqlife checks over one function body.
+func checkReqFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	tracked := map[types.Object]*reqTracked{}     // request vars under obligation
+	persistent := map[types.Object]types.Object{} // persistent handle -> buffer
+
+	// Pass 1: collect obligations. A post whose result is consumed by a
+	// larger expression (chained .Wait(), append, return, field store,
+	// call argument) escapes at birth and is never tracked; a post
+	// discarded outright is an immediate leak.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if buf, isPost := isPostCall(pass, call); isPost {
+			switch p := parents[call].(type) {
+			case *ast.ExprStmt:
+				pass.Reportf(call.Pos(),
+					"request returned by %s is discarded: it can never be completed — leaked request (complete it with Wait/Test, or keep the handle)",
+					postName(pass, call))
+			case *ast.AssignStmt:
+				if obj := singleAssignTarget(pass, p, call); obj != nil {
+					tracked[obj] = &reqTracked{pos: call.Pos(), post: postName(pass, call), buf: buf}
+				} else if isBlankTarget(p, call) {
+					pass.Reportf(call.Pos(),
+						"request returned by %s is assigned to _: it can never be completed — leaked request",
+						postName(pass, call))
+				}
+			}
+		}
+		if _, isInit := isPersistentInit(pass, call); isInit {
+			if p, ok := parents[call].(*ast.AssignStmt); ok {
+				if obj := singleAssignTarget(pass, p, call); obj != nil {
+					if buf, _ := isPersistentInit(pass, call); buf != nil {
+						persistent[obj] = buf
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Persistent handles come under obligation when Start is called.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, name := reqMethodCall(pass, call); name == "Start" && obj != nil {
+			if _, isHandle := persistent[obj]; isHandle {
+				if _, already := tracked[obj]; !already {
+					tracked[obj] = &reqTracked{pos: call.Pos(), post: "Start", persistent: true, buf: persistent[obj]}
+				}
+			}
+		}
+		return true
+	})
+
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 2: classify every use of a tracked variable, flow-insensitively:
+	// completed somewhere (any path suffices to discharge the leak check —
+	// conservative), or escaped (obligation transferred, go silent).
+	completed := map[types.Object]bool{}
+	escaped := map[types.Object]bool{}
+	alias := map[types.Object]types.Object{}
+	rootOf := func(o types.Object) types.Object {
+		for i := 0; i < 8; i++ {
+			r, ok := alias[o]
+			if !ok {
+				return o
+			}
+			o = r
+		}
+		return o
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		r := rootOf(obj)
+		if _, isTracked := tracked[r]; !isTracked {
+			// Not yet aliased to a tracked request: an alias assignment
+			// `r2 := r` is classified below when r (the RHS) is visited.
+			if _, isTracked := tracked[obj]; !isTracked {
+				return true
+			}
+			r = obj
+		}
+		switch classifyReqUse(pass, parents, id) {
+		case useCompleted:
+			completed[r] = true
+		case useEscaped:
+			escaped[r] = true
+		case useAliased:
+			if lhs := aliasTarget(pass, parents, id); lhs != nil && lhs != r {
+				alias[lhs] = r
+			}
+		}
+		return true
+	})
+	for obj, t := range tracked {
+		if !completed[obj] && !escaped[obj] {
+			what := "request posted by " + t.post
+			if t.persistent {
+				what = "persistent request started here"
+			}
+			pass.Reportf(t.pos,
+				"%s is never completed: no Wait/Test/Waitall/Waitany reaches %s — leaked request pins its buffer and match-queue slot until the watchdog fires",
+				what, obj.Name())
+		}
+	}
+
+	// Pass 3: ordered, block-structured walk for double-wait and
+	// in-flight buffer discipline. Branch bodies get copies of the state,
+	// pooluse-style: a wait on one arm does not complete the other.
+	checkReqBlock(pass, body, tracked, persistent, rootOf,
+		map[types.Object]*reqFlow{}, map[types.Object]*bufFlow{})
+}
+
+// reqFlow is the phase-3 state of one request variable.
+type reqFlow struct {
+	postLine   int
+	waitLine   int // 0 until a Wait (Test does not arm the double-wait check)
+	persistent bool
+}
+
+// bufFlow marks a buffer with an in-flight operation over it.
+type bufFlow struct {
+	req      types.Object
+	postLine int
+	post     string
+}
+
+func checkReqBlock(pass *analysis.Pass, blk *ast.BlockStmt,
+	tracked map[types.Object]*reqTracked, persistent map[types.Object]types.Object,
+	rootOf func(types.Object) types.Object,
+	reqs map[types.Object]*reqFlow, bufs map[types.Object]*bufFlow) {
+
+	line := func(p token.Pos) int { return pass.Fset.Position(p).Line }
+
+	complete := func(obj types.Object, isWait bool, at token.Pos) {
+		r := rootOf(obj)
+		if st, ok := reqs[r]; ok {
+			if isWait && st.waitLine != 0 {
+				pass.Reportf(at,
+					"%s waited twice (previous wait at line %d) without an intervening start: the second wait can only observe a stale completion",
+					obj.Name(), st.waitLine)
+			}
+			if isWait {
+				st.waitLine = line(at)
+			}
+		}
+		for b, bf := range bufs {
+			if bf.req == r {
+				delete(bufs, b)
+			}
+		}
+	}
+
+	// scanCompletions applies every completion call found anywhere in the
+	// statement's expressions (conditions included) before flow moves on.
+	scanCompletions := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				return false // deferred execution: not part of this flow
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj, name := reqMethodCall(pass, call); obj != nil {
+				switch name {
+				case "Wait":
+					complete(obj, true, call.Pos())
+				case "Test":
+					complete(obj, false, call.Pos())
+				case "Start":
+					r := rootOf(obj)
+					if st, ok := reqs[r]; ok && st.waitLine != 0 {
+						// restart after wait: new instance in flight
+						st.waitLine = 0
+						st.postLine = line(call.Pos())
+						if b := persistent[r]; b != nil {
+							bufs[b] = &bufFlow{req: r, postLine: st.postLine, post: "Start"}
+						}
+					}
+				}
+			}
+			if isWaitallCall(pass, call) {
+				for _, a := range call.Args {
+					if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+						if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+							complete(obj, true, call.Pos())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// scanBufReads flags an in-flight buffer handed to a second post.
+	notePost := func(call *ast.CallExpr, reqObj types.Object) {
+		buf, isPost := isPostCall(pass, call)
+		if !isPost {
+			return
+		}
+		if buf != nil {
+			if bf, inflight := bufs[buf]; inflight && rootOf(bf.req) != rootOf(reqObj) {
+				pass.Reportf(call.Pos(),
+					"buffer %s re-posted while the %s from line %d is still in flight: two operations own the same bytes",
+					buf.Name(), bf.post, bf.postLine)
+			}
+			if reqObj != nil {
+				bufs[buf] = &bufFlow{req: rootOf(reqObj), postLine: line(call.Pos()), post: postName(pass, call)}
+			}
+		}
+		if reqObj != nil {
+			reqs[rootOf(reqObj)] = &reqFlow{postLine: line(call.Pos())}
+		}
+	}
+
+	for _, stmt := range blk.List {
+		switch st := stmt.(type) {
+		case *ast.DeferStmt:
+			// defer r.Wait() runs on every exit path, after every use in
+			// the body: completion for the leak check (pass 2 sees it);
+			// here it neither writes the buffer nor orders ahead of
+			// anything, so skip.
+			continue
+		case *ast.AssignStmt:
+			scanCompletions(st)
+			// New posts bound to simple variables.
+			for i, rhs := range st.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				var target types.Object
+				if len(st.Lhs) == len(st.Rhs) {
+					if id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+						target = pass.TypesInfo.ObjectOf(id)
+					}
+				}
+				notePost(call, target)
+			}
+			// Writes through an in-flight buffer: b[i] = x, b[i:j] stores.
+			for _, lhs := range st.Lhs {
+				if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+					// Plain rebinding of the variable: the in-flight bytes
+					// are untouched, but we lose track — go conservative.
+					if root := analysis.RootIdent(lhs); root != nil {
+						if obj := pass.TypesInfo.ObjectOf(root); obj != nil {
+							delete(bufs, obj)
+						}
+					}
+					continue
+				}
+				root := analysis.RootIdent(lhs)
+				if root == nil {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(root)
+				if bf, inflight := bufs[obj]; inflight {
+					pass.Reportf(lhs.Pos(),
+						"buffer %s written while the %s from line %d is in flight: the PML may still be draining or filling these bytes — complete the request first",
+						root.Name, bf.post, bf.postLine)
+					delete(bufs, obj) // one report per posting
+				}
+			}
+		case *ast.ExprStmt:
+			scanCompletions(st)
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+				notePost(call, nil)
+				noteBufWriteCall(pass, call, bufs)
+			}
+		default:
+			// Conditions and simple statements are scanned for
+			// completions; nested blocks recurse with copied state.
+			switch s := stmt.(type) {
+			case *ast.IfStmt:
+				scanCompletions(s.Init)
+				scanCompletions(s.Cond)
+			case *ast.ForStmt:
+				scanCompletions(s.Init)
+				scanCompletions(s.Cond)
+			case *ast.SwitchStmt:
+				scanCompletions(s.Init)
+				scanCompletions(s.Tag)
+			case *ast.ReturnStmt:
+				scanCompletions(s)
+			}
+			recursed := false
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
+				if b, ok := n.(*ast.BlockStmt); ok {
+					checkReqBlock(pass, b, tracked, persistent, rootOf,
+						copyReqFlow(reqs), copyBufFlow(bufs))
+					recursed = true
+					return false
+				}
+				return true
+			})
+			if !recursed {
+				scanCompletions(stmt)
+			}
+		}
+	}
+}
+
+// noteBufWriteCall flags builtin copy into an in-flight buffer — the one
+// expression-statement write shape assignments do not cover.
+func noteBufWriteCall(pass *analysis.Pass, call *ast.CallExpr, bufs map[types.Object]*bufFlow) {
+	fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fid.Name != "copy" || len(call.Args) != 2 {
+		return
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[fid].(*types.Builtin); !isBuiltin {
+		return // shadowed: not the builtin
+	}
+	root := analysis.RootIdent(call.Args[0])
+	if root == nil {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(root)
+	if bf, inflight := bufs[obj]; inflight {
+		pass.Reportf(call.Pos(),
+			"buffer %s written (copy) while the %s from line %d is in flight: complete the request first",
+			root.Name, bf.post, bf.postLine)
+		delete(bufs, obj)
+	}
+}
+
+func copyReqFlow(m map[types.Object]*reqFlow) map[types.Object]*reqFlow {
+	out := make(map[types.Object]*reqFlow, len(m))
+	for k, v := range m {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+func copyBufFlow(m map[types.Object]*bufFlow) map[types.Object]*bufFlow {
+	out := make(map[types.Object]*bufFlow, len(m))
+	for k, v := range m {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// postName returns the posting method's name for diagnostics.
+func postName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
+		return fn.Name()
+	}
+	return "post"
+}
+
+// singleAssignTarget returns the object of the plain identifier that rhs
+// is assigned to in st, or nil (blank, field, index or tuple shapes).
+func singleAssignTarget(pass *analysis.Pass, st *ast.AssignStmt, rhs ast.Expr) types.Object {
+	if len(st.Lhs) != len(st.Rhs) {
+		return nil
+	}
+	for i, r := range st.Rhs {
+		if ast.Unparen(r) != rhs && r != rhs {
+			continue
+		}
+		id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		return pass.TypesInfo.ObjectOf(id)
+	}
+	return nil
+}
+
+// isBlankTarget reports whether rhs is assigned to _ in st.
+func isBlankTarget(st *ast.AssignStmt, rhs ast.Expr) bool {
+	if len(st.Lhs) != len(st.Rhs) {
+		return false
+	}
+	for i, r := range st.Rhs {
+		if ast.Unparen(r) != rhs && r != rhs {
+			continue
+		}
+		id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	return false
+}
+
+// reqUse classifies one appearance of a tracked request variable.
+type reqUse int
+
+const (
+	useNeutral reqUse = iota
+	useCompleted
+	useEscaped
+	useAliased
+)
+
+// classifyReqUse walks outward from an identifier to decide what the
+// enclosing expression does with the request: completes it, aliases it,
+// lets it escape, or merely looks at it.
+func classifyReqUse(pass *analysis.Pass, parents map[ast.Node]ast.Node, id *ast.Ident) reqUse {
+	var node ast.Node = id
+	for {
+		parent := parents[node]
+		if parent == nil {
+			return useNeutral
+		}
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			node = parent
+			continue
+		case *ast.SelectorExpr:
+			if p.X != node {
+				return useNeutral // x.r — selecting a field named like it
+			}
+			if gp, ok := parents[p].(*ast.CallExpr); ok && gp.Fun == ast.Node(p) {
+				switch p.Sel.Name {
+				case "Wait", "Test":
+					return useCompleted
+				case "Start":
+					return useNeutral // persistents: handled as a new post
+				}
+				return useEscaped
+			}
+			return useEscaped // method value or field access: unknown
+		case *ast.CallExpr:
+			if p.Fun == node {
+				return useNeutral // calling the variable? not a request then
+			}
+			if isWaitallCall(pass, p) {
+				return useCompleted
+			}
+			return useEscaped // any other callee owns the request now
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == node || lhs == node {
+					return useNeutral // reassignment target
+				}
+			}
+			// RHS: a plain x := r alias joins r's group; anything else
+			// (field, index, map stores) escapes.
+			if len(p.Lhs) == len(p.Rhs) {
+				for i, rhs := range p.Rhs {
+					if ast.Unparen(rhs) != node && rhs != node {
+						continue
+					}
+					if _, ok := ast.Unparen(p.Lhs[i]).(*ast.Ident); ok {
+						return useAliased
+					}
+				}
+			}
+			return useEscaped
+		case *ast.BinaryExpr, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt,
+			*ast.CaseClause, *ast.ExprStmt, *ast.BlockStmt:
+			return useNeutral
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr,
+			*ast.SendStmt, *ast.UnaryExpr, *ast.IndexExpr, *ast.SliceExpr,
+			*ast.StarExpr, *ast.RangeStmt, *ast.GoStmt, *ast.DeferStmt,
+			*ast.Ellipsis:
+			return useEscaped
+		default:
+			return useEscaped
+		}
+	}
+}
+
+// aliasTarget returns the LHS object of the alias assignment id sits on
+// the RHS of.
+func aliasTarget(pass *analysis.Pass, parents map[ast.Node]ast.Node, id *ast.Ident) types.Object {
+	node := ast.Node(id)
+	for {
+		p, ok := parents[node].(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		node = p
+	}
+	st, ok := parents[node].(*ast.AssignStmt)
+	if !ok || len(st.Lhs) != len(st.Rhs) {
+		return nil
+	}
+	for i, rhs := range st.Rhs {
+		if ast.Unparen(rhs) != node && rhs != node {
+			continue
+		}
+		if lid, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident); ok && lid.Name != "_" {
+			return pass.TypesInfo.ObjectOf(lid)
+		}
+	}
+	return nil
+}

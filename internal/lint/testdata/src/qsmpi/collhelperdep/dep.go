@@ -1,0 +1,16 @@
+// Dependency fixture for the facts path: Sync enters a Barrier, and the
+// CallsCollective fact exported for it is what lets collorder flag
+// rank-guarded calls from a different package — after the fact has been
+// gob-round-tripped, exactly as both real drivers carry it.
+package collhelperdep
+
+import "qsmpi/internal/mpi"
+
+func Sync(c *mpi.Comm) {
+	c.Barrier()
+}
+
+// Quiet does nothing collective; no fact is exported for it.
+func Quiet(c *mpi.Comm) {
+	_ = c.Size()
+}

@@ -1,0 +1,27 @@
+// Helper-indirection fixture for collorder's interprocedural facts: the
+// collective hides behind collhelperdep.Sync, one package away, and only
+// the imported CallsCollective fact can reveal it.
+package collorderfacts
+
+import (
+	"qsmpi/collhelperdep"
+	"qsmpi/internal/mpi"
+)
+
+func divergentViaHelper(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		collhelperdep.Sync(c) // want `enters collective Barrier`
+	}
+}
+
+// uniformViaHelper is clean: every rank calls the helper.
+func uniformViaHelper(c *mpi.Comm) {
+	collhelperdep.Sync(c)
+}
+
+// quietGuarded is clean: the guarded helper carries no collective fact.
+func quietGuarded(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		collhelperdep.Quiet(c)
+	}
+}

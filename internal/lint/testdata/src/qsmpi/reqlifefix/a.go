@@ -1,0 +1,116 @@
+// Seeded violations and clean idioms for the reqlife analyzer: leaked
+// requests, double waits, in-flight buffer writes and re-posts on the
+// positive side; defer-wait, Waitall-via-slice, test-then-wait, branch
+// waits and aliases on the negative.
+package reqlifefix
+
+import (
+	"qsmpi/internal/datatype"
+	"qsmpi/internal/mpi"
+)
+
+func leak(c *mpi.Comm, buf []byte, dt *datatype.Datatype) {
+	r := c.Isend(1, 0, buf, dt) // want `never completed`
+	_ = r
+}
+
+func discard(c *mpi.Comm, buf []byte, dt *datatype.Datatype) {
+	c.Isend(1, 0, buf, dt) // want `discarded`
+}
+
+func discardBlank(c *mpi.Comm, buf []byte, dt *datatype.Datatype) {
+	_ = c.Irecv(0, 0, buf, dt) // want `assigned to _`
+}
+
+func doubleWait(c *mpi.Comm, buf []byte, dt *datatype.Datatype) {
+	r := c.Irecv(0, 0, buf, dt)
+	r.Wait()
+	r.Wait() // want `waited twice`
+}
+
+func useAfterPost(c *mpi.Comm, buf []byte, dt *datatype.Datatype) {
+	r := c.Isend(1, 0, buf, dt)
+	buf[0] = 1 // want `written while`
+	r.Wait()
+}
+
+func copyWhileInflight(c *mpi.Comm, buf, src []byte, dt *datatype.Datatype) {
+	r := c.Isend(1, 0, buf, dt)
+	copy(buf, src) // want `written \(copy\)`
+	r.Wait()
+}
+
+func rePost(c *mpi.Comm, buf []byte, dt *datatype.Datatype) {
+	r1 := c.Isend(1, 0, buf, dt)
+	r2 := c.Isend(2, 0, buf, dt) // want `re-posted`
+	r1.Wait()
+	r2.Wait()
+}
+
+func persistentLeak(c *mpi.Comm, buf []byte, dt *datatype.Datatype) {
+	p := c.SendInit(1, 0, buf, dt)
+	p.Start() // want `persistent request started`
+}
+
+// deferWait is clean: the deferred Wait runs on every exit path.
+func deferWait(c *mpi.Comm, buf []byte, dt *datatype.Datatype) {
+	r := c.Irecv(0, 0, buf, dt)
+	defer r.Wait()
+	buf = nil
+	_ = buf
+}
+
+// waitallSlice is clean: each request escapes into the slice at birth and
+// the slice reaches Waitall — the canonical bulk-completion idiom.
+func waitallSlice(c *mpi.Comm, bufs [][]byte, dt *datatype.Datatype) {
+	var reqs []*mpi.Request
+	for i, b := range bufs {
+		reqs = append(reqs, c.Irecv(i, 0, b, dt))
+	}
+	mpi.Waitall(reqs...)
+}
+
+// testThenWait is clean: Test is idempotent polling, not a second Wait.
+func testThenWait(c *mpi.Comm, buf []byte, dt *datatype.Datatype) {
+	r := c.Irecv(0, 0, buf, dt)
+	for !r.Test() {
+	}
+	r.Wait()
+}
+
+// branchWait is clean: each arm waits once; arms are alternatives, not a
+// sequence.
+func branchWait(c *mpi.Comm, buf []byte, dt *datatype.Datatype, eager bool) {
+	r := c.Irecv(0, 0, buf, dt)
+	if eager {
+		r.Wait()
+	} else {
+		r.Wait()
+	}
+}
+
+// aliasWait is clean: r2 is r, and waiting either completes the request.
+func aliasWait(c *mpi.Comm, buf []byte, dt *datatype.Datatype) {
+	r := c.Irecv(0, 0, buf, dt)
+	r2 := r
+	r2.Wait()
+}
+
+// escapeHelper is clean (conservatively): the helper owns completion now.
+func escapeHelper(c *mpi.Comm, buf []byte, dt *datatype.Datatype) {
+	r := c.Isend(1, 0, buf, dt)
+	completeElsewhere(r)
+}
+
+func completeElsewhere(r *mpi.Request) {
+	r.Wait()
+}
+
+// persistentLoop is clean: every Start is paired with a Wait.
+func persistentLoop(c *mpi.Comm, buf []byte, dt *datatype.Datatype) {
+	p := c.SendInit(1, 0, buf, dt)
+	for i := 0; i < 4; i++ {
+		p.Start()
+		p.Wait()
+	}
+}
